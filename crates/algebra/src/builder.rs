@@ -1,0 +1,160 @@
+//! Ergonomic construction of programs and transactions.
+//!
+//! The paper writes transactions as
+//! `⟨ insert(beer, (…)); alarm(σ…beer); … ⟩`; this module provides a fluent
+//! builder producing the same ASTs without manual boxing:
+//!
+//! ```
+//! use tm_algebra::builder::TransactionBuilder;
+//! use tm_algebra::{RelExpr, ScalarExpr, CmpOp};
+//! use tm_relational::Tuple;
+//!
+//! let tx = TransactionBuilder::new()
+//!     .insert_tuple("beer", Tuple::of(("exportgold", "stout", "guineken", 6.0_f64)))
+//!     .alarm(RelExpr::relation("beer").select(ScalarExpr::cmp(
+//!         CmpOp::Lt,
+//!         ScalarExpr::col(3),
+//!         ScalarExpr::double(0.0),
+//!     )))
+//!     .build();
+//! assert_eq!(tx.len(), 2);
+//! ```
+
+use tm_relational::Tuple;
+
+use crate::expr::ScalarExpr;
+use crate::program::{Program, Statement, Transaction, UpdateAssignment};
+use crate::rel_expr::RelExpr;
+
+/// Fluent builder for [`Transaction`]s.
+#[derive(Debug, Default, Clone)]
+pub struct TransactionBuilder {
+    statements: Vec<Statement>,
+}
+
+impl TransactionBuilder {
+    /// Start an empty transaction.
+    pub fn new() -> Self {
+        TransactionBuilder::default()
+    }
+
+    /// Append `target := expr`.
+    pub fn assign(mut self, target: impl Into<String>, expr: RelExpr) -> Self {
+        self.statements.push(Statement::Assign {
+            target: target.into(),
+            expr,
+        });
+        self
+    }
+
+    /// Append `insert(relation, source)`.
+    pub fn insert(mut self, relation: impl Into<String>, source: RelExpr) -> Self {
+        self.statements.push(Statement::Insert {
+            relation: relation.into(),
+            source,
+        });
+        self
+    }
+
+    /// Append an insert of a single literal tuple.
+    pub fn insert_tuple(self, relation: impl Into<String>, tuple: Tuple) -> Self {
+        self.insert(relation, RelExpr::Literal(vec![tuple]))
+    }
+
+    /// Append an insert of several literal tuples.
+    pub fn insert_tuples(self, relation: impl Into<String>, tuples: Vec<Tuple>) -> Self {
+        self.insert(relation, RelExpr::Literal(tuples))
+    }
+
+    /// Append `delete(relation, source)`.
+    pub fn delete(mut self, relation: impl Into<String>, source: RelExpr) -> Self {
+        self.statements.push(Statement::Delete {
+            relation: relation.into(),
+            source,
+        });
+        self
+    }
+
+    /// Append a delete of a single literal tuple.
+    pub fn delete_tuple(self, relation: impl Into<String>, tuple: Tuple) -> Self {
+        self.delete(relation, RelExpr::Literal(vec![tuple]))
+    }
+
+    /// Append `delete(R, σ_pred(R))`.
+    pub fn delete_where(mut self, relation: impl Into<String>, pred: ScalarExpr) -> Self {
+        self.statements.push(Statement::delete_where(relation, pred));
+        self
+    }
+
+    /// Append `update(relation, pred, set)`.
+    pub fn update(
+        mut self,
+        relation: impl Into<String>,
+        pred: ScalarExpr,
+        set: Vec<UpdateAssignment>,
+    ) -> Self {
+        self.statements.push(Statement::Update {
+            relation: relation.into(),
+            pred,
+            set,
+        });
+        self
+    }
+
+    /// Append `alarm(expr)`.
+    pub fn alarm(mut self, expr: RelExpr) -> Self {
+        self.statements.push(Statement::Alarm(expr));
+        self
+    }
+
+    /// Append `abort`.
+    pub fn abort(mut self) -> Self {
+        self.statements.push(Statement::Abort);
+        self
+    }
+
+    /// Append an arbitrary statement.
+    pub fn statement(mut self, stmt: Statement) -> Self {
+        self.statements.push(stmt);
+        self
+    }
+
+    /// Finish, producing a bracketed transaction.
+    pub fn build(self) -> Transaction {
+        Program::new(self.statements).bracket()
+    }
+
+    /// Finish, producing an unbracketed program (for rule actions).
+    pub fn build_program(self) -> Program {
+        Program::new(self.statements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    #[test]
+    fn builder_produces_expected_statements() {
+        let tx = TransactionBuilder::new()
+            .insert_tuple("r", Tuple::of((1,)))
+            .delete_where(
+                "r",
+                ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::int(1)),
+            )
+            .abort()
+            .build();
+        let stmts = tx.debracket().statements();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[0], Statement::Insert { .. }));
+        assert!(matches!(stmts[1], Statement::Delete { .. }));
+        assert!(matches!(stmts[2], Statement::Abort));
+    }
+
+    #[test]
+    fn build_program_is_unbracketed() {
+        let p = TransactionBuilder::new().abort().build_program();
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,669 @@
+//! Evaluation of scalar and relational expressions.
+//!
+//! Expressions are evaluated against an [`EvalContext`], which resolves
+//! relation names to relation states. During transaction execution the
+//! context is a [`crate::exec::TxContext`] (base relations from the working
+//! state, temporaries, auxiliary relations); tests may use a plain
+//! [`tm_relational::Database`] directly.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use tm_relational::{Attribute, Database, Relation, RelationSchema, Tuple, Value, ValueType};
+
+use crate::error::{AlgebraError, Result};
+use crate::expr::{AggFunc, ArithOp, ScalarExpr};
+use crate::rel_expr::RelExpr;
+
+/// Read access to relation schemas by name (used at translation and
+/// validation time, before any data exists).
+pub trait SchemaView {
+    /// The schema of relation `name`; auxiliary names (`R@pre`, …) resolve
+    /// to their base relation's attribute list.
+    fn schema_of(&self, name: &str) -> Result<Arc<RelationSchema>>;
+}
+
+/// Read access to relation *states* by name — what expression evaluation
+/// needs.
+pub trait EvalContext: SchemaView {
+    /// The current state of relation `name`.
+    fn relation_state(&self, name: &str) -> Result<&Relation>;
+}
+
+impl SchemaView for Database {
+    fn schema_of(&self, name: &str) -> Result<Arc<RelationSchema>> {
+        Ok(self.relation(name)?.schema().clone())
+    }
+}
+
+impl EvalContext for Database {
+    fn relation_state(&self, name: &str) -> Result<&Relation> {
+        Ok(self.relation(name)?)
+    }
+}
+
+/// Evaluate a scalar expression against an input tuple.
+pub fn eval_scalar(
+    expr: &ScalarExpr,
+    tuple: &Tuple,
+    ctx: &impl EvalContext,
+) -> Result<Value> {
+    match expr {
+        ScalarExpr::Const(v) => Ok(v.clone()),
+        ScalarExpr::Col(i) => {
+            tuple
+                .get(*i)
+                .cloned()
+                .ok_or(AlgebraError::ColumnOutOfRange {
+                    offset: *i,
+                    arity: tuple.arity(),
+                })
+        }
+        ScalarExpr::Arith(op, l, r) => {
+            let lv = eval_scalar(l, tuple, ctx)?;
+            let rv = eval_scalar(r, tuple, ctx)?;
+            eval_arith(*op, &lv, &rv)
+        }
+        ScalarExpr::Cmp(op, l, r) => {
+            let lv = eval_scalar(l, tuple, ctx)?;
+            let rv = eval_scalar(r, tuple, ctx)?;
+            Ok(Value::Bool(op.test(lv.compare(&rv))))
+        }
+        ScalarExpr::And(l, r) => {
+            // Short-circuit: the right operand is skipped when the left is
+            // false, which also skips its runtime errors (two-valued logic).
+            if as_bool(&eval_scalar(l, tuple, ctx)?, l)? {
+                Ok(Value::Bool(as_bool(&eval_scalar(r, tuple, ctx)?, r)?))
+            } else {
+                Ok(Value::Bool(false))
+            }
+        }
+        ScalarExpr::Or(l, r) => {
+            if as_bool(&eval_scalar(l, tuple, ctx)?, l)? {
+                Ok(Value::Bool(true))
+            } else {
+                Ok(Value::Bool(as_bool(&eval_scalar(r, tuple, ctx)?, r)?))
+            }
+        }
+        ScalarExpr::Not(e) => Ok(Value::Bool(!as_bool(&eval_scalar(e, tuple, ctx)?, e)?)),
+        ScalarExpr::IsNull(e) => Ok(Value::Bool(eval_scalar(e, tuple, ctx)?.is_null())),
+        ScalarExpr::Agg(func, rel, col) => {
+            let input = evaluate(rel, ctx)?;
+            eval_aggregate(*func, &input, *col)
+        }
+        ScalarExpr::Cnt(rel) => {
+            let input = evaluate(rel, ctx)?;
+            Ok(Value::Int(input.len() as i64))
+        }
+    }
+}
+
+fn as_bool(v: &Value, expr: &ScalarExpr) -> Result<bool> {
+    v.as_bool()
+        .ok_or_else(|| AlgebraError::NotABoolean(expr.to_string()))
+}
+
+fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => match op {
+            ArithOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
+            ArithOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+            ArithOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            ArithOp::Div => {
+                if *b == 0 {
+                    Err(AlgebraError::DivisionByZero)
+                } else {
+                    Ok(Value::Int(a.wrapping_div(*b)))
+                }
+            }
+        },
+        _ => {
+            let a = l
+                .as_double()
+                .ok_or_else(|| AlgebraError::TypeError(format!("non-numeric operand {l}")))?;
+            let b = r
+                .as_double()
+                .ok_or_else(|| AlgebraError::TypeError(format!("non-numeric operand {r}")))?;
+            let v = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        return Err(AlgebraError::DivisionByZero);
+                    }
+                    a / b
+                }
+            };
+            Ok(Value::double(v))
+        }
+    }
+}
+
+/// Evaluate an aggregate over column `col` of `input`.
+///
+/// `SUM` of an empty relation is 0 (integer); `MIN`/`MAX`/`AVG` of an
+/// empty relation are undefined and raise [`AlgebraError::EmptyAggregate`].
+/// Null values are skipped, matching the usual relational convention.
+pub fn eval_aggregate(func: AggFunc, input: &Relation, col: usize) -> Result<Value> {
+    let values = || {
+        input
+            .iter()
+            .filter_map(move |t| t.get(col))
+            .filter(|v| !v.is_null())
+    };
+    match func {
+        AggFunc::Sum => {
+            let mut int_sum: i64 = 0;
+            let mut dbl_sum: f64 = 0.0;
+            let mut any_double = false;
+            for v in values() {
+                match v {
+                    Value::Int(i) => {
+                        int_sum = int_sum.wrapping_add(*i);
+                        dbl_sum += *i as f64;
+                    }
+                    Value::Double(d) => {
+                        any_double = true;
+                        dbl_sum += d;
+                    }
+                    other => {
+                        return Err(AlgebraError::TypeError(format!(
+                            "SUM over non-numeric value {other}"
+                        )))
+                    }
+                }
+            }
+            Ok(if any_double {
+                Value::double(dbl_sum)
+            } else {
+                Value::Int(int_sum)
+            })
+        }
+        AggFunc::Avg => {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for v in values() {
+                sum += v.as_double().ok_or_else(|| {
+                    AlgebraError::TypeError(format!("AVG over non-numeric value {v}"))
+                })?;
+                n += 1;
+            }
+            if n == 0 {
+                Err(AlgebraError::EmptyAggregate("AVG"))
+            } else {
+                Ok(Value::double(sum / n as f64))
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<Value> = None;
+            for v in values() {
+                best = Some(match best {
+                    None => v.clone(),
+                    Some(b) => {
+                        let keep_new = match func {
+                            AggFunc::Min => v.compare(&b) == Ordering::Less,
+                            AggFunc::Max => v.compare(&b) == Ordering::Greater,
+                            _ => unreachable!(),
+                        };
+                        if keep_new {
+                            v.clone()
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.ok_or(AlgebraError::EmptyAggregate(match func {
+                AggFunc::Min => "MIN",
+                _ => "MAX",
+            }))
+        }
+    }
+}
+
+/// Evaluate a relational expression to a relation state.
+pub fn evaluate(expr: &RelExpr, ctx: &impl EvalContext) -> Result<Relation> {
+    match expr {
+        RelExpr::Rel(name) => Ok(ctx.relation_state(name)?.clone()),
+        RelExpr::Literal(tuples) => {
+            let schema = infer_literal_schema(tuples);
+            let mut rel = Relation::with_capacity(schema, tuples.len());
+            for t in tuples {
+                rel.insert_unchecked(t.clone());
+            }
+            Ok(rel)
+        }
+        RelExpr::Singleton(exprs) => {
+            let empty = Tuple::empty();
+            let mut values = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                values.push(eval_scalar(e, &empty, ctx)?);
+            }
+            let schema = {
+                let attrs: Vec<Attribute> = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        Attribute::new(
+                            format!("c{i}"),
+                            v.value_type().unwrap_or(ValueType::Int),
+                        )
+                    })
+                    .collect();
+                Arc::new(
+                    RelationSchema::new("one".to_owned(), attrs)
+                        .expect("generated names are unique"),
+                )
+            };
+            let mut rel = Relation::with_capacity(schema, 1);
+            rel.insert_unchecked(Tuple::from_values(values));
+            Ok(rel)
+        }
+        RelExpr::Select(input, pred) => {
+            let input = evaluate(input, ctx)?;
+            let mut out = Relation::with_capacity(input.schema().clone(), input.len());
+            for t in input.iter() {
+                if as_bool(&eval_scalar(pred, t, ctx)?, pred)? {
+                    out.insert_unchecked(t.clone());
+                }
+            }
+            Ok(out)
+        }
+        RelExpr::Project(input, exprs) => {
+            let input = evaluate(input, ctx)?;
+            let in_types: Vec<ValueType> = input.schema().domain();
+            let schema = Arc::new(
+                RelationSchema::new(
+                    "π".to_owned(),
+                    exprs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, e)| Attribute::new(format!("c{i}"), e.infer_type(&in_types)))
+                        .collect(),
+                )
+                .expect("generated names are unique"),
+            );
+            let mut out = Relation::with_capacity(schema, input.len());
+            for t in input.iter() {
+                let mut values = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    values.push(eval_scalar(e, t, ctx)?);
+                }
+                out.insert_unchecked(Tuple::from_values(values));
+            }
+            Ok(out)
+        }
+        RelExpr::Join(l, r, pred) => {
+            let left = evaluate(l, ctx)?;
+            let right = evaluate(r, ctx)?;
+            let schema = concat_schema(left.schema(), right.schema());
+            let mut out = Relation::with_capacity(schema, left.len());
+            for lt in left.iter() {
+                for rt in right.iter() {
+                    let joined = lt.concat(rt);
+                    if as_bool(&eval_scalar(pred, &joined, ctx)?, pred)? {
+                        out.insert_unchecked(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        RelExpr::SemiJoin(l, r, pred) => {
+            let left = evaluate(l, ctx)?;
+            let right = evaluate(r, ctx)?;
+            let mut out = Relation::with_capacity(left.schema().clone(), left.len());
+            for lt in left.iter() {
+                if matches_any(lt, &right, pred, ctx)? {
+                    out.insert_unchecked(lt.clone());
+                }
+            }
+            Ok(out)
+        }
+        RelExpr::AntiJoin(l, r, pred) => {
+            let left = evaluate(l, ctx)?;
+            let right = evaluate(r, ctx)?;
+            let mut out = Relation::with_capacity(left.schema().clone(), left.len());
+            for lt in left.iter() {
+                if !matches_any(lt, &right, pred, ctx)? {
+                    out.insert_unchecked(lt.clone());
+                }
+            }
+            Ok(out)
+        }
+        RelExpr::Union(l, r) => {
+            let left = evaluate(l, ctx)?;
+            let right = evaluate(r, ctx)?;
+            check_union_compatible(&left, &right)?;
+            let mut out = left;
+            for t in right.iter() {
+                out.insert_unchecked(t.clone());
+            }
+            Ok(out)
+        }
+        RelExpr::Difference(l, r) => {
+            let left = evaluate(l, ctx)?;
+            let right = evaluate(r, ctx)?;
+            check_union_compatible(&left, &right)?;
+            let mut out = Relation::with_capacity(left.schema().clone(), left.len());
+            for t in left.iter() {
+                if !right.contains(t) {
+                    out.insert_unchecked(t.clone());
+                }
+            }
+            Ok(out)
+        }
+        RelExpr::Intersect(l, r) => {
+            let left = evaluate(l, ctx)?;
+            let right = evaluate(r, ctx)?;
+            check_union_compatible(&left, &right)?;
+            let (small, large) = if left.len() <= right.len() {
+                (&left, &right)
+            } else {
+                (&right, &left)
+            };
+            let mut out = Relation::with_capacity(left.schema().clone(), small.len());
+            for t in small.iter() {
+                if large.contains(t) {
+                    out.insert_unchecked(t.clone());
+                }
+            }
+            Ok(out)
+        }
+        RelExpr::Product(l, r) => {
+            let left = evaluate(l, ctx)?;
+            let right = evaluate(r, ctx)?;
+            let schema = concat_schema(left.schema(), right.schema());
+            let mut out = Relation::with_capacity(schema, left.len() * right.len());
+            for lt in left.iter() {
+                for rt in right.iter() {
+                    out.insert_unchecked(lt.concat(rt));
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn matches_any(
+    lt: &Tuple,
+    right: &Relation,
+    pred: &ScalarExpr,
+    ctx: &impl EvalContext,
+) -> Result<bool> {
+    for rt in right.iter() {
+        let joined = lt.concat(rt);
+        if as_bool(&eval_scalar(pred, &joined, ctx)?, pred)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn check_union_compatible(left: &Relation, right: &Relation) -> Result<()> {
+    if left.schema().union_compatible(right.schema()) {
+        Ok(())
+    } else {
+        Err(AlgebraError::NotUnionCompatible {
+            left: left.schema().to_string(),
+            right: right.schema().to_string(),
+        })
+    }
+}
+
+fn concat_schema(left: &Arc<RelationSchema>, right: &Arc<RelationSchema>) -> Arc<RelationSchema> {
+    let mut attrs: Vec<Attribute> = Vec::with_capacity(left.arity() + right.arity());
+    for (i, a) in left.attributes().iter().chain(right.attributes()).enumerate() {
+        // Positional names avoid collisions between the two sides.
+        attrs.push(Attribute::new(format!("c{i}"), a.value_type()));
+    }
+    Arc::new(RelationSchema::new("⨯".to_owned(), attrs).expect("generated names are unique"))
+}
+
+fn infer_literal_schema(tuples: &[Tuple]) -> Arc<RelationSchema> {
+    let arity = tuples.first().map_or(0, Tuple::arity);
+    let attrs: Vec<Attribute> = (0..arity)
+        .map(|i| {
+            let ty = tuples
+                .iter()
+                .find_map(|t| t.get(i).and_then(Value::value_type))
+                .unwrap_or(ValueType::Int);
+            Attribute::new(format!("c{i}"), ty)
+        })
+        .collect();
+    Arc::new(RelationSchema::new("lit".to_owned(), attrs).expect("generated names are unique"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use tm_relational::DatabaseSchema;
+
+    fn test_db() -> Database {
+        let schema = DatabaseSchema::from_relations(vec![
+            RelationSchema::of(
+                "r",
+                &[("a", ValueType::Int), ("b", ValueType::Str)],
+            ),
+            RelationSchema::of("s", &[("x", ValueType::Int)]),
+        ])
+        .unwrap();
+        let mut db = Database::new(schema.into_shared());
+        for (a, b) in [(1, "one"), (2, "two"), (3, "three")] {
+            db.insert("r", Tuple::of((a, b))).unwrap();
+        }
+        for x in [2, 3, 4] {
+            db.insert("s", Tuple::of((x,))).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn select_filters() {
+        let db = test_db();
+        let e = RelExpr::relation("r").select(ScalarExpr::cmp(
+            CmpOp::Gt,
+            ScalarExpr::col(0),
+            ScalarExpr::int(1),
+        ));
+        let out = evaluate(&e, &db).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&Tuple::of((2, "two"))));
+        assert!(out.contains(&Tuple::of((3, "three"))));
+    }
+
+    #[test]
+    fn project_computes() {
+        let db = test_db();
+        let e = RelExpr::relation("s").project(vec![ScalarExpr::arith(
+            ArithOp::Mul,
+            ScalarExpr::col(0),
+            ScalarExpr::int(10),
+        )]);
+        let out = evaluate(&e, &db).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.contains(&Tuple::of((20,))));
+        assert!(out.contains(&Tuple::of((40,))));
+    }
+
+    #[test]
+    fn project_deduplicates() {
+        let db = test_db();
+        let e = RelExpr::relation("r").project(vec![ScalarExpr::int(1)]);
+        let out = evaluate(&e, &db).unwrap();
+        assert_eq!(out.len(), 1); // set semantics collapse
+    }
+
+    #[test]
+    fn join_theta() {
+        let db = test_db();
+        let e = RelExpr::relation("r").join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 2));
+        let out = evaluate(&e, &db).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&Tuple::of((2, "two", 2))));
+        assert!(out.contains(&Tuple::of((3, "three", 3))));
+    }
+
+    #[test]
+    fn semi_and_anti_join_partition() {
+        let db = test_db();
+        let semi = evaluate(
+            &RelExpr::relation("r").semi_join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 2)),
+            &db,
+        )
+        .unwrap();
+        let anti = evaluate(
+            &RelExpr::relation("r").anti_join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 2)),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(semi.len() + anti.len(), 3);
+        assert!(semi.contains(&Tuple::of((2, "two"))));
+        assert!(anti.contains(&Tuple::of((1, "one"))));
+    }
+
+    #[test]
+    fn set_operations() {
+        let db = test_db();
+        let r_ints = RelExpr::relation("r").project_cols(&[0]);
+        let s = RelExpr::relation("s");
+        let union = evaluate(&r_ints.clone().union(s.clone()), &db).unwrap();
+        assert_eq!(union.len(), 4); // {1,2,3} ∪ {2,3,4}
+        let diff = evaluate(&r_ints.clone().difference(s.clone()), &db).unwrap();
+        assert_eq!(diff.len(), 1);
+        assert!(diff.contains(&Tuple::of((1,))));
+        let inter = evaluate(&r_ints.intersect(s), &db).unwrap();
+        assert_eq!(inter.len(), 2);
+    }
+
+    #[test]
+    fn union_incompatible_rejected() {
+        let db = test_db();
+        let e = RelExpr::relation("r").union(RelExpr::relation("s"));
+        assert!(matches!(
+            evaluate(&e, &db),
+            Err(AlgebraError::NotUnionCompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn product_sizes() {
+        let db = test_db();
+        let e = RelExpr::relation("r").product(RelExpr::relation("s"));
+        let out = evaluate(&e, &db).unwrap();
+        assert_eq!(out.len(), 9);
+    }
+
+    #[test]
+    fn aggregates() {
+        let db = test_db();
+        let sum = eval_scalar(
+            &ScalarExpr::Agg(AggFunc::Sum, Box::new(RelExpr::relation("s")), 0),
+            &Tuple::empty(),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(sum, Value::Int(9));
+        let avg = eval_scalar(
+            &ScalarExpr::Agg(AggFunc::Avg, Box::new(RelExpr::relation("s")), 0),
+            &Tuple::empty(),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(avg, Value::double(3.0));
+        let min = eval_scalar(
+            &ScalarExpr::Agg(AggFunc::Min, Box::new(RelExpr::relation("s")), 0),
+            &Tuple::empty(),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(min, Value::Int(2));
+        let cnt = eval_scalar(
+            &ScalarExpr::Cnt(Box::new(RelExpr::relation("r"))),
+            &Tuple::empty(),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(cnt, Value::Int(3));
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        let db = test_db();
+        let empty = RelExpr::relation("s").select(ScalarExpr::false_());
+        let sum = eval_scalar(
+            &ScalarExpr::Agg(AggFunc::Sum, Box::new(empty.clone()), 0),
+            &Tuple::empty(),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(sum, Value::Int(0));
+        let min = eval_scalar(
+            &ScalarExpr::Agg(AggFunc::Min, Box::new(empty), 0),
+            &Tuple::empty(),
+            &db,
+        );
+        assert!(matches!(min, Err(AlgebraError::EmptyAggregate("MIN"))));
+    }
+
+    #[test]
+    fn singleton_with_aggregate() {
+        let db = test_db();
+        let e = RelExpr::Singleton(vec![ScalarExpr::Cnt(Box::new(RelExpr::relation("r")))]);
+        let out = evaluate(&e, &db).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&Tuple::of((3,))));
+    }
+
+    #[test]
+    fn literal_relation() {
+        let db = test_db();
+        let e = RelExpr::Literal(vec![Tuple::of((1,)), Tuple::of((2,)), Tuple::of((1,))]);
+        let out = evaluate(&e, &db).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        assert_eq!(
+            eval_arith(ArithOp::Div, &Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert!(matches!(
+            eval_arith(ArithOp::Div, &Value::Int(1), &Value::Int(0)),
+            Err(AlgebraError::DivisionByZero)
+        ));
+        assert_eq!(
+            eval_arith(ArithOp::Add, &Value::Int(1), &Value::double(0.5)).unwrap(),
+            Value::double(1.5)
+        );
+        assert!(eval_arith(ArithOp::Add, &Value::str("x"), &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn short_circuit_skips_errors() {
+        let db = test_db();
+        // Col(99) would error, but the left operand decides.
+        let e = ScalarExpr::and(ScalarExpr::false_(), ScalarExpr::col(99));
+        assert_eq!(
+            eval_scalar(&e, &Tuple::empty(), &db).unwrap(),
+            Value::Bool(false)
+        );
+        let e = ScalarExpr::or(ScalarExpr::true_(), ScalarExpr::col(99));
+        assert_eq!(
+            eval_scalar(&e, &Tuple::empty(), &db).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn non_boolean_predicate_rejected() {
+        let db = test_db();
+        let e = RelExpr::relation("r").select(ScalarExpr::int(1));
+        assert!(matches!(
+            evaluate(&e, &db),
+            Err(AlgebraError::NotABoolean(_))
+        ));
+    }
+}

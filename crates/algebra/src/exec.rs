@@ -1,0 +1,739 @@
+//! Transaction execution with full atomicity (Definition 2.5).
+//!
+//! A transaction `T = ⟨a1; …; an⟩` executes against a database state `D^t`.
+//! During execution the database passes through intermediate states
+//! `D^{t,1}, …, D^{t,n}` that may contain temporary relations; these states
+//! "have no semantics beyond the execution of T". The end bracket then
+//! installs `[D^{t,n}]` (temporaries removed) as `D^{t+1}` on commit, or
+//! re-installs `D^t` on abort — the atomicity property of Section 2.2.
+//!
+//! The executor also maintains the auxiliary relations of Section 4.1 for
+//! every base relation `R`:
+//!
+//! * `R@pre` — the state of `R` at transaction begin (pre-transaction
+//!   state, used by transition constraints),
+//! * `R@ins` — the net set of tuples inserted so far (`R − R@pre`),
+//! * `R@del` — the net set of tuples deleted so far (`R@pre − R`).
+//!
+//! The differentials are maintained incrementally with the classic rules:
+//! an insertion of `t` cancels a pending deletion of `t` if one exists,
+//! otherwise it records `t` in `R@ins` (symmetrically for deletions), so
+//! the invariants `R@ins = R − R@pre` and `R@del = R@pre − R` hold after
+//! every statement — property-tested in `tests/`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tm_relational::{
+    auxiliary::{self, AuxKind},
+    Database, Relation, RelationSchema, Tuple,
+};
+
+use crate::error::{AlgebraError, Result};
+use crate::eval::{eval_scalar, evaluate, EvalContext, SchemaView};
+use crate::program::{Statement, Transaction};
+use tm_relational::util::FxHashMap;
+
+/// Execution statistics for a transaction, used by the benchmark harness
+/// and by the engine's reporting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Statements executed (including appended integrity statements).
+    pub statements: usize,
+    /// `alarm` statements evaluated.
+    pub alarms_evaluated: usize,
+    /// `alarm` statements that fired (non-empty argument).
+    pub alarms_fired: usize,
+    /// Tuples actually inserted into base relations (net of duplicates).
+    pub tuples_inserted: usize,
+    /// Tuples actually deleted from base relations.
+    pub tuples_deleted: usize,
+}
+
+/// The outcome of executing a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// The transaction committed; the post-state was installed.
+    Committed(ExecStats),
+    /// The transaction aborted; the pre-state was re-installed.
+    Aborted {
+        /// Why the transaction aborted.
+        reason: AbortReason,
+        /// Statistics up to the abort point.
+        stats: ExecStats,
+    },
+}
+
+impl TxOutcome {
+    /// Whether the transaction committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxOutcome::Committed(_))
+    }
+
+    /// The statistics regardless of outcome.
+    pub fn stats(&self) -> &ExecStats {
+        match self {
+            TxOutcome::Committed(s) => s,
+            TxOutcome::Aborted { stats, .. } => stats,
+        }
+    }
+}
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortReason {
+    /// An `alarm(E)` statement found `E` non-empty (Definition 5.1) —
+    /// an integrity constraint was violated.
+    AlarmFired {
+        /// Rendering of the alarm's argument expression.
+        expr: String,
+        /// Number of violating tuples the alarm saw.
+        violations: usize,
+    },
+    /// An explicit `abort` statement was executed.
+    ExplicitAbort,
+    /// A runtime error occurred; atomicity demands rollback.
+    RuntimeError(AlgebraError),
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::AlarmFired { expr, violations } => {
+                write!(f, "alarm fired on {violations} violating tuple(s): {expr}")
+            }
+            AbortReason::ExplicitAbort => write!(f, "explicit abort"),
+            AbortReason::RuntimeError(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+/// The evaluation context of a running transaction: the working database
+/// state, the temporaries of the intermediate states `D^{t,i}`, and the
+/// auxiliary relations.
+pub struct TxContext {
+    working: Database,
+    /// Immutable pre-transaction snapshot (backs `R@pre`).
+    snapshot: Database,
+    temps: FxHashMap<String, Relation>,
+    ins: FxHashMap<String, Relation>,
+    del: FxHashMap<String, Relation>,
+    stats: ExecStats,
+}
+
+impl TxContext {
+    /// Open a transaction context over the current database state.
+    ///
+    /// Differential relations start out empty for *every* base relation, so
+    /// `R@ins`/`R@del` reads always resolve, even for untouched relations.
+    pub fn begin(db: &Database) -> TxContext {
+        let mut ins = FxHashMap::default();
+        let mut del = FxHashMap::default();
+        for (name, rel) in db.iter() {
+            let schema = rel.schema().clone();
+            ins.insert(
+                name.to_owned(),
+                Relation::empty(Arc::new(schema.renamed(auxiliary::ins_name(name)))),
+            );
+            del.insert(
+                name.to_owned(),
+                Relation::empty(Arc::new(schema.renamed(auxiliary::del_name(name)))),
+            );
+        }
+        TxContext {
+            working: db.clone(),
+            snapshot: db.clone(),
+            temps: FxHashMap::default(),
+            ins,
+            del,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The working state (the current intermediate state `D^{t,i}`).
+    pub fn working(&self) -> &Database {
+        &self.working
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    fn delta_relation<'m>(
+        map: &'m mut FxHashMap<String, Relation>,
+        base_schema: Arc<RelationSchema>,
+        base: &str,
+        kind: AuxKind,
+    ) -> &'m mut Relation {
+        map.entry(base.to_owned()).or_insert_with(|| {
+            Relation::empty(Arc::new(
+                base_schema.renamed(auxiliary::aux_name(base, kind)),
+            ))
+        })
+    }
+
+    /// Record the actual insertion of `t` into base relation `base`,
+    /// maintaining the net differentials.
+    fn note_insert(&mut self, base: &str, t: &Tuple) {
+        let schema = self.working.relation(base).expect("base exists").schema().clone();
+        let del = Self::delta_relation(&mut self.del, schema.clone(), base, AuxKind::Del);
+        if !del.remove(t) {
+            let ins = Self::delta_relation(&mut self.ins, schema, base, AuxKind::Ins);
+            ins.insert_unchecked(t.clone());
+        }
+        self.stats.tuples_inserted += 1;
+    }
+
+    /// Record the actual deletion of `t` from base relation `base`.
+    fn note_delete(&mut self, base: &str, t: &Tuple) {
+        let schema = self.working.relation(base).expect("base exists").schema().clone();
+        let ins = Self::delta_relation(&mut self.ins, schema.clone(), base, AuxKind::Ins);
+        if !ins.remove(t) {
+            let del = Self::delta_relation(&mut self.del, schema, base, AuxKind::Del);
+            del.insert_unchecked(t.clone());
+        }
+        self.stats.tuples_deleted += 1;
+    }
+
+    /// Execute one statement against the working state. `Ok(true)` means
+    /// continue; `Ok(false)` never occurs (aborts are signalled through
+    /// `Err(ControlFlow)` wrapped as `AbortReason` by the caller).
+    fn execute_statement(&mut self, stmt: &Statement) -> std::result::Result<(), AbortReason> {
+        self.stats.statements += 1;
+        match stmt {
+            Statement::Assign { target, expr } => {
+                self.run(|ctx| {
+                    if ctx.working.schema().contains(target) {
+                        return Err(AlgebraError::AssignToBase(target.clone()));
+                    }
+                    if auxiliary::is_auxiliary(target) {
+                        return Err(AlgebraError::AuxiliaryUpdate(target.clone()));
+                    }
+                    let rel = evaluate(expr, ctx)?;
+                    ctx.temps.insert(target.clone(), rel);
+                    Ok(())
+                })
+            }
+            Statement::Insert { relation, source } => self.run(|ctx| {
+                if auxiliary::is_auxiliary(relation) {
+                    return Err(AlgebraError::AuxiliaryUpdate(relation.clone()));
+                }
+                let src = evaluate(source, ctx)?;
+                let target_schema = ctx.working.relation(relation)?.schema().clone();
+                let mut added: Vec<Tuple> = Vec::new();
+                for t in src.iter() {
+                    target_schema.validate_tuple(t)?;
+                    added.push(t.clone());
+                }
+                for t in added {
+                    if ctx.working.relation_mut(relation)?.insert_unchecked(t.clone()) {
+                        ctx.note_insert(relation, &t);
+                    }
+                }
+                Ok(())
+            }),
+            Statement::Delete { relation, source } => self.run(|ctx| {
+                if auxiliary::is_auxiliary(relation) {
+                    return Err(AlgebraError::AuxiliaryUpdate(relation.clone()));
+                }
+                let src = evaluate(source, ctx)?;
+                let removed: Vec<Tuple> = src
+                    .iter()
+                    .filter(|t| {
+                        ctx.working
+                            .relation(relation)
+                            .map(|r| r.contains(t))
+                            .unwrap_or(false)
+                    })
+                    .cloned()
+                    .collect();
+                // Arity mismatches surface as "tuple not present" under set
+                // semantics; validate explicitly for a better error.
+                let target_schema = ctx.working.relation(relation)?.schema().clone();
+                for t in src.iter() {
+                    target_schema.validate_tuple(t)?;
+                }
+                for t in removed {
+                    if ctx.working.relation_mut(relation)?.remove(&t) {
+                        ctx.note_delete(relation, &t);
+                    }
+                }
+                Ok(())
+            }),
+            Statement::Update {
+                relation,
+                pred,
+                set,
+            } => self.run(|ctx| {
+                if auxiliary::is_auxiliary(relation) {
+                    return Err(AlgebraError::AuxiliaryUpdate(relation.clone()));
+                }
+                let target_schema = ctx.working.relation(relation)?.schema().clone();
+                // Materialise the update pairs first (evaluation may read
+                // the relation being updated).
+                let mut pairs: Vec<(Tuple, Tuple)> = Vec::new();
+                let current: Vec<Tuple> =
+                    ctx.working.relation(relation)?.iter().cloned().collect();
+                for t in current {
+                    let selected = eval_scalar(pred, &t, ctx)?
+                        .as_bool()
+                        .ok_or_else(|| AlgebraError::NotABoolean(pred.to_string()))?;
+                    if !selected {
+                        continue;
+                    }
+                    let mut values = t.values().to_vec();
+                    for a in set {
+                        if a.position >= values.len() {
+                            return Err(AlgebraError::ColumnOutOfRange {
+                                offset: a.position,
+                                arity: values.len(),
+                            });
+                        }
+                        values[a.position] = eval_scalar(&a.value, &t, ctx)?;
+                    }
+                    let new_t = Tuple::from_values(values);
+                    target_schema.validate_tuple(&new_t)?;
+                    pairs.push((t, new_t));
+                }
+                // Apply as delete-then-insert (Definition 4.5's reading of
+                // an update as a DEL/INS combination).
+                for (old, _) in &pairs {
+                    if ctx.working.relation_mut(relation)?.remove(old) {
+                        ctx.note_delete(relation, old);
+                    }
+                }
+                for (_, new_t) in &pairs {
+                    if ctx
+                        .working
+                        .relation_mut(relation)?
+                        .insert_unchecked(new_t.clone())
+                    {
+                        ctx.note_insert(relation, new_t);
+                    }
+                }
+                Ok(())
+            }),
+            Statement::Alarm(expr) => {
+                self.stats.alarms_evaluated += 1;
+                let rel = match evaluate(expr, self) {
+                    Ok(rel) => rel,
+                    Err(e) => return Err(AbortReason::RuntimeError(e)),
+                };
+                if rel.is_empty() {
+                    Ok(())
+                } else {
+                    self.stats.alarms_fired += 1;
+                    Err(AbortReason::AlarmFired {
+                        expr: expr.to_string(),
+                        violations: rel.len(),
+                    })
+                }
+            }
+            Statement::Abort => Err(AbortReason::ExplicitAbort),
+        }
+    }
+
+    fn run(
+        &mut self,
+        f: impl FnOnce(&mut TxContext) -> Result<()>,
+    ) -> std::result::Result<(), AbortReason> {
+        f(self).map_err(AbortReason::RuntimeError)
+    }
+}
+
+impl SchemaView for TxContext {
+    fn schema_of(&self, name: &str) -> Result<Arc<RelationSchema>> {
+        if let Some(t) = self.temps.get(name) {
+            return Ok(t.schema().clone());
+        }
+        if let Some((base, _)) = auxiliary::parse_auxiliary(name) {
+            return Ok(self.snapshot.relation(base)?.schema().clone());
+        }
+        Ok(self.working.relation(name)?.schema().clone())
+    }
+}
+
+impl EvalContext for TxContext {
+    fn relation_state(&self, name: &str) -> Result<&Relation> {
+        if let Some(t) = self.temps.get(name) {
+            return Ok(t);
+        }
+        if let Some((base, kind)) = auxiliary::parse_auxiliary(name) {
+            // Ensure the base actually exists before answering delta reads.
+            let _ = self.snapshot.relation(base)?;
+            return match kind {
+                AuxKind::Pre => Ok(self.snapshot.relation(base)?),
+                AuxKind::Ins => Ok(&self.ins[base]),
+                AuxKind::Del => Ok(&self.del[base]),
+            };
+        }
+        Ok(self.working.relation(name)?)
+    }
+}
+
+/// The transaction executor: runs bracketed programs against a database
+/// with full atomicity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor;
+
+impl Executor {
+    /// Execute `tx` against `db`.
+    ///
+    /// On commit the working state (minus temporaries) is installed and the
+    /// logical time advances. On abort — alarm fired, explicit `abort`, or
+    /// runtime error — `db` is left exactly as it was (the paper installs
+    /// `D^t` as `D^{t+1}`; we advance the logical clock in both cases).
+    pub fn execute(&self, db: &mut Database, tx: &Transaction) -> TxOutcome {
+        let program = tx.debracket();
+        let mut ctx = TxContext::begin(db);
+        for stmt in program.statements() {
+            if let Err(reason) = ctx.execute_statement(stmt) {
+                let stats = ctx.stats;
+                db.tick(); // abort installs D^t as D^{t+1}
+                return TxOutcome::Aborted { reason, stats };
+            }
+        }
+        // End bracket: remove temporaries, install [D^{t,n}] as D^{t+1}.
+        let TxContext { working, stats, .. } = ctx;
+        *db = working;
+        db.tick();
+        TxOutcome::Committed(stats)
+    }
+
+    /// Execute and also return the transition `(D^t, D^{t+1})` for
+    /// transition-constraint checking by callers (ground-truth tests).
+    pub fn execute_with_transition(
+        &self,
+        db: &mut Database,
+        tx: &Transaction,
+    ) -> (TxOutcome, tm_relational::Transition) {
+        let before = db.clone();
+        let outcome = self.execute(db, tx);
+        let transition = tm_relational::Transition::new(before, db.clone());
+        (outcome, transition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, ScalarExpr};
+    use crate::program::Program;
+    use crate::rel_expr::RelExpr;
+    use tm_relational::{DatabaseSchema, RelationSchema, ValueType};
+
+    fn db() -> Database {
+        let schema = DatabaseSchema::from_relations(vec![
+            RelationSchema::of("r", &[("a", ValueType::Int), ("b", ValueType::Str)]),
+            RelationSchema::of("s", &[("x", ValueType::Int)]),
+        ])
+        .unwrap();
+        let mut db = Database::new(schema.into_shared());
+        db.insert("r", Tuple::of((1, "one"))).unwrap();
+        db.insert("s", Tuple::of((10,))).unwrap();
+        db
+    }
+
+    fn exec(db: &mut Database, stmts: Vec<Statement>) -> TxOutcome {
+        Executor.execute(db, &Program::new(stmts).bracket())
+    }
+
+    #[test]
+    fn commit_installs_changes() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![Statement::insert_tuples("r", vec![Tuple::of((2, "two"))])],
+        );
+        assert!(out.is_committed());
+        assert_eq!(d.relation("r").unwrap().len(), 2);
+        assert_eq!(d.logical_time(), 1);
+        assert_eq!(out.stats().tuples_inserted, 1);
+    }
+
+    #[test]
+    fn abort_restores_state() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![
+                Statement::insert_tuples("r", vec![Tuple::of((2, "two"))]),
+                Statement::Abort,
+            ],
+        );
+        assert!(!out.is_committed());
+        assert_eq!(d.relation("r").unwrap().len(), 1);
+        assert_eq!(d.logical_time(), 1); // time still advances
+    }
+
+    #[test]
+    fn alarm_empty_is_noop() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![Statement::Alarm(
+                RelExpr::relation("r").select(ScalarExpr::false_()),
+            )],
+        );
+        assert!(out.is_committed());
+        assert_eq!(out.stats().alarms_evaluated, 1);
+        assert_eq!(out.stats().alarms_fired, 0);
+    }
+
+    #[test]
+    fn alarm_nonempty_aborts() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![
+                Statement::insert_tuples("r", vec![Tuple::of((2, "two"))]),
+                Statement::Alarm(RelExpr::relation("r")),
+            ],
+        );
+        match out {
+            TxOutcome::Aborted {
+                reason: AbortReason::AlarmFired { violations, .. },
+                stats,
+            } => {
+                assert_eq!(violations, 2);
+                assert_eq!(stats.alarms_fired, 1);
+            }
+            other => panic!("expected alarm abort, got {other:?}"),
+        }
+        assert_eq!(d.relation("r").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn temporaries_are_dropped_on_commit() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![
+                Statement::Assign {
+                    target: "temp".into(),
+                    expr: RelExpr::relation("r"),
+                },
+                Statement::Insert {
+                    relation: "r".into(),
+                    source: RelExpr::relation("temp").project(vec![
+                        ScalarExpr::arith(
+                            crate::expr::ArithOp::Add,
+                            ScalarExpr::col(0),
+                            ScalarExpr::int(100),
+                        ),
+                        ScalarExpr::col(1),
+                    ]),
+                },
+            ],
+        );
+        assert!(out.is_committed());
+        assert!(d.relation("r").unwrap().contains(&Tuple::of((101, "one"))));
+        // temp does not survive the transaction
+        assert!(d.relation("temp").is_err());
+    }
+
+    #[test]
+    fn assign_to_base_is_error() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![Statement::Assign {
+                target: "r".into(),
+                expr: RelExpr::relation("s"),
+            }],
+        );
+        assert!(matches!(
+            out,
+            TxOutcome::Aborted {
+                reason: AbortReason::RuntimeError(AlgebraError::AssignToBase(_)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn auxiliary_relations_read_only() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![Statement::insert_tuples("r@ins", vec![Tuple::of((1, "x"))])],
+        );
+        assert!(matches!(
+            out,
+            TxOutcome::Aborted {
+                reason: AbortReason::RuntimeError(AlgebraError::AuxiliaryUpdate(_)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn pre_state_visible_during_transaction() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![
+                Statement::delete_where("r", ScalarExpr::true_()),
+                // r is now empty, but r@pre still holds the old tuple;
+                // alarm(r@pre − r@pre) must not fire while alarm on the
+                // difference of r@pre and r fires on 1 tuple? No —
+                // we assert commit by alarming on an empty difference.
+                Statement::Alarm(
+                    RelExpr::relation("r@pre").difference(RelExpr::relation("r@pre")),
+                ),
+                Statement::insert_tuples("r", vec![Tuple::of((5, "five"))]),
+            ],
+        );
+        assert!(out.is_committed());
+        assert_eq!(d.relation("r").unwrap().len(), 1);
+        assert!(d.relation("r").unwrap().contains(&Tuple::of((5, "five"))));
+    }
+
+    #[test]
+    fn differentials_track_net_changes() {
+        let mut d = db();
+        // Insert then delete the same tuple: net differentials are empty.
+        let out = exec(
+            &mut d,
+            vec![
+                Statement::insert_tuples("r", vec![Tuple::of((2, "two"))]),
+                Statement::Delete {
+                    relation: "r".into(),
+                    source: RelExpr::Literal(vec![Tuple::of((2, "two"))]),
+                },
+                Statement::Alarm(RelExpr::relation("r@ins")),
+                Statement::Alarm(RelExpr::relation("r@del")),
+            ],
+        );
+        assert!(out.is_committed(), "net-zero change must not alarm: {out:?}");
+    }
+
+    #[test]
+    fn differential_delete_then_insert_cancels() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![
+                Statement::Delete {
+                    relation: "r".into(),
+                    source: RelExpr::Literal(vec![Tuple::of((1, "one"))]),
+                },
+                Statement::insert_tuples("r", vec![Tuple::of((1, "one"))]),
+                Statement::Alarm(RelExpr::relation("r@ins")),
+                Statement::Alarm(RelExpr::relation("r@del")),
+            ],
+        );
+        assert!(out.is_committed(), "{out:?}");
+    }
+
+    #[test]
+    fn differential_ins_visible() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![
+                Statement::insert_tuples("r", vec![Tuple::of((2, "two"))]),
+                // r@ins = {(2,two)} — alarm fires.
+                Statement::Alarm(RelExpr::relation("r@ins")),
+            ],
+        );
+        match out {
+            TxOutcome::Aborted {
+                reason: AbortReason::AlarmFired { violations, .. },
+                ..
+            } => assert_eq!(violations, 1),
+            other => panic!("expected alarm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_is_delete_plus_insert() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![Statement::Update {
+                relation: "s".into(),
+                pred: ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::int(10)),
+                set: vec![crate::program::UpdateAssignment::new(
+                    0,
+                    ScalarExpr::arith(
+                        crate::expr::ArithOp::Add,
+                        ScalarExpr::col(0),
+                        ScalarExpr::int(1),
+                    ),
+                )],
+            }],
+        );
+        assert!(out.is_committed());
+        assert!(d.relation("s").unwrap().contains(&Tuple::of((11,))));
+        assert!(!d.relation("s").unwrap().contains(&Tuple::of((10,))));
+        assert_eq!(out.stats().tuples_inserted, 1);
+        assert_eq!(out.stats().tuples_deleted, 1);
+    }
+
+    #[test]
+    fn runtime_error_aborts_atomically() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![
+                Statement::insert_tuples("r", vec![Tuple::of((2, "two"))]),
+                Statement::Insert {
+                    relation: "nonexistent".into(),
+                    source: RelExpr::relation("r"),
+                },
+            ],
+        );
+        assert!(!out.is_committed());
+        assert_eq!(d.relation("r").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn insert_validates_against_base_schema() {
+        let mut d = db();
+        let out = exec(
+            &mut d,
+            vec![Statement::insert_tuples("s", vec![Tuple::of(("wrong",))])],
+        );
+        assert!(matches!(
+            out,
+            TxOutcome::Aborted {
+                reason: AbortReason::RuntimeError(AlgebraError::Relational(_)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn transition_reporting() {
+        let mut d = db();
+        let (out, tr) = Executor.execute_with_transition(
+            &mut d,
+            &Program::new(vec![Statement::insert_tuples(
+                "s",
+                vec![Tuple::of((20,))],
+            )])
+            .bracket(),
+        );
+        assert!(out.is_committed());
+        assert!(!tr.is_identity());
+        assert_eq!(tr.before.relation("s").unwrap().len(), 1);
+        assert_eq!(tr.after.relation("s").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn aborted_transition_is_identity() {
+        let mut d = db();
+        let (out, tr) = Executor.execute_with_transition(
+            &mut d,
+            &Program::new(vec![
+                Statement::insert_tuples("s", vec![Tuple::of((20,))]),
+                Statement::Abort,
+            ])
+            .bracket(),
+        );
+        assert!(!out.is_committed());
+        assert!(tr.is_identity());
+    }
+}

@@ -1,0 +1,431 @@
+//! Scalar expressions: the terms and predicates of the extended algebra.
+//!
+//! A [`ScalarExpr`] is evaluated against an *input tuple* (for selection
+//! predicates this is a tuple of the input relation; for join predicates it
+//! is the concatenation of the left and right tuples) and an evaluation
+//! context that resolves relation names for aggregate subexpressions.
+//!
+//! Attributes are referenced by **absolute zero-based offset** into the
+//! input tuple ([`ScalarExpr::Col`]). The calculus→algebra translator in
+//! `tm-translate` maps CL tuple variables and 1-based attribute selections
+//! (`x.i`) onto these offsets.
+
+use std::fmt;
+
+use tm_relational::{Value, ValueType};
+
+use crate::rel_expr::RelExpr;
+
+/// Binary arithmetic operators — the value function symbols
+/// `FV = {+, -, *, /}` of Definition 4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (errors on division by zero).
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Comparison operators — the value predicate symbols
+/// `PV = {<, ≤, =, ≠, ≥, >}` of Definition 4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `≥`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl CmpOp {
+    /// The negated comparison (`¬(a < b) ⇔ a ≥ b` …). Used by predicate
+    /// simplification in the rule optimizer.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Gt => CmpOp::Le,
+        }
+    }
+
+    /// The mirrored comparison (`a < b ⇔ b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Eq | CmpOp::Ne => self,
+        }
+    }
+
+    /// Apply the comparison to an [`std::cmp::Ordering`].
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less | Equal)
+                | (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less | Greater)
+                | (CmpOp::Ge, Greater | Equal)
+                | (CmpOp::Gt, Greater)
+        )
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Aggregate function symbols — `FA = {SUM, AVG, MIN, MAX}` plus the
+/// counting function `CNT` of Definition 4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Sum of a numeric column.
+    Sum,
+    /// Average of a numeric column (always a double).
+    Avg,
+    /// Minimum of a column.
+    Min,
+    /// Maximum of a column.
+    Max,
+}
+
+impl AggFunc {
+    /// Parser/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A scalar expression over an input tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// A constant value.
+    Const(Value),
+    /// The value at an absolute zero-based offset in the input tuple.
+    Col(usize),
+    /// Binary arithmetic.
+    Arith(ArithOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Comparison producing a boolean; numeric comparisons mix int/double.
+    Cmp(CmpOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Logical conjunction.
+    And(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Logical disjunction.
+    Or(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Logical negation.
+    Not(Box<ScalarExpr>),
+    /// Null test (compensating actions insert nulls; rules may test them).
+    IsNull(Box<ScalarExpr>),
+    /// Aggregate function application `AGGR(E, i)` over a relational
+    /// subexpression (Definition 4.2's aggregate terms, generalised from
+    /// relation constants to expressions as §5.2.2 requires).
+    Agg(AggFunc, Box<RelExpr>, usize),
+    /// Counting function application `CNT(E)`.
+    Cnt(Box<RelExpr>),
+}
+
+impl ScalarExpr {
+    /// Boolean constant `true`.
+    pub fn true_() -> ScalarExpr {
+        ScalarExpr::Const(Value::Bool(true))
+    }
+
+    /// Boolean constant `false`.
+    pub fn false_() -> ScalarExpr {
+        ScalarExpr::Const(Value::Bool(false))
+    }
+
+    /// Integer constant.
+    pub fn int(v: i64) -> ScalarExpr {
+        ScalarExpr::Const(Value::Int(v))
+    }
+
+    /// String constant.
+    pub fn str(v: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Const(Value::Str(v.into()))
+    }
+
+    /// Double constant.
+    pub fn double(v: f64) -> ScalarExpr {
+        ScalarExpr::Const(Value::double(v))
+    }
+
+    /// Column reference.
+    pub fn col(i: usize) -> ScalarExpr {
+        ScalarExpr::Col(i)
+    }
+
+    /// Comparison node.
+    pub fn cmp(op: CmpOp, l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Cmp(op, Box::new(l), Box::new(r))
+    }
+
+    /// Equality comparison of two columns — the common equi-join predicate.
+    pub fn col_eq(l: usize, r: usize) -> ScalarExpr {
+        ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::Col(l), ScalarExpr::Col(r))
+    }
+
+    /// Conjunction node.
+    pub fn and(l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::And(Box::new(l), Box::new(r))
+    }
+
+    /// Disjunction node.
+    pub fn or(l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Or(Box::new(l), Box::new(r))
+    }
+
+    /// Negation node.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Not(Box::new(e))
+    }
+
+    /// Arithmetic node.
+    pub fn arith(op: ArithOp, l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Arith(op, Box::new(l), Box::new(r))
+    }
+
+    /// Shift every column reference by `delta` (used when an expression
+    /// over a right join input moves into a concatenated-tuple context).
+    pub fn shift_cols(&self, delta: usize) -> ScalarExpr {
+        match self {
+            ScalarExpr::Const(v) => ScalarExpr::Const(v.clone()),
+            ScalarExpr::Col(i) => ScalarExpr::Col(i + delta),
+            ScalarExpr::Arith(op, l, r) => {
+                ScalarExpr::arith(*op, l.shift_cols(delta), r.shift_cols(delta))
+            }
+            ScalarExpr::Cmp(op, l, r) => {
+                ScalarExpr::cmp(*op, l.shift_cols(delta), r.shift_cols(delta))
+            }
+            ScalarExpr::And(l, r) => ScalarExpr::and(l.shift_cols(delta), r.shift_cols(delta)),
+            ScalarExpr::Or(l, r) => ScalarExpr::or(l.shift_cols(delta), r.shift_cols(delta)),
+            ScalarExpr::Not(e) => ScalarExpr::not(e.shift_cols(delta)),
+            ScalarExpr::IsNull(e) => ScalarExpr::IsNull(Box::new(e.shift_cols(delta))),
+            // Aggregate subexpressions are closed over their own relation;
+            // column offsets inside them do not refer to the outer tuple.
+            ScalarExpr::Agg(..) | ScalarExpr::Cnt(..) => self.clone(),
+        }
+    }
+
+    /// The largest column offset referenced by this expression (ignoring
+    /// aggregate subexpressions, which are closed), or `None` if no column
+    /// is referenced.
+    pub fn max_col(&self) -> Option<usize> {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Agg(..) | ScalarExpr::Cnt(..) => None,
+            ScalarExpr::Col(i) => Some(*i),
+            ScalarExpr::Arith(_, l, r) | ScalarExpr::Cmp(_, l, r) => {
+                max_opt(l.max_col(), r.max_col())
+            }
+            ScalarExpr::And(l, r) | ScalarExpr::Or(l, r) => max_opt(l.max_col(), r.max_col()),
+            ScalarExpr::Not(e) | ScalarExpr::IsNull(e) => e.max_col(),
+        }
+    }
+
+    /// Infer the result type given the input column types. Unknown cases
+    /// (e.g. a bare `null` constant) default to `Int`; derived relation
+    /// schemas are documentation, and values are validated only when they
+    /// enter a *base* relation.
+    pub fn infer_type(&self, cols: &[ValueType]) -> ValueType {
+        match self {
+            ScalarExpr::Const(v) => v.value_type().unwrap_or(ValueType::Int),
+            ScalarExpr::Col(i) => cols.get(*i).copied().unwrap_or(ValueType::Int),
+            ScalarExpr::Arith(_, l, r) => {
+                if l.infer_type(cols) == ValueType::Double
+                    || r.infer_type(cols) == ValueType::Double
+                {
+                    ValueType::Double
+                } else {
+                    ValueType::Int
+                }
+            }
+            ScalarExpr::Cmp(..)
+            | ScalarExpr::And(..)
+            | ScalarExpr::Or(..)
+            | ScalarExpr::Not(..)
+            | ScalarExpr::IsNull(..) => ValueType::Bool,
+            ScalarExpr::Agg(f, _, _) => match f {
+                AggFunc::Avg => ValueType::Double,
+                // SUM/MIN/MAX inherit the column type; without resolving the
+                // subexpression schema here we default to Int, which the
+                // evaluator corrects at runtime.
+                _ => ValueType::Int,
+            },
+            ScalarExpr::Cnt(_) => ValueType::Int,
+        }
+    }
+
+    /// Whether the expression contains aggregate or counting subterms.
+    pub fn has_aggregates(&self) -> bool {
+        match self {
+            ScalarExpr::Agg(..) | ScalarExpr::Cnt(..) => true,
+            ScalarExpr::Const(_) | ScalarExpr::Col(_) => false,
+            ScalarExpr::Arith(_, l, r) | ScalarExpr::Cmp(_, l, r) => {
+                l.has_aggregates() || r.has_aggregates()
+            }
+            ScalarExpr::And(l, r) | ScalarExpr::Or(l, r) => {
+                l.has_aggregates() || r.has_aggregates()
+            }
+            ScalarExpr::Not(e) | ScalarExpr::IsNull(e) => e.has_aggregates(),
+        }
+    }
+}
+
+fn max_opt(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Const(v) => write!(f, "{v}"),
+            ScalarExpr::Col(i) => write!(f, "#{i}"),
+            ScalarExpr::Arith(op, l, r) => write!(f, "({l} {op} {r})"),
+            ScalarExpr::Cmp(op, l, r) => write!(f, "({l} {op} {r})"),
+            ScalarExpr::And(l, r) => write!(f, "({l} and {r})"),
+            ScalarExpr::Or(l, r) => write!(f, "({l} or {r})"),
+            ScalarExpr::Not(e) => write!(f, "not {e}"),
+            ScalarExpr::IsNull(e) => write!(f, "isnull({e})"),
+            ScalarExpr::Agg(func, rel, col) => write!(f, "{func}({rel}, {col})"),
+            ScalarExpr::Cnt(rel) => write!(f, "CNT({rel})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_negate_flip() {
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Ge, CmpOp::Gt] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_test_orderings() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Lt.test(Less));
+        assert!(!CmpOp::Lt.test(Equal));
+        assert!(CmpOp::Le.test(Equal));
+        assert!(CmpOp::Ne.test(Greater));
+        assert!(!CmpOp::Ne.test(Equal));
+        assert!(CmpOp::Ge.test(Greater));
+    }
+
+    #[test]
+    fn shift_cols_ignores_aggregates() {
+        let e = ScalarExpr::and(
+            ScalarExpr::col_eq(0, 2),
+            ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::Cnt(Box::new(RelExpr::relation("r"))),
+                ScalarExpr::int(0),
+            ),
+        );
+        let shifted = e.shift_cols(3);
+        assert_eq!(shifted.max_col(), Some(5));
+        // The CNT subterm must be untouched.
+        let rendered = shifted.to_string();
+        assert!(rendered.contains("CNT(r)"));
+        assert!(rendered.contains("#3"));
+    }
+
+    #[test]
+    fn max_col_and_inference() {
+        let e = ScalarExpr::cmp(
+            CmpOp::Ge,
+            ScalarExpr::col(3),
+            ScalarExpr::double(0.0),
+        );
+        assert_eq!(e.max_col(), Some(3));
+        assert_eq!(
+            e.infer_type(&[ValueType::Str, ValueType::Str, ValueType::Str, ValueType::Double]),
+            ValueType::Bool
+        );
+        let a = ScalarExpr::arith(ArithOp::Add, ScalarExpr::col(0), ScalarExpr::int(1));
+        assert_eq!(a.infer_type(&[ValueType::Int]), ValueType::Int);
+        assert_eq!(a.infer_type(&[ValueType::Double]), ValueType::Double);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        assert!(ScalarExpr::Cnt(Box::new(RelExpr::relation("r"))).has_aggregates());
+        assert!(!ScalarExpr::col(0).has_aggregates());
+        let nested = ScalarExpr::not(ScalarExpr::cmp(
+            CmpOp::Eq,
+            ScalarExpr::Agg(AggFunc::Sum, Box::new(RelExpr::relation("r")), 0),
+            ScalarExpr::int(10),
+        ));
+        assert!(nested.has_aggregates());
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let e = ScalarExpr::and(
+            ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(0), ScalarExpr::int(5)),
+            ScalarExpr::not(ScalarExpr::IsNull(Box::new(ScalarExpr::col(1)))),
+        );
+        assert_eq!(e.to_string(), "((#0 < 5) and not isnull(#1))");
+    }
+}

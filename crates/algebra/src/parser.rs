@@ -1,0 +1,748 @@
+//! Textual syntax for extended relational algebra programs.
+//!
+//! The paper writes rule actions as algebra programs, e.g. R2's
+//! compensating action (Example 4.2):
+//!
+//! ```text
+//! temp := minus(project[#2](beer), project[#0](brewery));
+//! insert(brewery, project[#0, null, null](temp))
+//! ```
+//!
+//! Grammar (statements separated by `;`, trailing `;` allowed):
+//!
+//! ```text
+//! stmt    := IDENT ':=' relexpr
+//!          | 'insert' '(' IDENT ',' relexpr ')'
+//!          | 'delete' '(' IDENT ',' relexpr ')'
+//!          | 'alarm' '(' relexpr ')'
+//!          | 'abort'
+//! relexpr := IDENT                                  -- relation (incl. R@pre/R@ins/R@del)
+//!          | 'select'   '[' scalar ']' '(' relexpr ')'
+//!          | 'project'  '[' scalar {',' scalar} ']' '(' relexpr ')'
+//!          | 'join'     '[' scalar ']' '(' relexpr ',' relexpr ')'
+//!          | 'semijoin' '[' scalar ']' '(' relexpr ',' relexpr ')'
+//!          | 'antijoin' '[' scalar ']' '(' relexpr ',' relexpr ')'
+//!          | 'union' | 'minus' | 'intersect' | 'times' '(' relexpr ',' relexpr ')'
+//!          | '{' tuple {',' tuple} '}'              -- literal relation
+//!          | '<' scalar {',' scalar} '>'            -- singleton relation
+//! scalar  := disjunction of conjunctions of comparisons over terms;
+//!            terms: '#N' column refs, literals, arithmetic, 'cnt(relexpr)',
+//!            'sum(relexpr, N)' / 'avg' / 'min' / 'max', 'isnull(scalar)'
+//! tuple   := '(' literal {',' literal} ')'
+//! ```
+
+use tm_relational::{Tuple, Value};
+
+use crate::error::{AlgebraError, Result};
+use crate::expr::{AggFunc, ArithOp, CmpOp, ScalarExpr};
+use crate::program::{Program, Statement};
+use crate::rel_expr::RelExpr;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Col(usize),
+    Int(i64),
+    Double(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Comma,
+    Semi,
+    Assign,
+}
+
+fn parse_err(offset: usize, message: impl Into<String>) -> AlgebraError {
+    AlgebraError::TypeError(format!("parse error at offset {offset}: {}", message.into()))
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((Tok::LParen, start));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, start));
+                i += 1;
+            }
+            '[' => {
+                out.push((Tok::LBracket, start));
+                i += 1;
+            }
+            ']' => {
+                out.push((Tok::RBracket, start));
+                i += 1;
+            }
+            '{' => {
+                out.push((Tok::LBrace, start));
+                i += 1;
+            }
+            '}' => {
+                out.push((Tok::RBrace, start));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, start));
+                i += 1;
+            }
+            ';' => {
+                out.push((Tok::Semi, start));
+                i += 1;
+            }
+            '+' => {
+                out.push((Tok::Plus, start));
+                i += 1;
+            }
+            '-' => {
+                out.push((Tok::Minus, start));
+                i += 1;
+            }
+            '*' => {
+                out.push((Tok::Star, start));
+                i += 1;
+            }
+            '/' => {
+                out.push((Tok::Slash, start));
+                i += 1;
+            }
+            '#' => {
+                let mut j = i + 1;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(parse_err(start, "expected column number after `#`"));
+                }
+                let n: usize = src[i + 1..j]
+                    .parse()
+                    .map_err(|_| parse_err(start, "bad column number"))?;
+                out.push((Tok::Col(n), start));
+                i = j;
+            }
+            ':' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Assign, start));
+                    i += 2;
+                } else {
+                    return Err(parse_err(start, "expected `:=`"));
+                }
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Le, start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Lt, start));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Ge, start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Gt, start));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push((Tok::Eq, start));
+                i += 1;
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Ne, start));
+                    i += 2;
+                } else {
+                    return Err(parse_err(start, "expected `!=`"));
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(j) {
+                        Some(&ch) if ch as char == quote => break,
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            j += 1;
+                        }
+                        None => return Err(parse_err(start, "unterminated string")),
+                    }
+                }
+                out.push((Tok::Str(s), start));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j + 1 < b.len() && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+                    let mut k = j + 1;
+                    while k < b.len() && b[k].is_ascii_digit() {
+                        k += 1;
+                    }
+                    let v: f64 = src[i..k]
+                        .parse()
+                        .map_err(|_| parse_err(start, "bad double"))?;
+                    out.push((Tok::Double(v), start));
+                    i = k;
+                } else {
+                    let v: i64 = src[i..j]
+                        .parse()
+                        .map_err(|_| parse_err(start, "bad integer"))?;
+                    out.push((Tok::Int(v), start));
+                    i = j;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len()
+                    && ((b[j] as char).is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'@')
+                {
+                    j += 1;
+                }
+                out.push((Tok::Ident(src[i..j].to_owned()), start));
+                i = j;
+            }
+            other => return Err(parse_err(start, format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    len: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.0)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|t| t.1).unwrap_or(self.len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.0.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(parse_err(self.offset(), format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(parse_err(self.offset(), format!("expected {what}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        let name = self.ident("statement keyword or temporary name")?;
+        match name.as_str() {
+            "abort" => Ok(Statement::Abort),
+            "alarm" => {
+                self.expect(&Tok::LParen, "`(`")?;
+                let e = self.relexpr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(Statement::Alarm(e))
+            }
+            "insert" | "delete" => {
+                self.expect(&Tok::LParen, "`(`")?;
+                let rel = self.ident("relation name")?;
+                self.expect(&Tok::Comma, "`,`")?;
+                let e = self.relexpr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(if name == "insert" {
+                    Statement::Insert {
+                        relation: rel,
+                        source: e,
+                    }
+                } else {
+                    Statement::Delete {
+                        relation: rel,
+                        source: e,
+                    }
+                })
+            }
+            _ => {
+                self.expect(&Tok::Assign, "`:=` after temporary name")?;
+                let e = self.relexpr()?;
+                Ok(Statement::Assign {
+                    target: name,
+                    expr: e,
+                })
+            }
+        }
+    }
+
+    fn relexpr(&mut self) -> Result<RelExpr> {
+        match self.peek().cloned() {
+            Some(Tok::LBrace) => {
+                self.pos += 1;
+                let mut tuples = Vec::new();
+                loop {
+                    tuples.push(self.tuple_literal()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RBrace, "`}`")?;
+                Ok(RelExpr::Literal(tuples))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                match name.as_str() {
+                    "row" => {
+                        self.expect(&Tok::LParen, "`(` after row")?;
+                        let mut exprs = vec![self.scalar()?];
+                        while self.eat(&Tok::Comma) {
+                            exprs.push(self.scalar()?);
+                        }
+                        self.expect(&Tok::RParen, "`)` closing row")?;
+                        Ok(RelExpr::Singleton(exprs))
+                    }
+                    "select" | "project" | "join" | "semijoin" | "antijoin" => {
+                        self.expect(&Tok::LBracket, "`[`")?;
+                        let mut exprs = vec![self.scalar()?];
+                        while self.eat(&Tok::Comma) {
+                            exprs.push(self.scalar()?);
+                        }
+                        self.expect(&Tok::RBracket, "`]`")?;
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let first = self.relexpr()?;
+                        let result = match name.as_str() {
+                            "select" => {
+                                if exprs.len() != 1 {
+                                    return Err(parse_err(
+                                        self.offset(),
+                                        "select takes exactly one predicate",
+                                    ));
+                                }
+                                RelExpr::Select(Box::new(first), exprs.pop().expect("len 1"))
+                            }
+                            "project" => RelExpr::Project(Box::new(first), exprs),
+                            _ => {
+                                self.expect(&Tok::Comma, "`,` between join inputs")?;
+                                let second = self.relexpr()?;
+                                if exprs.len() != 1 {
+                                    return Err(parse_err(
+                                        self.offset(),
+                                        "joins take exactly one predicate",
+                                    ));
+                                }
+                                let pred = exprs.pop().expect("len 1");
+                                match name.as_str() {
+                                    "join" => first.join(second, pred),
+                                    "semijoin" => first.semi_join(second, pred),
+                                    _ => first.anti_join(second, pred),
+                                }
+                            }
+                        };
+                        self.expect(&Tok::RParen, "`)`")?;
+                        Ok(result)
+                    }
+                    "union" | "minus" | "intersect" | "times" => {
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let l = self.relexpr()?;
+                        self.expect(&Tok::Comma, "`,`")?;
+                        let r = self.relexpr()?;
+                        self.expect(&Tok::RParen, "`)`")?;
+                        Ok(match name.as_str() {
+                            "union" => l.union(r),
+                            "minus" => l.difference(r),
+                            "intersect" => l.intersect(r),
+                            _ => l.product(r),
+                        })
+                    }
+                    _ => Ok(RelExpr::Rel(name)),
+                }
+            }
+            _ => Err(parse_err(self.offset(), "expected relational expression")),
+        }
+    }
+
+    fn tuple_literal(&mut self) -> Result<Tuple> {
+        self.expect(&Tok::LParen, "`(` opening tuple")?;
+        let mut values = vec![self.value_literal()?];
+        while self.eat(&Tok::Comma) {
+            values.push(self.value_literal()?);
+        }
+        self.expect(&Tok::RParen, "`)` closing tuple")?;
+        Ok(Tuple::from_values(values))
+    }
+
+    fn value_literal(&mut self) -> Result<Value> {
+        let negative = self.eat(&Tok::Minus);
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Value::Int(if negative { -v } else { v })),
+            Some(Tok::Double(v)) => Ok(Value::double(if negative { -v } else { v })),
+            Some(Tok::Str(s)) if !negative => Ok(Value::Str(s)),
+            Some(Tok::Ident(k)) if !negative => match k.as_str() {
+                "null" => Ok(Value::Null),
+                "true" => Ok(Value::Bool(true)),
+                "false" => Ok(Value::Bool(false)),
+                _ => Err(parse_err(self.offset(), format!("unexpected `{k}` in tuple"))),
+            },
+            _ => Err(parse_err(self.offset(), "expected literal value")),
+        }
+    }
+
+    // scalar := or_expr
+    fn scalar(&mut self) -> Result<ScalarExpr> {
+        let mut e = self.scalar_and()?;
+        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "or") {
+            self.pos += 1;
+            let r = self.scalar_and()?;
+            e = ScalarExpr::or(e, r);
+        }
+        Ok(e)
+    }
+
+    fn scalar_and(&mut self) -> Result<ScalarExpr> {
+        let mut e = self.scalar_not()?;
+        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "and") {
+            self.pos += 1;
+            let r = self.scalar_not()?;
+            e = ScalarExpr::and(e, r);
+        }
+        Ok(e)
+    }
+
+    fn scalar_not(&mut self) -> Result<ScalarExpr> {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == "not") {
+            self.pos += 1;
+            return Ok(ScalarExpr::not(self.scalar_not()?));
+        }
+        self.scalar_cmp()
+    }
+
+    fn scalar_cmp(&mut self) -> Result<ScalarExpr> {
+        let l = self.scalar_term()?;
+        let op = match self.peek() {
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Eq) => Some(CmpOp::Eq),
+            Some(Tok::Ne) => Some(CmpOp::Ne),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let r = self.scalar_term()?;
+                Ok(ScalarExpr::cmp(op, l, r))
+            }
+            None => Ok(l),
+        }
+    }
+
+    fn scalar_term(&mut self) -> Result<ScalarExpr> {
+        let mut e = self.scalar_factor()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                let r = self.scalar_factor()?;
+                e = ScalarExpr::arith(ArithOp::Add, e, r);
+            } else if self.eat(&Tok::Minus) {
+                let r = self.scalar_factor()?;
+                e = ScalarExpr::arith(ArithOp::Sub, e, r);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn scalar_factor(&mut self) -> Result<ScalarExpr> {
+        let mut e = self.scalar_primary()?;
+        loop {
+            if self.eat(&Tok::Star) {
+                let r = self.scalar_primary()?;
+                e = ScalarExpr::arith(ArithOp::Mul, e, r);
+            } else if self.eat(&Tok::Slash) {
+                let r = self.scalar_primary()?;
+                e = ScalarExpr::arith(ArithOp::Div, e, r);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn scalar_primary(&mut self) -> Result<ScalarExpr> {
+        match self.peek().cloned() {
+            Some(Tok::Col(n)) => {
+                self.pos += 1;
+                Ok(ScalarExpr::Col(n))
+            }
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(ScalarExpr::int(v))
+            }
+            Some(Tok::Double(v)) => {
+                self.pos += 1;
+                Ok(ScalarExpr::double(v))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(ScalarExpr::str(s))
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                let e = self.scalar_primary()?;
+                Ok(match e {
+                    ScalarExpr::Const(Value::Int(v)) => ScalarExpr::int(-v),
+                    ScalarExpr::Const(Value::Double(v)) => ScalarExpr::double(-v),
+                    other => ScalarExpr::arith(ArithOp::Sub, ScalarExpr::int(0), other),
+                })
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.scalar()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                // Aggregate keywords are case-insensitive: the paper writes
+                // `CNT`, rule actions commonly use lowercase.
+                match name.to_ascii_lowercase().as_str() {
+                    "null" => Ok(ScalarExpr::Const(Value::Null)),
+                    "true" => Ok(ScalarExpr::true_()),
+                    "false" => Ok(ScalarExpr::false_()),
+                    "isnull" => {
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let e = self.scalar()?;
+                        self.expect(&Tok::RParen, "`)`")?;
+                        Ok(ScalarExpr::IsNull(Box::new(e)))
+                    }
+                    "cnt" => {
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let e = self.relexpr()?;
+                        self.expect(&Tok::RParen, "`)`")?;
+                        Ok(ScalarExpr::Cnt(Box::new(e)))
+                    }
+                    "sum" | "avg" | "min" | "max" => {
+                        let func = match name.to_ascii_lowercase().as_str() {
+                            "sum" => AggFunc::Sum,
+                            "avg" => AggFunc::Avg,
+                            "min" => AggFunc::Min,
+                            _ => AggFunc::Max,
+                        };
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let e = self.relexpr()?;
+                        self.expect(&Tok::Comma, "`,`")?;
+                        let col = match self.bump() {
+                            Some(Tok::Int(i)) if i >= 0 => i as usize,
+                            _ => {
+                                return Err(parse_err(
+                                    self.offset(),
+                                    "expected 0-based column index",
+                                ))
+                            }
+                        };
+                        self.expect(&Tok::RParen, "`)`")?;
+                        Ok(ScalarExpr::Agg(func, Box::new(e), col))
+                    }
+                    other => Err(parse_err(
+                        self.offset(),
+                        format!("unexpected identifier `{other}` in scalar expression"),
+                    )),
+                }
+            }
+            _ => Err(parse_err(self.offset(), "expected scalar expression")),
+        }
+    }
+}
+
+/// Parse a program: statements separated by `;` (trailing `;` allowed).
+pub fn parse_program(src: &str) -> Result<Program> {
+    let toks = lex(src)?;
+    let mut p = P {
+        toks,
+        pos: 0,
+        len: src.len(),
+    };
+    let mut stmts = Vec::new();
+    loop {
+        // Allow trailing separators / empty programs.
+        while p.eat(&Tok::Semi) {}
+        if p.peek().is_none() {
+            break;
+        }
+        stmts.push(p.statement()?);
+        if p.peek().is_some() {
+            p.expect(&Tok::Semi, "`;` between statements")?;
+        }
+    }
+    Ok(Program::new(stmts))
+}
+
+/// Parse a single relational expression.
+pub fn parse_relexpr(src: &str) -> Result<RelExpr> {
+    let toks = lex(src)?;
+    let mut p = P {
+        toks,
+        pos: 0,
+        len: src.len(),
+    };
+    let e = p.relexpr()?;
+    if p.peek().is_some() {
+        return Err(parse_err(p.offset(), "trailing input after expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_r2_action() {
+        let p = parse_program(
+            "temp := minus(project[#2](beer), project[#0](brewery));\
+             insert(brewery, project[#0, null, null](temp))",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(matches!(p.statements()[0], Statement::Assign { .. }));
+        assert!(matches!(p.statements()[1], Statement::Insert { .. }));
+    }
+
+    #[test]
+    fn parses_abort_and_alarm() {
+        let p = parse_program("alarm(select[#3 < 0](beer)); abort;").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(matches!(p.statements()[0], Statement::Alarm(_)));
+        assert!(matches!(p.statements()[1], Statement::Abort));
+    }
+
+    #[test]
+    fn parses_literals_and_singletons() {
+        let e = parse_relexpr("{(1, 'x'), (2, 'y')}").unwrap();
+        assert!(matches!(e, RelExpr::Literal(ref t) if t.len() == 2));
+        let e = parse_relexpr("row(cnt(beer), 5)").unwrap();
+        assert!(matches!(e, RelExpr::Singleton(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn parses_joins() {
+        let e = parse_relexpr("antijoin[#2 = #4](beer, brewery)").unwrap();
+        assert!(matches!(e, RelExpr::AntiJoin(..)));
+        let e = parse_relexpr("semijoin[#0 = #1](r, s)").unwrap();
+        assert!(matches!(e, RelExpr::SemiJoin(..)));
+        let e = parse_relexpr("join[#0 = #1 and #0 > 2](r, s)").unwrap();
+        assert!(matches!(e, RelExpr::Join(..)));
+    }
+
+    #[test]
+    fn parses_set_ops_and_nesting() {
+        let e = parse_relexpr("union(minus(a, b), intersect(c, times(d, e)))").unwrap();
+        assert_eq!(
+            e.referenced_relations(),
+            vec!["a", "b", "c", "d", "e"]
+        );
+    }
+
+    #[test]
+    fn parses_aggregate_scalars() {
+        let e = parse_relexpr("select[sum(r, 1) >= 10 or avg(r, 0) < 2.5](s)").unwrap();
+        assert!(matches!(e, RelExpr::Select(..)));
+    }
+
+    #[test]
+    fn parses_aux_names() {
+        let e = parse_relexpr("minus(beer@ins, beer@del)").unwrap();
+        assert_eq!(e.referenced_relations(), vec!["beer@ins", "beer@del"]);
+    }
+
+    #[test]
+    fn round_trips_display() {
+        // Display forms of parsed expressions re-parse to the same AST.
+        for src in [
+            "select[(#3 < 0)](beer)",
+            "antijoin[(#2 = #4)](beer, brewery)",
+            "project[#0, #1](join[(#0 = #2)](r, s))",
+            "row(CNT(r), 1)",
+        ] {
+            let e = parse_relexpr(src).unwrap();
+            let printed = e.to_string();
+            let reparsed = parse_relexpr(&printed);
+            assert_eq!(reparsed.unwrap(), e, "round trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("insert(beer)").is_err());
+        assert!(parse_program("select[#0](r)").is_err()); // bare expr is not a statement
+        assert!(parse_relexpr("select[#0 <](r)").is_err());
+        assert!(parse_relexpr("r extra").is_err());
+        assert!(parse_program("x := {(1,) }").is_err());
+    }
+
+    #[test]
+    fn empty_program_is_pe() {
+        assert!(parse_program("").unwrap().is_empty());
+        assert!(parse_program(" ; ; ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn negative_values_in_tuples() {
+        let e = parse_relexpr("{(-1, -2.5)}").unwrap();
+        match e {
+            RelExpr::Literal(ts) => {
+                assert_eq!(ts[0], Tuple::of((-1, -2.5_f64)));
+            }
+            other => panic!("expected literal, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Statements, programs (Definition 2.4), and transactions (Definition 2.5).
+
+use std::fmt;
+
+use crate::expr::ScalarExpr;
+use crate::rel_expr::RelExpr;
+
+/// One attribute assignment inside an `update` statement: set the attribute
+/// at `position` to the value of `value` (evaluated over the *old* tuple).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateAssignment {
+    /// Zero-based attribute position being assigned.
+    pub position: usize,
+    /// New value, computed from the pre-update tuple.
+    pub value: ScalarExpr,
+}
+
+impl UpdateAssignment {
+    /// Convenience constructor.
+    pub fn new(position: usize, value: ScalarExpr) -> Self {
+        UpdateAssignment { position, value }
+    }
+}
+
+/// An extended relational algebra statement (Definition 2.4: "assignments,
+/// insert, delete, and update statements", plus the `alarm` statement of
+/// Definition 5.1 and the explicit `abort` used by aborting rule actions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `target := expr` — bind a temporary relation. Temporaries live only
+    /// in the intermediate states `D^{t,i}` and are removed by the end
+    /// bracket.
+    Assign {
+        /// Temporary relation name (must not collide with a base relation).
+        target: String,
+        /// Defining expression.
+        expr: RelExpr,
+    },
+    /// `insert(R, E)` — add the tuples of `E` to base relation `R`.
+    Insert {
+        /// Target base relation.
+        relation: String,
+        /// Source expression (same type as `R`).
+        source: RelExpr,
+    },
+    /// `delete(R, E)` — remove the tuples of `E` from base relation `R`.
+    Delete {
+        /// Target base relation.
+        relation: String,
+        /// Tuples to remove (same type as `R`).
+        source: RelExpr,
+    },
+    /// `update(R, θ, f)` — replace every tuple of `R` satisfying `pred`
+    /// with the tuple obtained by applying the assignments. Per
+    /// Definition 4.5, an update is treated as a delete plus an insert for
+    /// triggering purposes.
+    Update {
+        /// Target base relation.
+        relation: String,
+        /// Which tuples to update.
+        pred: ScalarExpr,
+        /// The update function `f` as attribute assignments.
+        set: Vec<UpdateAssignment>,
+    },
+    /// `alarm(E)` (Definition 5.1) — abort the enclosing transaction iff
+    /// `E` is non-empty; otherwise do nothing.
+    Alarm(RelExpr),
+    /// Unconditional abort — the paper's default violation response
+    /// (`THEN abort` in Example 4.2).
+    Abort,
+}
+
+impl Statement {
+    /// Convenience: `insert` of explicit tuples.
+    pub fn insert_tuples(
+        relation: impl Into<String>,
+        tuples: Vec<tm_relational::Tuple>,
+    ) -> Statement {
+        Statement::Insert {
+            relation: relation.into(),
+            source: RelExpr::Literal(tuples),
+        }
+    }
+
+    /// Convenience: `delete(R, select[pred](R))`.
+    pub fn delete_where(relation: impl Into<String>, pred: ScalarExpr) -> Statement {
+        let relation = relation.into();
+        Statement::Delete {
+            source: RelExpr::relation(relation.clone()).select(pred),
+            relation,
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Assign { target, expr } => write!(f, "{target} := {expr}"),
+            Statement::Insert { relation, source } => write!(f, "insert({relation}, {source})"),
+            Statement::Delete { relation, source } => write!(f, "delete({relation}, {source})"),
+            Statement::Update {
+                relation,
+                pred,
+                set,
+            } => {
+                write!(f, "update({relation}, {pred}, [")?;
+                for (i, a) in set.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "#{} := {}", a.position, a.value)?;
+                }
+                write!(f, "])")
+            }
+            Statement::Alarm(expr) => write!(f, "alarm({expr})"),
+            Statement::Abort => write!(f, "abort"),
+        }
+    }
+}
+
+/// An extended relational algebra program `P = a1; a2; …; an`
+/// (Definition 2.4). `Program::empty()` is the paper's empty program `Pε`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    statements: Vec<Statement>,
+}
+
+impl Program {
+    /// The empty program `Pε`.
+    pub fn empty() -> Program {
+        Program::default()
+    }
+
+    /// A program from a statement list.
+    pub fn new(statements: Vec<Statement>) -> Program {
+        Program { statements }
+    }
+
+    /// Whether this is `Pε`.
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// The statements in order.
+    pub fn statements(&self) -> &[Statement] {
+        &self.statements
+    }
+
+    /// The first statement (`head(P)` in Algorithm 5.2), if any.
+    pub fn head(&self) -> Option<&Statement> {
+        self.statements.first()
+    }
+
+    /// The program without its first statement (`tail(P)`).
+    pub fn tail(&self) -> Program {
+        if self.statements.is_empty() {
+            Program::empty()
+        } else {
+            Program {
+                statements: self.statements[1..].to_vec(),
+            }
+        }
+    }
+
+    /// The program concatenation operator `⊕` (Algorithm 5.1).
+    pub fn concat(mut self, other: Program) -> Program {
+        self.statements.extend(other.statements);
+        self
+    }
+
+    /// Append a single statement.
+    pub fn push(&mut self, stmt: Statement) {
+        self.statements.push(stmt);
+    }
+
+    /// The transaction bracketing operator `↑`: wrap the program in
+    /// transaction brackets (Algorithm 5.1).
+    pub fn bracket(self) -> Transaction {
+        Transaction { program: self }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.statements {
+            writeln!(f, "{s};")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Statement> for Program {
+    fn from_iter<I: IntoIterator<Item = Statement>>(iter: I) -> Self {
+        Program {
+            statements: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A transaction: a program within transaction brackets (Definition 2.5).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Transaction {
+    program: Program,
+}
+
+impl Transaction {
+    /// Wrap a program in transaction brackets.
+    pub fn new(program: Program) -> Transaction {
+        Transaction { program }
+    }
+
+    /// The transaction debracketing operator `↓`: strip the brackets and
+    /// return the underlying program (Algorithm 5.1).
+    pub fn debracket(&self) -> &Program {
+        &self.program
+    }
+
+    /// Consume the transaction, returning the underlying program.
+    pub fn into_program(self) -> Program {
+        self.program
+    }
+
+    /// Number of statements in the transaction body.
+    pub fn len(&self) -> usize {
+        self.program.len()
+    }
+
+    /// Whether the transaction body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.program.is_empty()
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "begin")?;
+        for s in self.program.statements() {
+            writeln!(f, "  {s};")?;
+        }
+        writeln!(f, "end")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_relational::Tuple;
+
+    #[test]
+    fn empty_program_is_pe() {
+        assert!(Program::empty().is_empty());
+        assert_eq!(Program::empty().len(), 0);
+        assert!(Program::empty().head().is_none());
+        assert!(Program::empty().tail().is_empty());
+    }
+
+    #[test]
+    fn head_tail_decomposition() {
+        let p = Program::new(vec![
+            Statement::Abort,
+            Statement::Alarm(RelExpr::relation("r")),
+        ]);
+        assert_eq!(p.head(), Some(&Statement::Abort));
+        let t = p.tail();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.head(), Some(&Statement::Alarm(RelExpr::relation("r"))));
+        assert!(t.tail().is_empty());
+    }
+
+    #[test]
+    fn concat_is_associative_on_statements() {
+        let a = Program::new(vec![Statement::Abort]);
+        let b = Program::new(vec![Statement::Alarm(RelExpr::relation("r"))]);
+        let c = Program::new(vec![Statement::Abort]);
+        let left = a.clone().concat(b.clone()).concat(c.clone());
+        let right = a.concat(b.concat(c));
+        assert_eq!(left, right);
+        assert_eq!(left.len(), 3);
+    }
+
+    #[test]
+    fn concat_with_empty_is_identity() {
+        let p = Program::new(vec![Statement::Abort]);
+        assert_eq!(p.clone().concat(Program::empty()), p);
+        assert_eq!(Program::empty().concat(p.clone()), p);
+    }
+
+    #[test]
+    fn bracket_debracket_round_trip() {
+        let p = Program::new(vec![Statement::insert_tuples(
+            "beer",
+            vec![Tuple::of(("a", "b", "c", 1.0_f64))],
+        )]);
+        let t = p.clone().bracket();
+        assert_eq!(t.debracket(), &p);
+        assert_eq!(t.into_program(), p);
+    }
+
+    #[test]
+    fn display_transaction() {
+        let t = Program::new(vec![Statement::Abort]).bracket();
+        let s = t.to_string();
+        assert!(s.starts_with("begin\n"));
+        assert!(s.contains("  abort;"));
+        assert!(s.ends_with("end\n"));
+    }
+
+    #[test]
+    fn delete_where_desugars() {
+        let s = Statement::delete_where("r", ScalarExpr::col_eq(0, 0));
+        match s {
+            Statement::Delete { relation, source } => {
+                assert_eq!(relation, "r");
+                assert!(matches!(source, RelExpr::Select(..)));
+            }
+            _ => panic!("expected delete"),
+        }
+    }
+
+    #[test]
+    fn update_display() {
+        let s = Statement::Update {
+            relation: "r".into(),
+            pred: ScalarExpr::true_(),
+            set: vec![UpdateAssignment::new(1, ScalarExpr::int(9))],
+        };
+        assert_eq!(s.to_string(), "update(r, true, [#1 := 9])");
+    }
+}

@@ -1,0 +1,61 @@
+//! A1 — static precompilation (§6.2, integrity programs) vs. dynamic
+//! enforcement-time translation (the literal Algorithm 5.1): the cost of
+//! `ModT` per transaction under both schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tm_algebra::builder::TransactionBuilder;
+use tm_relational::Tuple;
+use txmod::{Engine, EngineConfig, EnforcementMode};
+
+fn engine(mode: EnforcementMode) -> Engine {
+    let mut e = Engine::with_config(
+        tm_relational::schema::beer_schema(),
+        EngineConfig {
+            mode,
+            ..EngineConfig::default()
+        },
+    );
+    let rules: [(&str, &str); 6] = [
+        ("alcohol_nonneg", "forall x (x in beer implies x.alcohol >= 0)"),
+        ("alcohol_cap", "forall x (x in beer implies x.alcohol <= 80.0)"),
+        (
+            "brewery_fk",
+            "forall x (x in beer implies exists y (y in brewery and x.brewery = y.name))",
+        ),
+        ("beer_count", "CNT(beer) <= 1000000"),
+        ("brewery_city", "forall x (x in brewery implies x.city != '')"),
+        (
+            "unique_name",
+            "forall x (x in beer implies forall y (y in beer implies \
+             (x == y or x.name != y.name)))",
+        ),
+    ];
+    for (name, cl) in rules {
+        e.define_constraint(name, cl).expect("constraint valid");
+    }
+    e
+}
+
+fn bench_modification(c: &mut Criterion) {
+    let tx = TransactionBuilder::new()
+        .insert_tuple(
+            "beer",
+            Tuple::of(("exportgold", "stout", "guineken", 6.0_f64)),
+        )
+        .build();
+    let mut group = c.benchmark_group("ablation_static");
+    for (label, mode) in [
+        ("dynamic_mod_t", EnforcementMode::Dynamic),
+        ("static_mod_t", EnforcementMode::Static),
+        ("differential_mod_t", EnforcementMode::Differential),
+    ] {
+        let e = engine(mode);
+        group.bench_function(label, |b| {
+            b.iter(|| e.modify_only(std::hint::black_box(&tx)).expect("modifies"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modification);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Minimal fixed-width table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple text table with a header row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a row of string slices.
+    pub fn row_str(&mut self, cells: &[&str]) {
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                let _ = write!(line, "| {cell:w$} ");
+            }
+            line.push('|');
+            line
+        };
+        let header_line = fmt_row(&self.header, &widths);
+        let _ = writeln!(out, "{header_line}");
+        let _ = writeln!(out, "{}", "-".repeat(header_line.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us} µs")
+    } else if us < 1_000_000 {
+        format!("{:.2} ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.3} s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row_str(&["short", "1"]);
+        t.row_str(&["a much longer name", "2"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("| a much longer name | 2"));
+        // Header and rows share widths: the two pipes align.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn duration_units() {
+        use std::time::Duration;
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12 µs");
+        assert_eq!(fmt_duration(Duration::from_micros(2_500)), "2.50 ms");
+        assert_eq!(fmt_duration(Duration::from_millis(1_234)), "1.234 s");
+    }
+}

@@ -1,0 +1,456 @@
+//! Direct semantic evaluation of CL constraints — the ground truth.
+//!
+//! Definition 3.1 says a state constraint is a boolean function over
+//! database states; Definition 3.3 extends this to transitions. This module
+//! evaluates analysed formulas exactly that way, by structural recursion
+//! with quantifiers ranging over the tuples of the relation each variable
+//! is bound to (safety guarantees such a relation exists).
+//!
+//! The evaluator is intentionally naive — O(∏ |R_i|) nested loops — because
+//! its role is to be *obviously correct*: the whole transaction
+//! modification machinery is property-tested against it.
+
+use tm_relational::util::FxHashMap;
+use tm_relational::{auxiliary, AuxKind, Database, Relation, Transition, Tuple, Value};
+
+use crate::analysis::ConstraintInfo;
+use crate::ast::{AggFn, ArithFn, Atom, AttrSel, CmpOp, Formula, Quantifier, Term, VarName};
+use crate::error::{CalculusError, Result};
+
+/// Resolves relation names during constraint evaluation.
+pub trait ConstraintSource {
+    /// The state of (possibly auxiliary) relation `name`.
+    fn relation(&self, name: &str) -> Result<&Relation>;
+}
+
+/// Evaluate constraints against a single database state; `R@pre` resolves
+/// to the *same* state (a transition that changed nothing), which makes
+/// transition constraints vacuously about `(D, D)` — useful for initial
+/// validation.
+pub struct StateSource<'a>(pub &'a Database);
+
+impl ConstraintSource for StateSource<'_> {
+    fn relation(&self, name: &str) -> Result<&Relation> {
+        let base = auxiliary::base_of(name);
+        self.0
+            .relation(base)
+            .map_err(|_| CalculusError::UnknownRelation(name.to_owned()))
+    }
+}
+
+/// Evaluate constraints against a transition `(D^t, D^{t+1})`: plain names
+/// resolve to the post-state, `R@pre` to the pre-state, and the
+/// differential names `R@ins` / `R@del` are not part of CL and are
+/// rejected.
+pub struct TransitionSource<'a>(pub &'a Transition);
+
+impl ConstraintSource for TransitionSource<'_> {
+    fn relation(&self, name: &str) -> Result<&Relation> {
+        match auxiliary::parse_auxiliary(name) {
+            None => self
+                .0
+                .after
+                .relation(name)
+                .map_err(|_| CalculusError::UnknownRelation(name.to_owned())),
+            Some((base, AuxKind::Pre)) => self
+                .0
+                .before
+                .relation(base)
+                .map_err(|_| CalculusError::UnknownRelation(name.to_owned())),
+            Some((_, _)) => Err(CalculusError::UnknownRelation(format!(
+                "`{name}`: differential relations are not part of CL"
+            ))),
+        }
+    }
+}
+
+type Env = FxHashMap<VarName, Tuple>;
+
+fn eval_term(
+    t: &Term,
+    env: &Env,
+    src: &impl ConstraintSource,
+) -> Result<Value> {
+    match t {
+        Term::Const(v) => Ok(v.clone()),
+        Term::Attr { var, sel } => {
+            let tuple = env
+                .get(var)
+                .ok_or_else(|| CalculusError::UnboundVariable(var.clone()))?;
+            let pos = match sel {
+                AttrSel::Position(p) => *p,
+                AttrSel::Name(n) => {
+                    return Err(CalculusError::Eval(format!(
+                        "unresolved attribute name `{var}.{n}` (run analysis first)"
+                    )))
+                }
+            };
+            tuple
+                .get(pos - 1)
+                .cloned()
+                .ok_or_else(|| CalculusError::Eval(format!("position {pos} out of range")))
+        }
+        Term::Arith(op, l, r) => {
+            let lv = eval_term(l, env, src)?;
+            let rv = eval_term(r, env, src)?;
+            arith(*op, &lv, &rv)
+        }
+        Term::Agg { func, rel, sel } => {
+            let relation = src.relation(rel)?;
+            let pos = match sel {
+                AttrSel::Position(p) => *p,
+                AttrSel::Name(n) => {
+                    return Err(CalculusError::Eval(format!(
+                        "unresolved attribute name in aggregate over `{rel}`: `{n}`"
+                    )))
+                }
+            };
+            aggregate(*func, relation, pos)
+        }
+        Term::Cnt { rel } => Ok(Value::Int(src.relation(rel)?.len() as i64)),
+    }
+}
+
+fn arith(op: ArithFn, l: &Value, r: &Value) -> Result<Value> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => match op {
+            ArithFn::Add => Ok(Value::Int(a.wrapping_add(*b))),
+            ArithFn::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+            ArithFn::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            ArithFn::Div => {
+                if *b == 0 {
+                    Err(CalculusError::Eval("division by zero".into()))
+                } else {
+                    Ok(Value::Int(a.wrapping_div(*b)))
+                }
+            }
+        },
+        _ => {
+            let a = l.as_double().ok_or_else(|| {
+                CalculusError::Eval(format!("non-numeric operand {l} in arithmetic"))
+            })?;
+            let b = r.as_double().ok_or_else(|| {
+                CalculusError::Eval(format!("non-numeric operand {r} in arithmetic"))
+            })?;
+            match op {
+                ArithFn::Add => Ok(Value::double(a + b)),
+                ArithFn::Sub => Ok(Value::double(a - b)),
+                ArithFn::Mul => Ok(Value::double(a * b)),
+                ArithFn::Div => {
+                    if b == 0.0 {
+                        Err(CalculusError::Eval("division by zero".into()))
+                    } else {
+                        Ok(Value::double(a / b))
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn aggregate(func: AggFn, rel: &Relation, pos: usize) -> Result<Value> {
+    let mut values = rel
+        .iter()
+        .filter_map(|t| t.get(pos - 1))
+        .filter(|v| !v.is_null());
+    match func {
+        AggFn::Sum => {
+            let mut int_sum = 0i64;
+            let mut dbl_sum = 0f64;
+            let mut any_double = false;
+            for v in values {
+                match v {
+                    Value::Int(i) => {
+                        int_sum = int_sum.wrapping_add(*i);
+                        dbl_sum += *i as f64;
+                    }
+                    Value::Double(d) => {
+                        any_double = true;
+                        dbl_sum += d;
+                    }
+                    other => {
+                        return Err(CalculusError::Eval(format!(
+                            "SUM over non-numeric value {other}"
+                        )))
+                    }
+                }
+            }
+            Ok(if any_double {
+                Value::double(dbl_sum)
+            } else {
+                Value::Int(int_sum)
+            })
+        }
+        AggFn::Avg => {
+            let mut sum = 0f64;
+            let mut n = 0usize;
+            for v in values {
+                sum += v
+                    .as_double()
+                    .ok_or_else(|| CalculusError::Eval("AVG over non-numeric".into()))?;
+                n += 1;
+            }
+            if n == 0 {
+                Err(CalculusError::Eval("AVG over empty relation".into()))
+            } else {
+                Ok(Value::double(sum / n as f64))
+            }
+        }
+        AggFn::Min => values
+            .by_ref()
+            .min_by(|a, b| a.compare(b))
+            .cloned()
+            .ok_or_else(|| CalculusError::Eval("MIN over empty relation".into())),
+        AggFn::Max => values
+            .by_ref()
+            .max_by(|a, b| a.compare(b))
+            .cloned()
+            .ok_or_else(|| CalculusError::Eval("MAX over empty relation".into())),
+    }
+}
+
+fn eval_atom(a: &Atom, env: &Env, src: &impl ConstraintSource) -> Result<bool> {
+    match a {
+        Atom::Cmp(op, l, r) => {
+            let lv = eval_term(l, env, src)?;
+            let rv = eval_term(r, env, src)?;
+            Ok(match op {
+                CmpOp::Lt => lv.compare(&rv).is_lt(),
+                CmpOp::Le => lv.compare(&rv).is_le(),
+                CmpOp::Eq => lv.compare(&rv).is_eq(),
+                CmpOp::Ne => lv.compare(&rv).is_ne(),
+                CmpOp::Ge => lv.compare(&rv).is_ge(),
+                CmpOp::Gt => lv.compare(&rv).is_gt(),
+            })
+        }
+        Atom::Member { var, rel } => {
+            let tuple = env
+                .get(var)
+                .ok_or_else(|| CalculusError::UnboundVariable(var.clone()))?;
+            Ok(src.relation(rel)?.contains(tuple))
+        }
+        Atom::TupleEq(a, b) => {
+            let ta = env
+                .get(a)
+                .ok_or_else(|| CalculusError::UnboundVariable(a.clone()))?;
+            let tb = env
+                .get(b)
+                .ok_or_else(|| CalculusError::UnboundVariable(b.clone()))?;
+            Ok(ta == tb)
+        }
+    }
+}
+
+fn eval_rec(
+    f: &Formula,
+    env: &mut Env,
+    src: &impl ConstraintSource,
+    ranges: &FxHashMap<VarName, String>,
+) -> Result<bool> {
+    match f {
+        Formula::Atom(a) => eval_atom(a, env, src),
+        Formula::Not(x) => Ok(!eval_rec(x, env, src, ranges)?),
+        Formula::And(l, r) => Ok(eval_rec(l, env, src, ranges)? && eval_rec(r, env, src, ranges)?),
+        Formula::Or(l, r) => Ok(eval_rec(l, env, src, ranges)? || eval_rec(r, env, src, ranges)?),
+        Formula::Implies(l, r) => {
+            Ok(!eval_rec(l, env, src, ranges)? || eval_rec(r, env, src, ranges)?)
+        }
+        Formula::Quant(q, v, body) => {
+            let rel_name = ranges
+                .get(v)
+                .ok_or_else(|| CalculusError::UnsafeVariable(v.clone()))?;
+            // Clone the tuple list to release the borrow on `src` before
+            // recursing (the relation cannot change during evaluation).
+            let tuples: Vec<Tuple> = src.relation(rel_name)?.iter().cloned().collect();
+            match q {
+                Quantifier::Forall => {
+                    for t in tuples {
+                        env.insert(v.clone(), t);
+                        let ok = eval_rec(body, env, src, ranges)?;
+                        env.remove(v);
+                        if !ok {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                }
+                Quantifier::Exists => {
+                    for t in tuples {
+                        env.insert(v.clone(), t);
+                        let ok = eval_rec(body, env, src, ranges)?;
+                        env.remove(v);
+                        if ok {
+                            return Ok(true);
+                        }
+                    }
+                    Ok(false)
+                }
+            }
+        }
+    }
+}
+
+/// Evaluate an analysed formula against a source.
+pub fn eval_formula(
+    formula: &Formula,
+    ranges: &FxHashMap<VarName, String>,
+    src: &impl ConstraintSource,
+) -> Result<bool> {
+    eval_rec(formula, &mut Env::default(), src, ranges)
+}
+
+/// Evaluate an analysed constraint (output of
+/// [`crate::analysis::analyze`]) against a source.
+pub fn eval_constraint(info: &ConstraintInfo, src: &impl ConstraintSource) -> Result<bool> {
+    eval_formula(&info.formula, &info.ranges, src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::parser::parse_formula;
+    use tm_relational::schema::beer_schema;
+
+    fn beer_db() -> Database {
+        let mut db = Database::new(beer_schema().into_shared());
+        db.insert("brewery", Tuple::of(("heineken", "amsterdam", "nl")))
+            .unwrap();
+        db.insert("brewery", Tuple::of(("guinness", "dublin", "ie")))
+            .unwrap();
+        db.insert("beer", Tuple::of(("pils", "lager", "heineken", 5.0_f64)))
+            .unwrap();
+        db.insert("beer", Tuple::of(("stout", "stout", "guinness", 4.2_f64)))
+            .unwrap();
+        db
+    }
+
+    fn check(src_text: &str, db: &Database) -> Result<bool> {
+        let info = analyze(&parse_formula(src_text).unwrap(), db.schema()).unwrap();
+        eval_constraint(&info, &StateSource(db))
+    }
+
+    #[test]
+    fn domain_constraint_holds_then_fails() {
+        let mut db = beer_db();
+        let c = "forall x (x in beer implies x.alcohol >= 0)";
+        assert_eq!(check(c, &db), Ok(true));
+        db.insert("beer", Tuple::of(("bad", "lager", "heineken", -1.0_f64)))
+            .unwrap();
+        assert_eq!(check(c, &db), Ok(false));
+    }
+
+    #[test]
+    fn referential_constraint() {
+        let mut db = beer_db();
+        let c = "forall x (x in beer implies \
+                 exists y (y in brewery and x.brewery = y.name))";
+        assert_eq!(check(c, &db), Ok(true));
+        db.insert("beer", Tuple::of(("orphan", "ale", "nowhere", 5.0_f64)))
+            .unwrap();
+        assert_eq!(check(c, &db), Ok(false));
+    }
+
+    #[test]
+    fn exists_over_empty_relation_is_false() {
+        let db = Database::new(beer_schema().into_shared());
+        assert_eq!(check("exists x (x in beer and x.alcohol > 0)", &db), Ok(false));
+        // forall over empty is vacuously true
+        assert_eq!(check("forall x (x in beer implies x.alcohol > 0)", &db), Ok(true));
+    }
+
+    #[test]
+    fn aggregates_in_constraints() {
+        let db = beer_db();
+        assert_eq!(check("CNT(beer) <= 2", &db), Ok(true));
+        assert_eq!(check("CNT(beer) < 2", &db), Ok(false));
+        assert_eq!(check("AVG(beer, alcohol) < 5.0", &db), Ok(true));
+        assert_eq!(check("MAX(beer, alcohol) = 5.0", &db), Ok(true));
+        assert_eq!(check("MIN(beer, alcohol) > 4.0", &db), Ok(true));
+        assert_eq!(check("SUM(beer, alcohol) > 9.0", &db), Ok(true));
+    }
+
+    #[test]
+    fn tuple_equality_semantics() {
+        let db = beer_db();
+        // every beer equals itself: no two distinct tuples with same name
+        let c = "forall x (x in beer implies \
+                 forall y (y in beer implies (x == y or x.name != y.name)))";
+        assert_eq!(check(c, &db), Ok(true));
+    }
+
+    #[test]
+    fn transition_constraints_via_pre() {
+        let before = beer_db();
+        let mut after = before.clone();
+        after
+            .insert("beer", Tuple::of(("extra", "ale", "guinness", 6.0_f64)))
+            .unwrap();
+        after.tick();
+        let tr = Transition::new(before, after);
+        // "beers are never removed": every pre-beer still exists.
+        let grow_only =
+            "forall x (x in beer@pre implies exists y (y in beer and x == y))";
+        let info = analyze(
+            &parse_formula(grow_only).unwrap(),
+            tr.after.schema(),
+        )
+        .unwrap();
+        assert_eq!(eval_constraint(&info, &TransitionSource(&tr)), Ok(true));
+
+        // Now delete a beer: the constraint must fail.
+        let before = beer_db();
+        let mut after = before.clone();
+        after
+            .delete("beer", &Tuple::of(("pils", "lager", "heineken", 5.0_f64)))
+            .unwrap();
+        after.tick();
+        let tr = Transition::new(before, after);
+        assert_eq!(eval_constraint(&info, &TransitionSource(&tr)), Ok(false));
+    }
+
+    #[test]
+    fn differential_names_rejected_in_cl() {
+        let before = beer_db();
+        let mut after = before.clone();
+        after.tick();
+        let tr = Transition::new(before, after);
+        let src = TransitionSource(&tr);
+        assert!(matches!(
+            src.relation("beer@ins"),
+            Err(CalculusError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn arith_in_constraints() {
+        let db = beer_db();
+        assert_eq!(
+            check("forall x (x in beer implies x.alcohol * 2 <= 10.0)", &db),
+            Ok(true)
+        );
+        assert_eq!(
+            check("forall x (x in beer implies x.alcohol + 1 > 5.0)", &db),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn empty_min_errors() {
+        let db = Database::new(beer_schema().into_shared());
+        let r = check("MIN(beer, alcohol) > 0", &db);
+        assert!(matches!(r, Err(CalculusError::Eval(_))));
+    }
+
+    #[test]
+    fn state_source_resolves_pre_to_same_state() {
+        let db = beer_db();
+        assert_eq!(
+            check(
+                "forall x (x in beer@pre implies exists y (y in beer and x == y))",
+                &db
+            ),
+            Ok(true)
+        );
+    }
+}

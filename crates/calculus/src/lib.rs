@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # `tm-calculus` — the CL integrity constraint specification language
+//!
+//! Section 4.1 of Grefen (VLDB 1993) defines **CL**, a language of
+//! well-formed formulas over a tuple relational calculus, for the purely
+//! declarative specification of integrity constraints. This crate
+//! implements the language in full:
+//!
+//! * [`ast`] — the alphabet, terms, atomic formulas and well-formed
+//!   formulas of Definitions 4.1–4.4,
+//! * [`parser`] — a lexer and recursive-descent parser for a faithful
+//!   ASCII rendering of CL (`forall x (x in beer implies x.alcohol >= 0)`),
+//! * [`analysis`] — free-variable computation, closedness, variable range
+//!   analysis, safety (range restriction) and schema type checking,
+//! * [`eval`] — a direct **semantic evaluator**: a state constraint is a
+//!   boolean function over database states (Definition 3.1), a transition
+//!   constraint over state pairs (Definition 3.3). The evaluator is the
+//!   reproduction's ground truth: property tests assert that transaction
+//!   modification commits exactly the transactions this evaluator accepts.
+//!
+//! Transition constraints reference the pre-transaction state through the
+//! auxiliary relation names of Section 4.1 (`beer@pre`), e.g.
+//! `forall x (x in salary implies forall y (y in salary@pre implies
+//! (x.emp != y.emp or x.amount >= y.amount)))`.
+
+pub mod analysis;
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod parser;
+
+pub use analysis::{analyze, free_variables, ConstraintInfo};
+pub use ast::{AggFn, Atom, CmpOp, Constraint, ConstraintKind, Formula, Quantifier, Term, VarName};
+pub use error::{CalculusError, Result};
+pub use eval::{eval_constraint, eval_formula, ConstraintSource, StateSource, TransitionSource};
+pub use parser::parse_formula;

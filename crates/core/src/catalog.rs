@@ -1,0 +1,173 @@
+//! The rule catalog: rules, compiled integrity programs, and validation.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tm_relational::DatabaseSchema;
+use tm_rules::{IntegrityRule, TriggeringGraph, ValidationReport};
+
+use crate::error::{EngineError, Result};
+use crate::programs::{get_int_p, IntegrityProgram};
+
+/// The integrity catalog of a database: the declared rules and their
+/// compiled forms (Definition 6.3's set `K`).
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    schema: Arc<DatabaseSchema>,
+    rules: Vec<IntegrityRule>,
+    programs: Vec<IntegrityProgram>,
+    differential: bool,
+}
+
+impl Catalog {
+    /// Create an empty catalog; `differential` selects whether compiled
+    /// programs include per-trigger delta specializations.
+    pub fn new(schema: Arc<DatabaseSchema>, differential: bool) -> Catalog {
+        Catalog {
+            schema,
+            rules: Vec::new(),
+            programs: Vec::new(),
+            differential,
+        }
+    }
+
+    /// The database schema the catalog is bound to.
+    pub fn schema(&self) -> &Arc<DatabaseSchema> {
+        &self.schema
+    }
+
+    /// The declared rules.
+    pub fn rules(&self) -> &[IntegrityRule] {
+        &self.rules
+    }
+
+    /// The compiled integrity programs (in rule declaration order).
+    pub fn programs(&self) -> &[IntegrityProgram] {
+        &self.programs
+    }
+
+    /// Look up a rule by name.
+    pub fn rule(&self, name: &str) -> Option<&IntegrityRule> {
+        self.rules.iter().find(|r| r.name == name)
+    }
+
+    /// Add a rule: rejects duplicates, compiles it eagerly (`GetIntP`,
+    /// Algorithm 6.1) so translation errors surface at definition time.
+    pub fn add_rule(&mut self, rule: IntegrityRule) -> Result<()> {
+        if self.rule(&rule.name).is_some() {
+            return Err(EngineError::DuplicateRule(rule.name));
+        }
+        let program = get_int_p(&rule, &self.schema, self.differential)?;
+        self.rules.push(rule);
+        self.programs.push(program);
+        Ok(())
+    }
+
+    /// Remove a rule by name; returns whether it existed.
+    pub fn remove_rule(&mut self, name: &str) -> bool {
+        match self.rules.iter().position(|r| r.name == name) {
+            Some(i) => {
+                self.rules.remove(i);
+                self.programs.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Validate the triggering behaviour of the rule set (Section 6.1).
+    pub fn validate(&self) -> ValidationReport {
+        ValidationReport::validate(&self.rules)
+    }
+
+    /// The triggering graph of the rule set (Definition 6.1).
+    pub fn triggering_graph(&self) -> TriggeringGraph {
+        TriggeringGraph::build(&self.rules)
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the catalog has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+impl fmt::Display for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "catalog: {} rule(s)", self.rules.len())?;
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_relational::schema::beer_schema;
+    use tm_rules::parse_rule;
+
+    fn catalog() -> Catalog {
+        Catalog::new(beer_schema().into_shared(), false)
+    }
+
+    fn r1() -> IntegrityRule {
+        parse_rule(
+            "IF NOT forall x (x in beer implies x.alcohol >= 0) THEN abort",
+            "r1",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn add_lookup_remove() {
+        let mut c = catalog();
+        c.add_rule(r1()).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(c.rule("r1").is_some());
+        assert_eq!(c.programs().len(), 1);
+        assert!(c.remove_rule("r1"));
+        assert!(!c.remove_rule("r1"));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut c = catalog();
+        c.add_rule(r1()).unwrap();
+        assert!(matches!(
+            c.add_rule(r1()),
+            Err(EngineError::DuplicateRule(_))
+        ));
+    }
+
+    #[test]
+    fn translation_errors_surface_at_definition() {
+        let mut c = catalog();
+        let bad = parse_rule(
+            "WHEN INS(nope) IF NOT forall x (x in nope implies x.1 > 0) THEN abort",
+            "bad",
+        )
+        .unwrap();
+        assert!(matches!(c.add_rule(bad), Err(EngineError::Translate(_))));
+        assert!(c.is_empty(), "failed rules must not be half-added");
+    }
+
+    #[test]
+    fn validation_reports_cycles() {
+        let mut c = catalog();
+        c.add_rule(
+            parse_rule("WHEN INS(beer) IF NOT 1 = 1 THEN insert(beer, beer@ins)", "self")
+                .unwrap(),
+        )
+        .unwrap();
+        let report = c.validate();
+        assert!(report.has_cycles());
+        assert!(!c.triggering_graph().is_acyclic());
+    }
+}

@@ -1,0 +1,495 @@
+//! The integrated transaction modification engine.
+//!
+//! [`Engine`] owns a database state, an integrity [`Catalog`], and an
+//! [`EngineConfig`]; every transaction submitted through
+//! [`Engine::execute`] passes through `ModT` (per the configured
+//! [`EnforcementMode`]) before it runs on the main-memory executor of
+//! `tm-algebra`.
+
+use std::fmt;
+
+use tm_algebra::{ExecStats, Executor, Transaction, TxOutcome};
+use tm_calculus::{analyze, eval_constraint, parse_formula, StateSource, TransitionSource};
+use tm_relational::{Database, DatabaseSchema, RelationSchema, Tuple};
+use tm_rules::{parse_rule, IntegrityRule, RuleAction, ValidationReport};
+
+use crate::catalog::Catalog;
+use crate::error::{EngineError, Result};
+use crate::modify::{mod_t, ModificationTrace, SelectionMode};
+use crate::views::ViewDef;
+
+/// How (and whether) integrity is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnforcementMode {
+    /// No modification — transactions run as submitted. (Baseline; an
+    /// integrity-free DBMS.)
+    Off,
+    /// Rules are selected, optimized and translated at enforcement time —
+    /// the literal reading of Algorithm 5.1.
+    Dynamic,
+    /// Rules are compiled once at definition time into integrity programs
+    /// (Definition 6.3) and concatenated at enforcement time
+    /// (Algorithm 6.2). The paper's recommended configuration.
+    #[default]
+    Static,
+    /// Like `Static`, with per-trigger differential-relation
+    /// specializations (§5.2.1/\[7\]): checks touch only `R@ins`/`R@del`
+    /// where the condition's shape allows.
+    Differential,
+}
+
+impl EnforcementMode {
+    fn selection(self) -> Option<SelectionMode> {
+        match self {
+            EnforcementMode::Off => None,
+            EnforcementMode::Dynamic => Some(SelectionMode::Dynamic),
+            EnforcementMode::Static => Some(SelectionMode::Static),
+            EnforcementMode::Differential => Some(SelectionMode::Differential),
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Enforcement mode (default: `Static`).
+    pub mode: EnforcementMode,
+    /// Admit rule sets whose triggering graph has cycles (Definition 6.1).
+    /// The modification fixpoint is then only guarded by `max_rounds`.
+    pub allow_cycles: bool,
+    /// Round budget for the `ModP` recursion.
+    pub max_rounds: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: EnforcementMode::Static,
+            allow_cycles: false,
+            max_rounds: 32,
+        }
+    }
+}
+
+/// Per-transaction modification statistics.
+pub type ModStats = ModificationTrace;
+
+/// The result of executing one transaction through the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOutcome {
+    /// The executor's verdict (committed or aborted, with statistics).
+    pub outcome: TxOutcome,
+    /// The transaction as actually executed (after modification).
+    pub modified: Transaction,
+    /// Modification statistics.
+    pub modification: ModStats,
+}
+
+impl EngineOutcome {
+    /// Whether the transaction committed.
+    pub fn committed(&self) -> bool {
+        self.outcome.is_committed()
+    }
+
+    /// Executor statistics (statements run, alarms evaluated/fired, …).
+    pub fn exec_stats(&self) -> &ExecStats {
+        self.outcome.stats()
+    }
+}
+
+impl fmt::Display for EngineOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.outcome {
+            TxOutcome::Committed(_) => write!(f, "committed")?,
+            TxOutcome::Aborted { reason, .. } => write!(f, "aborted: {reason}")?,
+        }
+        write!(
+            f,
+            " ({} rounds, {} rules fired, {} statements appended)",
+            self.modification.rounds,
+            self.modification.rules_fired.len(),
+            self.modification.statements_appended
+        )
+    }
+}
+
+/// The transaction modification engine: database + catalog + executor.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    db: Database,
+    catalog: Catalog,
+    config: EngineConfig,
+    executor: Executor,
+    views: Vec<ViewDef>,
+}
+
+impl Engine {
+    /// Create an engine over a schema with the default (Static) config.
+    pub fn new(schema: DatabaseSchema) -> Engine {
+        Engine::with_config(schema, EngineConfig::default())
+    }
+
+    /// Create an engine with an explicit configuration.
+    pub fn with_config(schema: DatabaseSchema, config: EngineConfig) -> Engine {
+        let shared = schema.into_shared();
+        Engine {
+            db: Database::new(shared.clone()),
+            catalog: Catalog::new(
+                shared,
+                matches!(config.mode, EnforcementMode::Differential),
+            ),
+            config,
+            executor: Executor,
+            views: Vec::new(),
+        }
+    }
+
+    /// The current database state.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The integrity catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Bulk-load tuples into a relation, bypassing integrity enforcement
+    /// (initial database population; the paper's §7 experiments load the
+    /// test database this way before measuring constraint checks).
+    pub fn load(
+        &mut self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize> {
+        let mut n = 0;
+        for t in tuples {
+            if self.db.insert(relation, t)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Add a parsed integrity rule. The rule is compiled immediately;
+    /// unless [`EngineConfig::allow_cycles`] is set, a rule set whose
+    /// triggering graph becomes cyclic is rejected and the rule removed.
+    pub fn add_rule(&mut self, rule: IntegrityRule) -> Result<()> {
+        let name = rule.name.clone();
+        self.catalog.add_rule(rule)?;
+        if !self.config.allow_cycles {
+            let report = self.catalog.validate();
+            if report.has_cycles() {
+                self.catalog.remove_rule(&name);
+                return Err(EngineError::TriggeringCycle(report.cycles));
+            }
+        }
+        Ok(())
+    }
+
+    /// Add a rule from RL text (`WHEN … IF NOT … THEN …`).
+    pub fn add_rule_text(&mut self, text: &str, default_name: &str) -> Result<()> {
+        let rule =
+            parse_rule(text, default_name).map_err(|e| EngineError::RuleParse(e.to_string()))?;
+        self.add_rule(rule)
+    }
+
+    /// Declare a constraint from CL text with the default enforcement
+    /// (abort on violation) and a generated trigger set — the paper's
+    /// "default way" of Section 4.
+    pub fn define_constraint(&mut self, name: &str, cl: &str) -> Result<()> {
+        let formula =
+            parse_formula(cl).map_err(|e| EngineError::RuleParse(e.to_string()))?;
+        self.add_rule(IntegrityRule::with_generated_triggers(
+            name,
+            formula,
+            RuleAction::Abort,
+        ))
+    }
+
+    /// Define a materialized view maintained by transaction modification
+    /// (the paper's second application, §7). See [`crate::views`].
+    pub fn define_view(&mut self, view: ViewDef) -> Result<()> {
+        let rule = view.maintenance_rule(self.catalog.schema())?;
+        // Materialize the initial contents.
+        let init = view.refresh_program();
+        self.add_rule(rule)?;
+        self.views.push(view);
+        let outcome = self.executor.execute(&mut self.db, &init.bracket());
+        match outcome {
+            TxOutcome::Committed(_) => Ok(()),
+            TxOutcome::Aborted { reason, .. } => Err(EngineError::View(reason.to_string())),
+        }
+    }
+
+    /// Validate the rule set's triggering behaviour (Section 6.1).
+    pub fn validate(&self) -> ValidationReport {
+        self.catalog.validate()
+    }
+
+    /// Run `ModT` on a transaction without executing it — useful for
+    /// inspecting modifications (Example 5.1) and for benchmarks that
+    /// isolate modification cost.
+    pub fn modify_only(&self, tx: &Transaction) -> Result<(Transaction, ModStats)> {
+        match self.config.mode.selection() {
+            None => Ok((tx.clone(), ModStats::default())),
+            Some(mode) => mod_t(
+                tx,
+                mode,
+                self.catalog.rules(),
+                self.catalog.programs(),
+                self.catalog.schema(),
+                self.config.max_rounds,
+            ),
+        }
+    }
+
+    /// Execute a transaction: modify per the configured mode, then run it
+    /// with full atomicity.
+    pub fn execute(&mut self, tx: &Transaction) -> Result<EngineOutcome> {
+        let (modified, modification) = self.modify_only(tx)?;
+        let outcome = self.executor.execute(&mut self.db, &modified);
+        Ok(EngineOutcome {
+            outcome,
+            modified,
+            modification,
+        })
+    }
+
+    /// Ground-truth check: evaluate every *aborting* rule's condition
+    /// directly on the current state (Definition 3.2 / 3.4 via the
+    /// `tm-calculus` evaluator). Returns the names of violated
+    /// constraints. Compensating rules are skipped — their conditions are
+    /// maintained by construction, not checked.
+    pub fn check_state(&self) -> Result<Vec<String>> {
+        let mut violated = Vec::new();
+        for rule in self.catalog.rules() {
+            if !rule.action().is_abort() {
+                continue;
+            }
+            let info = analyze(rule.condition(), self.catalog.schema())
+                .map_err(|e| EngineError::RuleParse(e.to_string()))?;
+            let ok = eval_constraint(&info, &StateSource(&self.db))
+                .map_err(|e| EngineError::RuleParse(e.to_string()))?;
+            if !ok {
+                violated.push(rule.name.clone());
+            }
+        }
+        Ok(violated)
+    }
+
+    /// Ground-truth check of a transition (for transition constraints).
+    pub fn check_transition(&self, tr: &tm_relational::Transition) -> Result<Vec<String>> {
+        let mut violated = Vec::new();
+        for rule in self.catalog.rules() {
+            if !rule.action().is_abort() {
+                continue;
+            }
+            let info = analyze(rule.condition(), self.catalog.schema())
+                .map_err(|e| EngineError::RuleParse(e.to_string()))?;
+            let ok = eval_constraint(&info, &TransitionSource(tr))
+                .map_err(|e| EngineError::RuleParse(e.to_string()))?;
+            if !ok {
+                violated.push(rule.name.clone());
+            }
+        }
+        Ok(violated)
+    }
+
+    /// Direct access to a relation state.
+    pub fn relation(&self, name: &str) -> Result<&tm_relational::Relation> {
+        Ok(self.db.relation(name)?)
+    }
+}
+
+/// Convenience: build the beer schema engine of the paper's examples.
+pub fn beer_engine(mode: EnforcementMode) -> Engine {
+    Engine::with_config(
+        tm_relational::schema::beer_schema(),
+        EngineConfig {
+            mode,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// Re-exported for examples that build ad-hoc schemas.
+pub fn schema_of(relations: Vec<RelationSchema>) -> Result<DatabaseSchema> {
+    Ok(DatabaseSchema::from_relations(relations)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_algebra::builder::TransactionBuilder;
+
+    fn engine(mode: EnforcementMode) -> Engine {
+        let mut e = beer_engine(mode);
+        e.define_constraint("r1", "forall x (x in beer implies x.alcohol >= 0)")
+            .unwrap();
+        e.add_rule_text(
+            "IF NOT forall x (x in beer implies \
+             exists y (y in brewery and x.brewery = y.name)) THEN abort",
+            "r2",
+        )
+        .unwrap();
+        e.load(
+            "brewery",
+            vec![Tuple::of(("guineken", "dublin", "ie"))],
+        )
+        .unwrap();
+        e
+    }
+
+    fn good_tx() -> Transaction {
+        TransactionBuilder::new()
+            .insert_tuple(
+                "beer",
+                Tuple::of(("exportgold", "stout", "guineken", 6.0_f64)),
+            )
+            .build()
+    }
+
+    fn bad_domain_tx() -> Transaction {
+        TransactionBuilder::new()
+            .insert_tuple("beer", Tuple::of(("bad", "stout", "guineken", -1.0_f64)))
+            .build()
+    }
+
+    fn bad_ref_tx() -> Transaction {
+        TransactionBuilder::new()
+            .insert_tuple("beer", Tuple::of(("orphan", "stout", "nowhere", 5.0_f64)))
+            .build()
+    }
+
+    #[test]
+    fn all_modes_accept_good_and_reject_bad() {
+        for mode in [
+            EnforcementMode::Dynamic,
+            EnforcementMode::Static,
+            EnforcementMode::Differential,
+        ] {
+            let mut e = engine(mode);
+            assert!(e.execute(&good_tx()).unwrap().committed(), "{mode:?}");
+            assert!(!e.execute(&bad_domain_tx()).unwrap().committed(), "{mode:?}");
+            assert!(!e.execute(&bad_ref_tx()).unwrap().committed(), "{mode:?}");
+            // State reflects only the good transaction.
+            assert_eq!(e.relation("beer").unwrap().len(), 1, "{mode:?}");
+            assert!(e.check_state().unwrap().is_empty(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn off_mode_lets_violations_through() {
+        let mut e = engine(EnforcementMode::Off);
+        assert!(e.execute(&bad_domain_tx()).unwrap().committed());
+        assert_eq!(e.check_state().unwrap(), vec!["r1".to_owned()]);
+    }
+
+    #[test]
+    fn cyclic_rule_set_rejected() {
+        let mut e = beer_engine(EnforcementMode::Static);
+        let err = e
+            .add_rule_text(
+                "WHEN INS(beer) IF NOT 1 = 1 THEN insert(beer, beer@ins)",
+                "self_loop",
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::TriggeringCycle(_)));
+        assert!(e.catalog().is_empty(), "rejected rule must be rolled back");
+    }
+
+    #[test]
+    fn cycles_admitted_when_configured() {
+        let mut e = Engine::with_config(
+            tm_relational::schema::beer_schema(),
+            EngineConfig {
+                allow_cycles: true,
+                max_rounds: 4,
+                ..EngineConfig::default()
+            },
+        );
+        e.add_rule_text(
+            "WHEN INS(beer) IF NOT 1 = 1 THEN insert(beer, beer@ins)",
+            "self_loop",
+        )
+        .unwrap();
+        let err = e.execute(&good_tx()).unwrap_err();
+        assert!(matches!(err, EngineError::ModificationDiverged { .. }));
+    }
+
+    #[test]
+    fn compensating_rule_repairs_state() {
+        // Paper's R2: missing breweries are inserted instead of aborting.
+        let mut e = beer_engine(EnforcementMode::Static);
+        e.add_rule_text(
+            "IF NOT forall x (x in beer implies \
+             exists y (y in brewery and x.brewery = y.name)) \
+             THEN temp := minus(project[#2](beer), project[#0](brewery)); \
+                  insert(brewery, project[#0, null, null](temp))",
+            "r2_compensate",
+        )
+        .unwrap();
+        let out = e.execute(&bad_ref_tx()).unwrap();
+        assert!(out.committed());
+        // The compensation inserted ("nowhere", null, null).
+        let breweries = e.relation("brewery").unwrap();
+        assert_eq!(breweries.len(), 1);
+        assert!(breweries.contains(&Tuple::of((
+            tm_relational::Value::str("nowhere"),
+            tm_relational::Value::Null,
+            tm_relational::Value::Null
+        ))));
+        assert!(e.check_state().unwrap().is_empty());
+    }
+
+    #[test]
+    fn transition_constraint_enforced() {
+        let mut e = beer_engine(EnforcementMode::Static);
+        e.define_constraint(
+            "grow_only",
+            "forall x (x in beer@pre implies exists y (y in beer and x == y))",
+        )
+        .unwrap();
+        e.load(
+            "beer",
+            vec![Tuple::of(("pils", "lager", "guineken", 5.0_f64))],
+        )
+        .unwrap();
+        // Deleting a beer violates the transition constraint.
+        let tx = TransactionBuilder::new()
+            .delete_tuple("beer", Tuple::of(("pils", "lager", "guineken", 5.0_f64)))
+            .build();
+        let out = e.execute(&tx).unwrap();
+        assert!(!out.committed());
+        assert_eq!(e.relation("beer").unwrap().len(), 1);
+        // Inserting more beers is fine.
+        let tx = TransactionBuilder::new()
+            .insert_tuple("beer", Tuple::of(("ale", "ale", "guineken", 4.0_f64)))
+            .build();
+        assert!(e.execute(&tx).unwrap().committed());
+    }
+
+    #[test]
+    fn modification_trace_exposed() {
+        let e = engine(EnforcementMode::Static);
+        let (modified, stats) = e.modify_only(&good_tx()).unwrap();
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.rules_fired.len(), 2);
+        assert!(modified.len() > good_tx().len());
+    }
+
+    #[test]
+    fn duplicate_rule_name_rejected() {
+        let mut e = engine(EnforcementMode::Static);
+        let err = e
+            .define_constraint("r1", "forall x (x in beer implies x.alcohol >= 0)")
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DuplicateRule(_)));
+    }
+}

@@ -1,0 +1,88 @@
+//! Errors of the transaction modification engine.
+
+use std::fmt;
+
+/// Convenience alias used throughout `txmod`.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors raised by rule management and transaction modification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A rule failed to parse.
+    RuleParse(String),
+    /// A rule's condition failed translation.
+    Translate(tm_translate::TranslateError),
+    /// The rule set has triggering cycles (Definition 6.1) and the engine
+    /// is configured to reject them.
+    TriggeringCycle(Vec<Vec<String>>),
+    /// A rule with this name already exists.
+    DuplicateRule(String),
+    /// The transaction modification recursion exceeded its round budget —
+    /// only possible with cyclic rule sets admitted via
+    /// [`crate::engine::EngineConfig::allow_cycles`].
+    ModificationDiverged {
+        /// Rounds executed before giving up.
+        rounds: usize,
+    },
+    /// Data error from the relational substrate.
+    Relational(tm_relational::RelationalError),
+    /// Execution error from the algebra substrate.
+    Algebra(tm_algebra::AlgebraError),
+    /// A view definition was invalid.
+    View(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::RuleParse(m) => write!(f, "rule parse error: {m}"),
+            EngineError::Translate(e) => write!(f, "rule translation error: {e}"),
+            EngineError::TriggeringCycle(cycles) => {
+                write!(f, "rule set has triggering cycles:")?;
+                for c in cycles {
+                    write!(f, " [{}]", c.join(" -> "))?;
+                }
+                Ok(())
+            }
+            EngineError::DuplicateRule(n) => write!(f, "rule `{n}` already exists"),
+            EngineError::ModificationDiverged { rounds } => write!(
+                f,
+                "transaction modification did not reach a fixpoint after {rounds} rounds"
+            ),
+            EngineError::Relational(e) => write!(f, "{e}"),
+            EngineError::Algebra(e) => write!(f, "{e}"),
+            EngineError::View(m) => write!(f, "view definition error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<tm_translate::TranslateError> for EngineError {
+    fn from(e: tm_translate::TranslateError) -> Self {
+        EngineError::Translate(e)
+    }
+}
+
+impl From<tm_relational::RelationalError> for EngineError {
+    fn from(e: tm_relational::RelationalError) -> Self {
+        EngineError::Relational(e)
+    }
+}
+
+impl From<tm_algebra::AlgebraError> for EngineError {
+    fn from(e: tm_algebra::AlgebraError) -> Self {
+        EngineError::Algebra(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_cycle_error() {
+        let e = EngineError::TriggeringCycle(vec![vec!["a".into(), "b".into()]]);
+        assert!(e.to_string().contains("a -> b"));
+    }
+}

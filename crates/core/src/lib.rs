@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! # `txmod` — a transaction modification subsystem for integrity control
+//!
+//! This crate is the primary contribution of Grefen, *Combining Theory and
+//! Practice in Integrity Control: A Declarative Approach to the
+//! Specification of a Transaction Modification Subsystem* (VLDB 1993),
+//! reproduced as a Rust library.
+//!
+//! **Transaction modification** prevents integrity violations by rewriting
+//! every update transaction before execution: the subsystem appends the
+//! extended relational algebra programs of all integrity rules the
+//! transaction's updates may trigger — recursively, because appended
+//! compensating actions may trigger further rules — so that the modified
+//! transaction *cannot* commit in a state that violates the declared
+//! constraints.
+//!
+//! ```
+//! use txmod::Engine;
+//! use tm_relational::schema::beer_schema;
+//! use tm_relational::Tuple;
+//! use tm_algebra::builder::TransactionBuilder;
+//!
+//! let mut engine = Engine::new(beer_schema());
+//! engine
+//!     .define_constraint("domain", "forall x (x in beer implies x.alcohol >= 0)")
+//!     .unwrap();
+//! engine
+//!     .load("brewery", vec![Tuple::of(("guineken", "dublin", "ie"))])
+//!     .unwrap();
+//!
+//! // A violating transaction is modified and aborts:
+//! let tx = TransactionBuilder::new()
+//!     .insert_tuple("beer", Tuple::of(("bad", "stout", "guineken", -1.0_f64)))
+//!     .build();
+//! let outcome = engine.execute(&tx).unwrap();
+//! assert!(!outcome.committed());
+//!
+//! // A correct one commits:
+//! let tx = TransactionBuilder::new()
+//!     .insert_tuple("beer", Tuple::of(("good", "stout", "guineken", 6.0_f64)))
+//!     .build();
+//! assert!(engine.execute(&tx).unwrap().committed());
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`modify`] — the declarative algorithms: `ModT`/`ModP`/`TrigP`
+//!   (Algorithm 5.1), rule selection `SelRS` (5.2), on-the-fly rule
+//!   translation `TrOptRS` (5.3), and the statically compiled variant
+//!   `SelPS`/`ConcatP` (Algorithm 6.2),
+//! * [`programs`] — integrity programs (Definition 6.3) and `GetIntP`
+//!   (Algorithm 6.1), plus the differential per-trigger variant,
+//! * [`catalog`] — the rule catalog with triggering-graph validation,
+//! * [`engine`] — the integrated engine: schema + data + rules +
+//!   configurable enforcement,
+//! * [`views`] — materialized view maintenance by transaction
+//!   modification, the second application named in the paper's
+//!   conclusions.
+
+pub mod catalog;
+pub mod engine;
+pub mod error;
+pub mod modify;
+pub mod programs;
+pub mod views;
+
+pub use catalog::Catalog;
+pub use engine::{Engine, EngineConfig, EngineOutcome, EnforcementMode, ModStats};
+pub use error::{EngineError, Result};
+pub use modify::mod_t;
+pub use programs::{get_int_p, IntegrityProgram};
+pub use views::ViewDef;

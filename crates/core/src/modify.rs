@@ -1,0 +1,368 @@
+//! The transaction modification algorithms (Algorithms 5.1–5.3 and 6.2).
+//!
+//! Algorithm 5.1 defines modification declaratively:
+//!
+//! ```text
+//! ModT(T, J) = ModP(T↓, J)↑
+//! ModP(P, J) = P                         if TrigP(P, J) = Pε
+//!            = P ⊕ ModP(TrigP(P, J), J)  otherwise
+//! TrigP(P, J) = TrOptRS(SelRS(P, J))
+//! ```
+//!
+//! `SelRS` selects the rules whose trigger sets intersect the update types
+//! of `P` (via `GetTrigP`); `TrOptRS` optimizes + translates them into one
+//! concatenated program. With statically compiled integrity programs
+//! (Section 6.2) `TrigP` becomes `ConcatP(SelPS(P, K))`, skipping
+//! translation at enforcement time; the differential variant selects a
+//! delta-specialized program per matched trigger.
+//!
+//! The recursion terminates when a round triggers nothing. A round budget
+//! guards against rule sets with triggering cycles (which Definition 6.1's
+//! validation reports at definition time, but the engine can be configured
+//! to admit).
+
+use tm_algebra::{Program, Transaction};
+use tm_relational::DatabaseSchema;
+use tm_rules::{gentrig::get_trig_px, IntegrityRule, TriggerSet};
+use tm_translate::trans_r;
+
+use crate::error::{EngineError, Result};
+use crate::programs::IntegrityProgram;
+
+/// How triggered programs are obtained during modification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionMode {
+    /// Rules are translated at enforcement time (`TrOptRS`,
+    /// Algorithm 5.3) — the baseline the paper improves on in §6.2.
+    Dynamic,
+    /// Statically compiled integrity programs (`SelPS`/`ConcatP`,
+    /// Algorithm 6.2).
+    Static,
+    /// Statically compiled per-trigger differential programs (§5.2.1).
+    Differential,
+}
+
+/// Statistics of one `ModT` run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModificationTrace {
+    /// Fixpoint rounds executed (0 = transaction triggered nothing).
+    pub rounds: usize,
+    /// Names of the rules selected, in append order (duplicates possible
+    /// across rounds).
+    pub rules_fired: Vec<String>,
+    /// Statements appended to the user transaction.
+    pub statements_appended: usize,
+    /// Rules translated at enforcement time (Dynamic mode only).
+    pub rules_translated: usize,
+}
+
+/// One selected program together with its triggering metadata for the next
+/// recursion round.
+struct SelectedProgram {
+    name: String,
+    program: Program,
+    non_triggering: bool,
+}
+
+/// Internal: one modification round — `TrigP(P, J)`.
+fn trig_p(
+    frontier_triggers: &TriggerSet,
+    mode: SelectionMode,
+    rules: &[IntegrityRule],
+    programs: &[IntegrityProgram],
+    schema: &DatabaseSchema,
+    trace: &mut ModificationTrace,
+) -> Result<Vec<SelectedProgram>> {
+    let mut selected = Vec::new();
+    match mode {
+        SelectionMode::Dynamic => {
+            // SelRS + TrOptRS: select by trigger intersection, then
+            // optimize + translate now.
+            for rule in rules {
+                if rule.triggers().intersects(frontier_triggers) {
+                    let t = trans_r(rule, schema)?;
+                    trace.rules_translated += 1;
+                    selected.push(SelectedProgram {
+                        name: t.name,
+                        program: t.program,
+                        non_triggering: t.non_triggering,
+                    });
+                }
+            }
+        }
+        SelectionMode::Static => {
+            // SelPS + ConcatP over precompiled programs.
+            for k in programs {
+                if k.triggers().intersects(frontier_triggers) {
+                    selected.push(SelectedProgram {
+                        name: k.name.clone(),
+                        program: k.program.clone(),
+                        non_triggering: k.non_triggering,
+                    });
+                }
+            }
+        }
+        SelectionMode::Differential => {
+            // Per-trigger selection: a rule contributes one specialized
+            // program per matched trigger.
+            for k in programs {
+                for t in k.triggers().iter() {
+                    if frontier_triggers.contains(t) {
+                        selected.push(SelectedProgram {
+                            name: format!("{}[{}]", k.name, t),
+                            program: k.program_for_trigger(t).clone(),
+                            non_triggering: k.non_triggering,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(selected)
+}
+
+/// `ModT` (Algorithm 5.1): modify a transaction with respect to a rule set
+/// (Dynamic mode) or a compiled program set (Static/Differential modes).
+///
+/// Returns the modified transaction and the modification trace.
+pub fn mod_t(
+    tx: &Transaction,
+    mode: SelectionMode,
+    rules: &[IntegrityRule],
+    programs: &[IntegrityProgram],
+    schema: &DatabaseSchema,
+    max_rounds: usize,
+) -> Result<(Transaction, ModificationTrace)> {
+    let mut trace = ModificationTrace::default();
+    // T↓ — debracket.
+    let mut result = tx.debracket().clone();
+    // The first frontier is the user program itself (always triggering).
+    let mut frontier_triggers = get_trig_px(&result, false);
+
+    loop {
+        if frontier_triggers.is_empty() {
+            break;
+        }
+        let selected = trig_p(
+            &frontier_triggers,
+            mode,
+            rules,
+            programs,
+            schema,
+            &mut trace,
+        )?;
+        if selected.is_empty() {
+            break;
+        }
+        trace.rounds += 1;
+        if trace.rounds > max_rounds {
+            return Err(EngineError::ModificationDiverged { rounds: max_rounds });
+        }
+        // Compute the next frontier's triggers before consuming programs.
+        let mut next_triggers = TriggerSet::empty();
+        for s in &selected {
+            next_triggers = next_triggers.union(get_trig_px(&s.program, s.non_triggering));
+        }
+        // P ⊕ ConcatP(selected).
+        for s in selected {
+            trace.statements_appended += s.program.len();
+            trace.rules_fired.push(s.name);
+            result = result.concat(s.program);
+        }
+        frontier_triggers = next_triggers;
+    }
+    // ↑ — rebracket.
+    Ok((result.bracket(), trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_algebra::builder::TransactionBuilder;
+    use tm_relational::schema::beer_schema;
+    use tm_relational::Tuple;
+    use tm_rules::parse_rule;
+
+    fn rules() -> Vec<IntegrityRule> {
+        vec![
+            parse_rule(
+                "IF NOT forall x (x in beer implies x.alcohol >= 0) THEN abort",
+                "r1",
+            )
+            .unwrap(),
+            parse_rule(
+                "IF NOT forall x (x in beer implies \
+                 exists y (y in brewery and x.brewery = y.name)) \
+                 THEN temp := minus(project[#2](beer), project[#0](brewery)); \
+                      insert(brewery, project[#0, null, null](temp))",
+                "r2",
+            )
+            .unwrap(),
+        ]
+    }
+
+    fn compiled(differential: bool) -> Vec<IntegrityProgram> {
+        rules()
+            .iter()
+            .map(|r| crate::programs::get_int_p(r, &beer_schema(), differential).unwrap())
+            .collect()
+    }
+
+    fn example_51_tx() -> Transaction {
+        TransactionBuilder::new()
+            .insert_tuple(
+                "beer",
+                Tuple::of(("exportgold", "stout", "guineken", 6.0_f64)),
+            )
+            .build()
+    }
+
+    #[test]
+    fn example_5_1_dynamic_modification() {
+        let schema = beer_schema();
+        let rs = rules();
+        let (modified, trace) =
+            mod_t(&example_51_tx(), SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
+        // Paper Example 5.1: insert + alarm (R1) + two compensation
+        // statements (R2) = 4 statements.
+        assert_eq!(modified.len(), 4);
+        let rendered = modified.to_string();
+        assert!(rendered.contains("insert(beer"), "{rendered}");
+        assert!(rendered.contains("alarm(select[(#3 < 0)](beer))"), "{rendered}");
+        assert!(rendered.contains("temp := "), "{rendered}");
+        assert!(rendered.contains("insert(brewery"), "{rendered}");
+        // R2's compensation inserts into brewery; no rule watches
+        // INS(brewery), so exactly one round happens... but the paper's
+        // recursion continues until the frontier triggers nothing.
+        assert_eq!(trace.rounds, 1);
+        assert_eq!(trace.rules_fired, vec!["r1".to_owned(), "r2".to_owned()]);
+        assert_eq!(trace.rules_translated, 2);
+    }
+
+    #[test]
+    fn static_mode_matches_dynamic_output() {
+        let schema = beer_schema();
+        let rs = rules();
+        let ks = compiled(false);
+        let (dynamic, _) =
+            mod_t(&example_51_tx(), SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
+        let (statik, trace) =
+            mod_t(&example_51_tx(), SelectionMode::Static, &[], &ks, &schema, 32).unwrap();
+        assert_eq!(dynamic, statik);
+        assert_eq!(trace.rules_translated, 0); // no enforcement-time translation
+    }
+
+    #[test]
+    fn differential_mode_uses_delta_checks() {
+        let schema = beer_schema();
+        let ks = compiled(true);
+        let (modified, _) = mod_t(
+            &example_51_tx(),
+            SelectionMode::Differential,
+            &[],
+            &ks,
+            &schema,
+            32,
+        )
+        .unwrap();
+        let rendered = modified.to_string();
+        assert!(rendered.contains("beer@ins"), "{rendered}");
+    }
+
+    #[test]
+    fn non_update_transaction_unmodified() {
+        let schema = beer_schema();
+        let rs = rules();
+        let tx = TransactionBuilder::new()
+            .assign("t", tm_algebra::RelExpr::relation("beer"))
+            .build();
+        let (modified, trace) =
+            mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
+        assert_eq!(modified, tx);
+        assert_eq!(trace.rounds, 0);
+    }
+
+    #[test]
+    fn untriggered_updates_unmodified() {
+        let schema = beer_schema();
+        let rs = rules();
+        // Deleting beers triggers neither rule (r1: INS(beer); r2:
+        // INS(beer), DEL(brewery)).
+        let tx = TransactionBuilder::new()
+            .delete_where("beer", tm_algebra::ScalarExpr::true_())
+            .build();
+        let (modified, trace) =
+            mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
+        assert_eq!(modified, tx);
+        assert_eq!(trace.rounds, 0);
+    }
+
+    #[test]
+    fn recursion_follows_compensation_chains() {
+        let schema = tm_relational::DatabaseSchema::from_relations(vec![
+            tm_relational::RelationSchema::of("a", &[("x", tm_relational::ValueType::Int)]),
+            tm_relational::RelationSchema::of("b", &[("x", tm_relational::ValueType::Int)]),
+            tm_relational::RelationSchema::of("c", &[("x", tm_relational::ValueType::Int)]),
+        ])
+        .unwrap();
+        let rs = vec![
+            parse_rule(
+                "WHEN INS(a) IF NOT 1 = 1 THEN insert(b, a@ins)",
+                "a_to_b",
+            )
+            .unwrap(),
+            parse_rule(
+                "WHEN INS(b) IF NOT 1 = 1 THEN insert(c, b@ins)",
+                "b_to_c",
+            )
+            .unwrap(),
+        ];
+        let tx = TransactionBuilder::new()
+            .insert_tuple("a", Tuple::of((1,)))
+            .build();
+        let (modified, trace) =
+            mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
+        assert_eq!(trace.rounds, 2);
+        assert_eq!(
+            trace.rules_fired,
+            vec!["a_to_b".to_owned(), "b_to_c".to_owned()]
+        );
+        assert_eq!(modified.len(), 3);
+    }
+
+    #[test]
+    fn cyclic_rules_hit_round_budget() {
+        let schema = tm_relational::DatabaseSchema::from_relations(vec![
+            tm_relational::RelationSchema::of("a", &[("x", tm_relational::ValueType::Int)]),
+        ])
+        .unwrap();
+        let rs = vec![parse_rule(
+            "WHEN INS(a) IF NOT 1 = 1 THEN insert(a, {(1)})",
+            "loop",
+        )
+        .unwrap()];
+        let tx = TransactionBuilder::new()
+            .insert_tuple("a", Tuple::of((1,)))
+            .build();
+        let err = mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 8).unwrap_err();
+        assert!(matches!(err, EngineError::ModificationDiverged { rounds: 8 }));
+    }
+
+    #[test]
+    fn non_triggering_action_stops_recursion() {
+        let schema = tm_relational::DatabaseSchema::from_relations(vec![
+            tm_relational::RelationSchema::of("a", &[("x", tm_relational::ValueType::Int)]),
+        ])
+        .unwrap();
+        let rs = vec![parse_rule(
+            "WHEN INS(a) IF NOT 1 = 1 THEN insert(a, {(1)}) NON-TRIGGERING",
+            "fix",
+        )
+        .unwrap()];
+        let tx = TransactionBuilder::new()
+            .insert_tuple("a", Tuple::of((1,)))
+            .build();
+        let (_, trace) = mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 8).unwrap();
+        assert_eq!(trace.rounds, 1);
+    }
+}

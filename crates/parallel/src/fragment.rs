@@ -1,0 +1,252 @@
+//! Hash-fragmented relations (the storage model of PRISMA/DB \[1, 7\]).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use tm_relational::{Relation, RelationSchema, RelationalError, Tuple, Value};
+
+/// A relation hash-partitioned across `n` fragments on one attribute.
+///
+/// Fragmentation is value-based: tuple `t` lives in fragment
+/// `h(t[key_col]) mod n`. Fragments of co-partitioned relations (same `n`,
+/// join attribute = fragmentation attribute on both sides) can be joined
+/// node-locally without data movement — the property the paper's parallel
+/// constraint enforcement exploits \[7\].
+#[derive(Debug, Clone)]
+pub struct FragmentedRelation {
+    schema: Arc<RelationSchema>,
+    key_col: usize,
+    fragments: Vec<Relation>,
+}
+
+impl FragmentedRelation {
+    /// Create an empty fragmented relation.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0` or `key_col` is out of range for the schema.
+    pub fn new(schema: Arc<RelationSchema>, key_col: usize, nodes: usize) -> Self {
+        assert!(nodes > 0, "at least one node required");
+        assert!(
+            key_col < schema.arity(),
+            "fragmentation attribute out of range"
+        );
+        FragmentedRelation {
+            fragments: (0..nodes).map(|_| Relation::empty(schema.clone())).collect(),
+            schema,
+            key_col,
+        }
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// The fragmentation attribute (zero-based).
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// Number of fragments (nodes).
+    pub fn nodes(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Total tuple count across fragments.
+    pub fn len(&self) -> usize {
+        self.fragments.iter().map(Relation::len).sum()
+    }
+
+    /// Whether all fragments are empty.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.iter().all(Relation::is_empty)
+    }
+
+    /// The hash route of a value: which fragment holds tuples with this
+    /// fragmentation-attribute value.
+    pub fn route(&self, v: &Value) -> usize {
+        route_value(v, self.nodes())
+    }
+
+    /// Fragment `i` (node-local data).
+    pub fn fragment(&self, i: usize) -> &Relation {
+        &self.fragments[i]
+    }
+
+    /// All fragments.
+    pub fn fragments(&self) -> &[Relation] {
+        &self.fragments
+    }
+
+    /// Insert a tuple, routing it by the fragmentation attribute.
+    /// Returns `true` when new.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool, RelationalError> {
+        self.schema.validate_tuple(&tuple)?;
+        let node = self.route(
+            tuple
+                .get(self.key_col)
+                .expect("validated tuple has key column"),
+        );
+        Ok(self.fragments[node].insert_unchecked(tuple))
+    }
+
+    /// Bulk insert; returns the number of new tuples.
+    pub fn insert_all(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, RelationalError> {
+        let mut n = 0;
+        for t in tuples {
+            if self.insert(t)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Delete a tuple; returns whether it was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        match tuple.get(self.key_col) {
+            Some(v) => {
+                let node = self.route(v);
+                self.fragments[node].remove(tuple)
+            }
+            None => false,
+        }
+    }
+
+    /// Membership test (single-fragment lookup).
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        match tuple.get(self.key_col) {
+            Some(v) => self.fragments[self.route(v)].contains(tuple),
+            None => false,
+        }
+    }
+
+    /// Gather all fragments into one relation (the "de-fragmentation"
+    /// operator; used for verification, not on hot paths).
+    pub fn gather(&self) -> Relation {
+        let mut out = Relation::with_capacity(self.schema.clone(), self.len());
+        for f in &self.fragments {
+            for t in f.iter() {
+                out.insert_unchecked(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Re-fragment to a different node count and/or attribute, returning
+    /// the new relation and the number of tuples that moved "across the
+    /// network" (landed on a different node index).
+    pub fn refragment(&self, key_col: usize, nodes: usize) -> (FragmentedRelation, usize) {
+        let mut out = FragmentedRelation::new(self.schema.clone(), key_col, nodes);
+        let mut moved = 0;
+        for (i, frag) in self.fragments.iter().enumerate() {
+            for t in frag.iter() {
+                let dest = out.route(t.get(key_col).expect("arity checked"));
+                if dest != i {
+                    moved += 1;
+                }
+                out.fragments[dest].insert_unchecked(t.clone());
+            }
+        }
+        (out, moved)
+    }
+}
+
+/// Hash-route a value to one of `n` buckets (stable across calls; uses the
+/// std hasher, which is seeded per-process but consistent within it).
+pub fn route_value(v: &Value, n: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    (h.finish() % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_relational::ValueType;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(RelationSchema::of(
+            "r",
+            &[("k", ValueType::Int), ("v", ValueType::Str)],
+        ))
+    }
+
+    fn loaded(nodes: usize, n: i64) -> FragmentedRelation {
+        let mut fr = FragmentedRelation::new(schema(), 0, nodes);
+        fr.insert_all((0..n).map(|i| Tuple::of((i, "x")))).unwrap();
+        fr
+    }
+
+    #[test]
+    fn routing_is_consistent() {
+        let fr = loaded(4, 100);
+        assert_eq!(fr.len(), 100);
+        for i in 0..4 {
+            for t in fr.fragment(i).iter() {
+                assert_eq!(fr.route(t.get(0).unwrap()), i, "tuple on wrong node");
+            }
+        }
+    }
+
+    #[test]
+    fn fragments_partition_the_relation() {
+        let fr = loaded(8, 1000);
+        let total: usize = (0..8).map(|i| fr.fragment(i).len()).sum();
+        assert_eq!(total, 1000);
+        // Reasonably balanced: no fragment below 5% or above 30%.
+        for i in 0..8 {
+            let len = fr.fragment(i).len();
+            assert!((50..=300).contains(&len), "fragment {i} has {len} tuples");
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut fr = loaded(4, 10);
+        let t = Tuple::of((5, "x"));
+        assert!(fr.contains(&t));
+        assert!(fr.remove(&t));
+        assert!(!fr.contains(&t));
+        assert!(!fr.remove(&t));
+        assert!(fr.insert(t.clone()).unwrap());
+        assert!(!fr.insert(t).unwrap()); // set semantics
+    }
+
+    #[test]
+    fn gather_round_trip() {
+        let fr = loaded(8, 200);
+        let all = fr.gather();
+        assert_eq!(all.len(), 200);
+        for i in 0..200 {
+            assert!(all.contains(&Tuple::of((i, "x"))));
+        }
+    }
+
+    #[test]
+    fn single_node_degenerates_to_plain_relation() {
+        let fr = loaded(1, 50);
+        assert_eq!(fr.fragment(0).len(), 50);
+    }
+
+    #[test]
+    fn refragment_moves_tuples() {
+        let fr = loaded(2, 100);
+        let (re, _moved) = fr.refragment(0, 8);
+        assert_eq!(re.len(), 100);
+        assert_eq!(re.nodes(), 8);
+        // Same attribute, same node count: nothing moves.
+        let (_, moved) = fr.refragment(0, 2);
+        assert_eq!(moved, 0);
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut fr = loaded(2, 1);
+        assert!(fr.insert(Tuple::of(("bad", "x"))).is_err());
+        assert!(fr.insert(Tuple::of((1,))).is_err());
+    }
+}

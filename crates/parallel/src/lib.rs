@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # `tm-parallel` — the parallel main-memory substrate
+//!
+//! The paper's feasibility evidence is a prototype inside **PRISMA/DB**, a
+//! parallel main-memory relational DBMS running on the 8-node POOMA
+//! multiprocessor (§7, refs \[1, 22\]); the companion work \[7\] shows how
+//! transaction-modification checks decompose over **fragmented
+//! relations**. This crate reproduces that substrate:
+//!
+//! * [`FragmentedRelation`] — a relation hash-partitioned on a
+//!   fragmentation attribute across `n` nodes,
+//! * [`ParallelDb`] — a shared-nothing collection of fragmented relations
+//!   where each "node" is an OS thread operating on its own fragments,
+//! * parallel constraint checks for the two §7 workloads — domain checks
+//!   (embarrassingly parallel selections) and referential checks
+//!   (co-partitioned anti-joins), in full-relation and differential
+//!   (delta-only) variants,
+//! * a shuffle (`FragmentedRelation::refragment`) for checks whose join
+//!   attribute differs from the fragmentation attribute, with message
+//!   counts reported so experiments can show the cost of repartitioning.
+//!
+//! ## Substitution note (see DESIGN.md)
+//!
+//! The original hardware was a 1992 message-passing multiprocessor. Here a
+//! node is a thread and the "network" is memory, so absolute numbers are
+//! incomparable — but the *code path* the paper measures (fragment-local
+//! selection/anti-join after routing by hash) is the same, which preserves
+//! the shape of the scaling results.
+
+pub mod db;
+pub mod fragment;
+
+pub use db::{CheckReport, ParallelDb};
+pub use fragment::FragmentedRelation;

@@ -1,0 +1,129 @@
+//! Reserved names for the auxiliary relations of Section 4.1.
+//!
+//! > "The auxiliary relations are calculated from the base relations
+//! > automatically by the database management system for specific integrity
+//! > control purposes. An important type of auxiliary relation is the
+//! > pre-transaction state of a relation, necessary for the specification of
+//! > transition constraints."
+//!
+//! Three auxiliary relations exist per base relation `R`:
+//!
+//! * `R@pre` — the pre-transaction state `R` had at transaction begin
+//!   (drives transition constraints),
+//! * `R@ins` — the *net* set of tuples inserted so far in the running
+//!   transaction (differential relation, cf. §5.2.1 and refs \[18, 5, 7\]),
+//! * `R@del` — the net set of tuples deleted so far.
+//!
+//! The `@` marker cannot appear in user relation names
+//! ([`crate::schema::DatabaseSchema::add_relation`] rejects it), so
+//! auxiliary names can never collide with base relations.
+
+/// Marker separating a base relation name from an auxiliary suffix.
+pub const AUX_MARKER: char = '@';
+
+/// The kind of auxiliary relation derived from a base relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AuxKind {
+    /// Pre-transaction state (`R@pre`).
+    Pre,
+    /// Net inserted tuples in the running transaction (`R@ins`).
+    Ins,
+    /// Net deleted tuples in the running transaction (`R@del`).
+    Del,
+}
+
+impl AuxKind {
+    /// The textual suffix of this kind.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            AuxKind::Pre => "pre",
+            AuxKind::Ins => "ins",
+            AuxKind::Del => "del",
+        }
+    }
+
+    /// All kinds, for iteration.
+    pub fn all() -> [AuxKind; 3] {
+        [AuxKind::Pre, AuxKind::Ins, AuxKind::Del]
+    }
+}
+
+/// Auxiliary name for the pre-transaction state of `base`.
+pub fn pre_name(base: &str) -> String {
+    format!("{base}{AUX_MARKER}pre")
+}
+
+/// Auxiliary name for the inserted-differential of `base`.
+pub fn ins_name(base: &str) -> String {
+    format!("{base}{AUX_MARKER}ins")
+}
+
+/// Auxiliary name for the deleted-differential of `base`.
+pub fn del_name(base: &str) -> String {
+    format!("{base}{AUX_MARKER}del")
+}
+
+/// Auxiliary name of the given kind for `base`.
+pub fn aux_name(base: &str, kind: AuxKind) -> String {
+    format!("{base}{AUX_MARKER}{}", kind.suffix())
+}
+
+/// Whether `name` is an auxiliary relation name.
+pub fn is_auxiliary(name: &str) -> bool {
+    name.contains(AUX_MARKER)
+}
+
+/// Decompose an auxiliary name into `(base, kind)`; `None` when `name` is
+/// not a well-formed auxiliary name.
+pub fn parse_auxiliary(name: &str) -> Option<(&str, AuxKind)> {
+    let (base, suffix) = name.rsplit_once(AUX_MARKER)?;
+    if base.is_empty() || base.contains(AUX_MARKER) {
+        return None;
+    }
+    let kind = match suffix {
+        "pre" => AuxKind::Pre,
+        "ins" => AuxKind::Ins,
+        "del" => AuxKind::Del,
+        _ => return None,
+    };
+    Some((base, kind))
+}
+
+/// The base relation a (possibly auxiliary) name refers to.
+pub fn base_of(name: &str) -> &str {
+    match parse_auxiliary(name) {
+        Some((base, _)) => base,
+        None => name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        assert_eq!(parse_auxiliary(&pre_name("beer")), Some(("beer", AuxKind::Pre)));
+        assert_eq!(parse_auxiliary(&ins_name("beer")), Some(("beer", AuxKind::Ins)));
+        assert_eq!(parse_auxiliary(&del_name("beer")), Some(("beer", AuxKind::Del)));
+        for kind in AuxKind::all() {
+            assert_eq!(parse_auxiliary(&aux_name("r", kind)), Some(("r", kind)));
+        }
+    }
+
+    #[test]
+    fn detection() {
+        assert!(is_auxiliary("beer@pre"));
+        assert!(!is_auxiliary("beer"));
+        assert_eq!(parse_auxiliary("beer"), None);
+        assert_eq!(parse_auxiliary("beer@wat"), None);
+        assert_eq!(parse_auxiliary("@pre"), None);
+        assert_eq!(parse_auxiliary("a@b@pre"), None);
+    }
+
+    #[test]
+    fn base_extraction() {
+        assert_eq!(base_of("beer@pre"), "beer");
+        assert_eq!(base_of("beer"), "beer");
+    }
+}

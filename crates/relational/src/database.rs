@@ -1,0 +1,225 @@
+//! Database states and transitions (Definitions 2.2 and 2.3).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{RelationalError, Result};
+use crate::relation::Relation;
+use crate::schema::DatabaseSchema;
+use crate::tuple::Tuple;
+use crate::util::FxHashMap;
+
+/// A database state `D` of schema `𝒟`: one relation state per relation
+/// schema, plus the logical time `t` of Definition 2.3.
+///
+/// Database states are value-like: cloning produces an independent state
+/// (tuple payloads are shared via [`Tuple`]'s `Arc`, so clones are cheap in
+/// proportion to relation count, not data volume). The transaction executor
+/// in `tm-algebra` relies on this to implement atomicity: it clones the
+/// state, runs the transaction on the clone, and installs or discards it.
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: Arc<DatabaseSchema>,
+    relations: FxHashMap<String, Relation>,
+    logical_time: u64,
+}
+
+impl Database {
+    /// Create an empty database state (all relations empty, time 0).
+    pub fn new(schema: Arc<DatabaseSchema>) -> Self {
+        let mut relations = FxHashMap::default();
+        for r in schema.relations() {
+            relations.insert(
+                r.name().to_owned(),
+                Relation::empty(Arc::new(r.clone())),
+            );
+        }
+        Database {
+            schema,
+            relations,
+            logical_time: 0,
+        }
+    }
+
+    /// The database schema.
+    pub fn schema(&self) -> &Arc<DatabaseSchema> {
+        &self.schema
+    }
+
+    /// The logical time `t` of this state.
+    pub fn logical_time(&self) -> u64 {
+        self.logical_time
+    }
+
+    /// Advance the logical time by one step (called on commit *and* abort:
+    /// Definition 2.5 installs either `[D^{t,n}]` or `D^t` as `D^{t+1}`).
+    pub fn tick(&mut self) {
+        self.logical_time += 1;
+    }
+
+    /// Borrow a relation state by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Mutably borrow a relation state by name.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Replace a relation state wholesale (assignment to a base relation).
+    pub fn set_relation(&mut self, name: &str, rel: Relation) -> Result<()> {
+        if !self.relations.contains_key(name) {
+            return Err(RelationalError::UnknownRelation(name.to_owned()));
+        }
+        self.relations.insert(name.to_owned(), rel);
+        Ok(())
+    }
+
+    /// Insert a tuple into a base relation; returns whether it was new.
+    pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<bool> {
+        self.relation_mut(name)?.insert(tuple)
+    }
+
+    /// Remove a tuple from a base relation; returns whether it was present.
+    pub fn delete(&mut self, name: &str, tuple: &Tuple) -> Result<bool> {
+        Ok(self.relation_mut(name)?.remove(tuple))
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Iterate over `(name, relation)` pairs in schema declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.schema
+            .relations()
+            .iter()
+            .map(move |rs| (rs.name(), &self.relations[rs.name()]))
+    }
+
+    /// State equality disregarding logical time — two states are the same
+    /// point of the database universe when all relation states agree.
+    pub fn state_eq(&self, other: &Database) -> bool {
+        if self.schema != other.schema {
+            return false;
+        }
+        self.iter()
+            .all(|(name, rel)| other.relations.get(name).is_some_and(|o| o == rel))
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "database @ t={}", self.logical_time)?;
+        for (_, rel) in self.iter() {
+            write!(f, "{rel}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A single-step database transition `(D^t, D^{t+1})` (Definition 2.3).
+///
+/// Transition constraints (Definition 3.3) are evaluated over this pair;
+/// the `before` state also backs the `R@pre` auxiliary relations.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// The pre-transaction state `D^{t1}`.
+    pub before: Database,
+    /// The post-transaction state `D^{t2}`, `t1 < t2`.
+    pub after: Database,
+}
+
+impl Transition {
+    /// Create a transition, asserting the logical-time ordering of
+    /// Definition 2.3 (`t1 < t2`).
+    pub fn new(before: Database, after: Database) -> Self {
+        debug_assert!(
+            before.logical_time() < after.logical_time(),
+            "transition requires t1 < t2"
+        );
+        Transition { before, after }
+    }
+
+    /// Whether this is an identity transition (aborted transaction).
+    pub fn is_identity(&self) -> bool {
+        self.before.state_eq(&self.after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::beer_schema;
+
+    fn db() -> Database {
+        Database::new(beer_schema().into_shared())
+    }
+
+    fn beer_tuple(name: &str) -> Tuple {
+        Tuple::of((name, "pils", "heineken", 5.0_f64))
+    }
+
+    #[test]
+    fn new_database_is_empty() {
+        let d = db();
+        assert_eq!(d.logical_time(), 0);
+        assert_eq!(d.total_tuples(), 0);
+        assert!(d.relation("beer").unwrap().is_empty());
+        assert!(d.relation("nope").is_err());
+    }
+
+    #[test]
+    fn insert_delete_round_trip() {
+        let mut d = db();
+        assert!(d.insert("beer", beer_tuple("a")).unwrap());
+        assert!(!d.insert("beer", beer_tuple("a")).unwrap());
+        assert_eq!(d.total_tuples(), 1);
+        assert!(d.delete("beer", &beer_tuple("a")).unwrap());
+        assert!(!d.delete("beer", &beer_tuple("a")).unwrap());
+    }
+
+    #[test]
+    fn clone_isolation() {
+        let mut d = db();
+        d.insert("beer", beer_tuple("a")).unwrap();
+        let snapshot = d.clone();
+        d.insert("beer", beer_tuple("b")).unwrap();
+        assert_eq!(snapshot.relation("beer").unwrap().len(), 1);
+        assert_eq!(d.relation("beer").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn state_eq_ignores_time() {
+        let mut a = db();
+        let mut b = db();
+        a.insert("beer", beer_tuple("a")).unwrap();
+        b.insert("beer", beer_tuple("a")).unwrap();
+        b.tick();
+        assert!(a.state_eq(&b));
+        b.insert("beer", beer_tuple("b")).unwrap();
+        assert!(!a.state_eq(&b));
+    }
+
+    #[test]
+    fn transition_identity() {
+        let before = db();
+        let mut after = before.clone();
+        after.tick();
+        let t = Transition::new(before, after);
+        assert!(t.is_identity());
+    }
+
+    #[test]
+    fn iteration_order_is_declaration_order() {
+        let d = db();
+        let names: Vec<&str> = d.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["beer", "brewery"]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+use crate::value::ValueType;
+
+/// Convenience alias used throughout `tm-relational`.
+pub type Result<T> = std::result::Result<T, RelationalError>;
+
+/// Errors raised by schema validation and relation manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A relation name was declared twice in a database schema.
+    DuplicateRelation(String),
+    /// An attribute name was declared twice in a relation schema.
+    DuplicateAttribute {
+        /// Relation in which the duplicate occurred.
+        relation: String,
+        /// The repeated attribute name.
+        attribute: String,
+    },
+    /// A referenced relation does not exist in the schema.
+    UnknownRelation(String),
+    /// A referenced attribute does not exist in a relation schema.
+    UnknownAttribute {
+        /// Relation that was searched.
+        relation: String,
+        /// The missing attribute name.
+        attribute: String,
+    },
+    /// A tuple's arity does not match its relation schema.
+    ArityMismatch {
+        /// Relation the tuple was destined for.
+        relation: String,
+        /// Arity required by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// A tuple value does not conform to the attribute domain.
+    TypeMismatch {
+        /// Relation the tuple was destined for.
+        relation: String,
+        /// Zero-based attribute position.
+        position: usize,
+        /// Domain required by the schema.
+        expected: ValueType,
+        /// What the tuple contained.
+        actual: String,
+    },
+    /// A user relation name uses the reserved auxiliary-relation syntax.
+    ReservedName(String),
+    /// Two relation states with different schemas were combined.
+    SchemaMismatch {
+        /// Schema description of the left operand.
+        left: String,
+        /// Schema description of the right operand.
+        right: String,
+    },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` is declared more than once")
+            }
+            RelationalError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => write!(
+                f,
+                "attribute `{attribute}` is declared more than once in relation `{relation}`"
+            ),
+            RelationalError::UnknownRelation(name) => {
+                write!(f, "unknown relation `{name}`")
+            }
+            RelationalError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "relation `{relation}` has no attribute `{attribute}`"),
+            RelationalError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "tuple arity {actual} does not match schema of `{relation}` (arity {expected})"
+            ),
+            RelationalError::TypeMismatch {
+                relation,
+                position,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "value {actual} at position {position} of a tuple for `{relation}` \
+                 is not in domain {expected}"
+            ),
+            RelationalError::ReservedName(name) => write!(
+                f,
+                "relation name `{name}` uses the reserved auxiliary-relation marker `@`"
+            ),
+            RelationalError::SchemaMismatch { left, right } => write!(
+                f,
+                "incompatible relation schemas: {left} vs {right}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationalError::ArityMismatch {
+            relation: "beer".into(),
+            expected: 4,
+            actual: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("beer"));
+        assert!(msg.contains('4'));
+        assert!(msg.contains('3'));
+
+        let e = RelationalError::TypeMismatch {
+            relation: "beer".into(),
+            position: 3,
+            expected: ValueType::Int,
+            actual: "\"stout\"".into(),
+        };
+        assert!(e.to_string().contains("stout"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Relation states — sets of tuples (Definition 2.1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::util::{fx_set_with_capacity, FxHashSet};
+
+/// A relation state `R`: the name of its schema plus a *set* of tuples in
+/// `dom(R)` (Definition 2.1). Set semantics follow the paper; the bag
+/// extension lives in [`crate::multiset`].
+///
+/// The schema is shared behind an [`Arc`] because many relation states of
+/// the same schema coexist (committed state, pre-transaction snapshot,
+/// differentials, intermediate results).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<RelationSchema>,
+    tuples: FxHashSet<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation state of the given schema.
+    pub fn empty(schema: Arc<RelationSchema>) -> Self {
+        Relation {
+            schema,
+            tuples: FxHashSet::default(),
+        }
+    }
+
+    /// Create an empty relation state with capacity for `cap` tuples.
+    pub fn with_capacity(schema: Arc<RelationSchema>, cap: usize) -> Self {
+        Relation {
+            schema,
+            tuples: fx_set_with_capacity(cap),
+        }
+    }
+
+    /// Create a relation from tuples, validating each against the schema.
+    pub fn from_tuples(
+        schema: Arc<RelationSchema>,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self> {
+        let mut rel = Relation::empty(schema);
+        for t in tuples {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// The relation name (that of its schema).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of tuples (set cardinality).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Set membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Insert a tuple after validating it against the schema. Returns
+    /// `true` when the tuple was not already present.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        self.schema.validate_tuple(&tuple)?;
+        Ok(self.tuples.insert(tuple))
+    }
+
+    /// Insert a tuple that is already known to satisfy the schema
+    /// (operator-internal fast path; debug builds still assert validity).
+    pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
+        debug_assert!(self.schema.validate_tuple(&tuple).is_ok());
+        self.tuples.insert(tuple)
+    }
+
+    /// Remove a tuple; returns `true` when it was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        self.tuples.remove(tuple)
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+    }
+
+    /// Iterate over the tuples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples sorted by the total tuple order — deterministic output for
+    /// display, goldens and reports.
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Set equality with another relation state of a union-compatible
+    /// schema.
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.schema.union_compatible(other.schema()) && self.tuples == other.tuples
+    }
+
+    /// Retain tuples satisfying a predicate (used by delete).
+    pub fn retain(&mut self, f: impl FnMut(&Tuple) -> bool) {
+        self.tuples.retain(f);
+    }
+
+    /// Replace this state's contents with `other`'s (same schema family).
+    pub fn assign_from(&mut self, other: &Relation) {
+        self.tuples = other.tuples.clone();
+    }
+
+    /// Consume the relation and return its tuple set.
+    pub fn into_tuples(self) -> FxHashSet<Tuple> {
+        self.tuples
+    }
+
+    /// Borrow the underlying tuple set.
+    pub fn tuples(&self) -> &FxHashSet<Tuple> {
+        &self.tuples
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} tuples]", self.schema, self.len())?;
+        for t in self.sorted_tuples() {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::value::{Value, ValueType};
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(RelationSchema::of(
+            "r",
+            &[("a", ValueType::Int), ("b", ValueType::Str)],
+        ))
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut r = Relation::empty(schema());
+        assert!(r.insert(Tuple::of((1, "x"))).unwrap());
+        assert!(!r.insert(Tuple::of((1, "x"))).unwrap());
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&Tuple::of((1, "x"))));
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let mut r = Relation::empty(schema());
+        assert!(r.insert(Tuple::of(("bad", "x"))).is_err());
+        assert!(r.insert(Tuple::of((1,))).is_err());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn remove_and_retain() {
+        let mut r = Relation::from_tuples(
+            schema(),
+            vec![Tuple::of((1, "x")), Tuple::of((2, "y")), Tuple::of((3, "z"))],
+        )
+        .unwrap();
+        assert!(r.remove(&Tuple::of((2, "y"))));
+        assert!(!r.remove(&Tuple::of((2, "y"))));
+        r.retain(|t| t.get(0) == Some(&Value::Int(1)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn sorted_tuples_is_deterministic() {
+        let mut r = Relation::empty(schema());
+        for i in (0..10).rev() {
+            r.insert(Tuple::of((i, "t"))).unwrap();
+        }
+        let sorted = r.sorted_tuples();
+        for w in sorted.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn set_equality_ignores_names() {
+        let a = Relation::from_tuples(schema(), vec![Tuple::of((1, "x"))]).unwrap();
+        let other_schema = Arc::new(RelationSchema::of(
+            "s",
+            &[("c", ValueType::Int), ("d", ValueType::Str)],
+        ));
+        let b = Relation::from_tuples(other_schema, vec![Tuple::of((1, "x"))]).unwrap();
+        assert!(a.set_eq(&b));
+        assert_ne!(a, b); // strict equality compares schemas
+    }
+
+    #[test]
+    fn assign_from_replaces_contents() {
+        let mut a = Relation::from_tuples(schema(), vec![Tuple::of((1, "x"))]).unwrap();
+        let b = Relation::from_tuples(schema(), vec![Tuple::of((2, "y"))]).unwrap();
+        a.assign_from(&b);
+        assert!(a.contains(&Tuple::of((2, "y"))));
+        assert_eq!(a.len(), 1);
+    }
+}

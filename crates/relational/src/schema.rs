@@ -1,0 +1,389 @@
+//! Relation and database schemas (Definitions 2.1 and 2.2).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{RelationalError, Result};
+use crate::tuple::Tuple;
+use crate::util::FxHashMap;
+use crate::value::ValueType;
+
+/// A named, typed attribute `A_i` with domain `dom(A_i)` (Definition 2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Attribute {
+    name: String,
+    ty: ValueType,
+}
+
+impl Attribute {
+    /// Create an attribute with the given name and domain.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Attribute {
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's domain.
+    pub fn value_type(&self) -> ValueType {
+        self.ty
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.ty)
+    }
+}
+
+/// A relation schema `R` — a relation name plus an attribute list
+/// (Definition 2.1). The type of the schema is the cartesian product of the
+/// attribute domains.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<Attribute>,
+}
+
+impl RelationSchema {
+    /// Create a relation schema, rejecting duplicate attribute names.
+    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Result<Self> {
+        let name = name.into();
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name() == a.name()) {
+                return Err(RelationalError::DuplicateAttribute {
+                    relation: name,
+                    attribute: a.name().to_owned(),
+                });
+            }
+        }
+        Ok(RelationSchema { name, attributes })
+    }
+
+    /// Shorthand constructor from `(name, type)` pairs; panics on duplicate
+    /// attribute names (intended for tests and examples).
+    pub fn of(name: &str, attrs: &[(&str, ValueType)]) -> Self {
+        RelationSchema::new(
+            name,
+            attrs
+                .iter()
+                .map(|(n, t)| Attribute::new(*n, *t))
+                .collect(),
+        )
+        .expect("duplicate attribute name")
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered attribute list.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Zero-based position of the attribute named `name`.
+    pub fn position_of(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name() == name)
+            .ok_or_else(|| RelationalError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: name.to_owned(),
+            })
+    }
+
+    /// The attribute domains in order, i.e. `dom(R)` as a vector.
+    pub fn domain(&self) -> Vec<ValueType> {
+        self.attributes.iter().map(Attribute::value_type).collect()
+    }
+
+    /// Validate that `tuple` is an element of `dom(R)`: correct arity and
+    /// every value in its attribute's domain.
+    pub fn validate_tuple(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: self.name.clone(),
+                expected: self.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        for (i, (v, a)) in tuple.values().iter().zip(&self.attributes).enumerate() {
+            if !v.conforms_to(a.value_type()) {
+                return Err(RelationalError::TypeMismatch {
+                    relation: self.name.clone(),
+                    position: i,
+                    expected: a.value_type(),
+                    actual: v.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A renamed copy of this schema (used for auxiliary relations, which
+    /// share the base relation's attribute list).
+    pub fn renamed(&self, name: impl Into<String>) -> Self {
+        RelationSchema {
+            name: name.into(),
+            attributes: self.attributes.clone(),
+        }
+    }
+
+    /// True when two schemas are *union-compatible*: same arity and the same
+    /// attribute domains position-by-position (names may differ).
+    pub fn union_compatible(&self, other: &RelationSchema) -> bool {
+        self.arity() == other.arity()
+            && self
+                .attributes
+                .iter()
+                .zip(&other.attributes)
+                .all(|(a, b)| a.value_type() == b.value_type())
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A database schema `D` — a set of relation schemas (Definition 2.2).
+///
+/// Iteration order is deterministic (declaration order) so that plans,
+/// reports and tests are reproducible.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct DatabaseSchema {
+    relations: Vec<RelationSchema>,
+    #[serde(skip)]
+    index: FxHashMap<String, usize>,
+}
+
+impl DatabaseSchema {
+    /// Create an empty database schema.
+    pub fn new() -> Self {
+        DatabaseSchema::default()
+    }
+
+    /// Build a schema from a list of relation schemas.
+    pub fn from_relations(relations: Vec<RelationSchema>) -> Result<Self> {
+        let mut schema = DatabaseSchema::new();
+        for r in relations {
+            schema.add_relation(r)?;
+        }
+        Ok(schema)
+    }
+
+    /// Add a relation schema; rejects duplicates and reserved names.
+    pub fn add_relation(&mut self, relation: RelationSchema) -> Result<()> {
+        if crate::auxiliary::is_auxiliary(relation.name()) {
+            return Err(RelationalError::ReservedName(relation.name().to_owned()));
+        }
+        if self.index.contains_key(relation.name()) {
+            return Err(RelationalError::DuplicateRelation(
+                relation.name().to_owned(),
+            ));
+        }
+        self.index
+            .insert(relation.name().to_owned(), self.relations.len());
+        self.relations.push(relation);
+        Ok(())
+    }
+
+    /// Look up a relation schema by name.
+    pub fn relation(&self, name: &str) -> Result<&RelationSchema> {
+        self.index
+            .get(name)
+            .map(|&i| &self.relations[i])
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Whether a relation with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// All relation schemas in declaration order.
+    pub fn relations(&self) -> &[RelationSchema] {
+        &self.relations
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Share the schema behind an [`Arc`].
+    pub fn into_shared(self) -> Arc<DatabaseSchema> {
+        Arc::new(self)
+    }
+}
+
+impl PartialEq for DatabaseSchema {
+    fn eq(&self, other: &Self) -> bool {
+        self.relations == other.relations
+    }
+}
+
+impl Eq for DatabaseSchema {}
+
+impl fmt::Display for DatabaseSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.relations {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The beer/brewery example schema used throughout the paper
+/// (Example 4.1): `beer(name, type, brewery, alcohol)` and
+/// `brewery(name, city, country)`.
+pub fn beer_schema() -> DatabaseSchema {
+    DatabaseSchema::from_relations(vec![
+        RelationSchema::of(
+            "beer",
+            &[
+                ("name", ValueType::Str),
+                ("type", ValueType::Str),
+                ("brewery", ValueType::Str),
+                ("alcohol", ValueType::Double),
+            ],
+        ),
+        RelationSchema::of(
+            "brewery",
+            &[
+                ("name", ValueType::Str),
+                ("city", ValueType::Str),
+                ("country", ValueType::Str),
+            ],
+        ),
+    ])
+    .expect("static schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn relation_schema_basics() {
+        let s = RelationSchema::of("r", &[("a", ValueType::Int), ("b", ValueType::Str)]);
+        assert_eq!(s.name(), "r");
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.position_of("b").unwrap(), 1);
+        assert!(s.position_of("z").is_err());
+        assert_eq!(s.domain(), vec![ValueType::Int, ValueType::Str]);
+        assert_eq!(s.to_string(), "r(a: int, b: str)");
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let r = RelationSchema::new(
+            "r",
+            vec![
+                Attribute::new("a", ValueType::Int),
+                Attribute::new("a", ValueType::Str),
+            ],
+        );
+        assert!(matches!(
+            r,
+            Err(RelationalError::DuplicateAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn tuple_validation() {
+        let s = RelationSchema::of("r", &[("a", ValueType::Int), ("b", ValueType::Str)]);
+        assert!(s
+            .validate_tuple(&Tuple::from_values(vec![Value::Int(1), Value::str("x")]))
+            .is_ok());
+        // Null fits any domain.
+        assert!(s
+            .validate_tuple(&Tuple::from_values(vec![Value::Null, Value::Null]))
+            .is_ok());
+        assert!(matches!(
+            s.validate_tuple(&Tuple::from_values(vec![Value::Int(1)])),
+            Err(RelationalError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.validate_tuple(&Tuple::from_values(vec![
+                Value::str("oops"),
+                Value::str("x")
+            ])),
+            Err(RelationalError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn union_compatibility() {
+        let a = RelationSchema::of("a", &[("x", ValueType::Int)]);
+        let b = RelationSchema::of("b", &[("y", ValueType::Int)]);
+        let c = RelationSchema::of("c", &[("z", ValueType::Str)]);
+        assert!(a.union_compatible(&b));
+        assert!(!a.union_compatible(&c));
+    }
+
+    #[test]
+    fn database_schema_add_and_lookup() {
+        let mut db = DatabaseSchema::new();
+        db.add_relation(RelationSchema::of("r", &[("a", ValueType::Int)]))
+            .unwrap();
+        assert!(db.contains("r"));
+        assert!(db.relation("r").is_ok());
+        assert!(db.relation("s").is_err());
+        assert_eq!(db.len(), 1);
+        let dup = db.add_relation(RelationSchema::of("r", &[("b", ValueType::Int)]));
+        assert!(matches!(dup, Err(RelationalError::DuplicateRelation(_))));
+    }
+
+    #[test]
+    fn reserved_names_rejected() {
+        let mut db = DatabaseSchema::new();
+        let r = db.add_relation(RelationSchema::of("r@pre", &[("a", ValueType::Int)]));
+        assert!(matches!(r, Err(RelationalError::ReservedName(_))));
+    }
+
+    #[test]
+    fn beer_schema_matches_paper() {
+        let db = beer_schema();
+        assert_eq!(db.len(), 2);
+        let beer = db.relation("beer").unwrap();
+        assert_eq!(beer.arity(), 4);
+        assert_eq!(beer.position_of("alcohol").unwrap(), 3);
+        let brewery = db.relation("brewery").unwrap();
+        assert_eq!(brewery.arity(), 3);
+    }
+
+    #[test]
+    fn renamed_preserves_attributes() {
+        let s = RelationSchema::of("r", &[("a", ValueType::Int)]);
+        let t = s.renamed("r@pre");
+        assert_eq!(t.name(), "r@pre");
+        assert_eq!(t.attributes(), s.attributes());
+    }
+}

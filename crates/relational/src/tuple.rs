@@ -1,0 +1,177 @@
+//! Tuples — elements of `dom(R)` (Definition 2.1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// An immutable tuple of attribute values.
+///
+/// Tuples are shared freely between relation states (a committed state and
+/// the pre-transaction snapshot typically share almost all tuples), so the
+/// payload lives behind an [`Arc`] and cloning a tuple is a reference-count
+/// bump, not a deep copy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from owned values.
+    pub fn from_values(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into(),
+        }
+    }
+
+    /// Build a tuple from anything convertible into values.
+    ///
+    /// ```
+    /// use tm_relational::Tuple;
+    /// let t = Tuple::of(("pils", 5.0_f64));
+    /// assert_eq!(t.arity(), 2);
+    /// ```
+    pub fn of<T: IntoTuple>(parts: T) -> Self {
+        parts.into_tuple()
+    }
+
+    /// The empty tuple.
+    pub fn empty() -> Self {
+        Tuple { values: Arc::from(Vec::new()) }
+    }
+
+    /// Number of attributes in this tuple.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The attribute values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value at zero-based position `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Concatenate two tuples (used by product/join operators).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Tuple::from_values(v)
+    }
+
+    /// Project this tuple onto the given zero-based positions.
+    ///
+    /// Positions may repeat or reorder; out-of-range positions panic (the
+    /// algebra layer validates positions against schemas before evaluation).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple::from_values(positions.iter().map(|&i| self.values[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::from_values(iter.into_iter().collect())
+    }
+}
+
+/// Conversion of Rust tuples into relational [`Tuple`]s, for ergonomic test
+/// and example code.
+pub trait IntoTuple {
+    /// Perform the conversion.
+    fn into_tuple(self) -> Tuple;
+}
+
+macro_rules! impl_into_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Into<Value>),+> IntoTuple for ($($name,)+) {
+            #[allow(non_snake_case)]
+            fn into_tuple(self) -> Tuple {
+                let ($($name,)+) = self;
+                Tuple::from_values(vec![$($name.into()),+])
+            }
+        }
+    };
+}
+
+impl_into_tuple!(A);
+impl_into_tuple!(A, B);
+impl_into_tuple!(A, B, C);
+impl_into_tuple!(A, B, C, D);
+impl_into_tuple!(A, B, C, D, E);
+impl_into_tuple!(A, B, C, D, E, F);
+impl_into_tuple!(A, B, C, D, E, F, G);
+impl_into_tuple!(A, B, C, D, E, F, G, H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::of(("ale", 5.5_f64, true));
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), Some(&Value::str("ale")));
+        assert_eq!(t.get(1), Some(&Value::double(5.5)));
+        assert_eq!(t.get(2), Some(&Value::Bool(true)));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::empty();
+        assert_eq!(t.arity(), 0);
+        assert_eq!(t.to_string(), "()");
+    }
+
+    #[test]
+    fn concat_projects_back() {
+        let a = Tuple::of((1, 2));
+        let b = Tuple::of((3,));
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.project(&[0, 1]), a);
+        assert_eq!(c.project(&[2]), b);
+        // Reorder and repeat.
+        assert_eq!(c.project(&[2, 0, 2]), Tuple::of((3, 1, 3)));
+    }
+
+    #[test]
+    fn cheap_clone_shares_payload() {
+        let a = Tuple::of((1, "x"));
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a.values, &b.values));
+    }
+
+    #[test]
+    fn equality_and_hash_in_sets() {
+        use crate::util::FxHashSet;
+        let mut s = FxHashSet::default();
+        s.insert(Tuple::of((1, "a")));
+        s.insert(Tuple::of((1, "a")));
+        s.insert(Tuple::of((2, "a")));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Tuple::of((1, "x")).to_string(), "(1, \"x\")");
+    }
+}

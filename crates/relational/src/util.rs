@@ -1,0 +1,148 @@
+//! Small utilities shared across the workspace.
+//!
+//! The main export is a fast, non-cryptographic hasher used for tuple sets.
+//! Tuple hashing sits on the hot path of every set-semantics operator
+//! (union, difference, join build sides), and the default `SipHash 1-3` is
+//! measurably slower for short keys. The offline dependency set does not
+//! include `rustc-hash`, so we vendor the ~30-line FxHash core here (the
+//! algorithm is public domain; see the `rustc-hash` crate for provenance).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic, DoS-*unsafe* hasher for in-process hash maps.
+///
+/// Do not use for anything exposed to untrusted input where collision
+/// attacks matter; every use in this workspace hashes data the process
+/// itself generated.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail.
+        let mut bytes = bytes;
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(buf)));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Create an empty [`FxHashMap`] with space for `cap` entries.
+pub fn fx_map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+/// Create an empty [`FxHashSet`] with space for `cap` entries.
+pub fn fx_set_with_capacity<T>(cap: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+        assert_eq!(hash_of(&vec![1, 2, 3]), hash_of(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn different_values_hash_differently() {
+        // Not guaranteed in general, but these simple cases must not collide
+        // for the hasher to be useful at all.
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+        assert_ne!(hash_of(&(1u32, 2u32)), hash_of(&(2u32, 1u32)));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<String, i64> = fx_map_with_capacity(4);
+        m.insert("x".into(), 1);
+        m.insert("y".into(), 2);
+        assert_eq!(m.get("x"), Some(&1));
+
+        let mut s: FxHashSet<i64> = fx_set_with_capacity(4);
+        s.insert(10);
+        assert!(s.contains(&10));
+        assert!(!s.contains(&11));
+    }
+
+    #[test]
+    fn byte_tails_are_hashed() {
+        // Regression guard: 9-byte input exercises the 8-byte chunk plus the
+        // 1-byte tail; 13 bytes exercises chunk + u32 + tail.
+        let a: &[u8] = &[1, 2, 3, 4, 5, 6, 7, 8, 9];
+        let b: &[u8] = &[1, 2, 3, 4, 5, 6, 7, 8, 10];
+        assert_ne!(hash_of(&a), hash_of(&b));
+        let c: &[u8] = &[0; 13];
+        let d: &[u8] = &[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        assert_ne!(hash_of(&c), hash_of(&d));
+    }
+}

@@ -1,0 +1,319 @@
+//! Trigger set generation (Algorithms 5.2 and 5.7, Definition 6.2).
+//!
+//! Two derivations live here:
+//!
+//! 1. **From conditions** — `GenTrigC` (Algorithm 5.7) derives the trigger
+//!    set of an integrity rule from its CL condition by a structural
+//!    recursion that tracks the *effective* quantifier of every variable:
+//!    `GenTrigW` walks positive positions, `GenTrigN` negative ones, and
+//!    the two swap the universal/existential variable sets at quantifiers
+//!    (because `¬∀ ≡ ∃¬`). At a membership atom `x ∈ R`, an effectively
+//!    universal variable contributes `INS(R)` (a new tuple must satisfy the
+//!    condition) and an effectively existential one contributes `DEL(R)`
+//!    (removing a witness may falsify it). Aggregate and counting terms
+//!    contribute both update types for their relation.
+//!
+//!    The derivation is exact under the CL convention that each variable's
+//!    membership atom *is* its range declaration (requirements on other
+//!    relations are phrased through quantified variables, as the paper's
+//!    own examples do).
+//!
+//! 2. **From programs** — `GetTrigS`/`GetTrigP` (Algorithm 5.2) derive the
+//!    update types a program performs: `insert(R, E) → {INS(R)}`,
+//!    `delete(R, E) → {DEL(R)}`, `update(R, …) → {INS(R), DEL(R)}`.
+//!    `GetTrigPX` (Definition 6.2) additionally respects the
+//!    *non-triggering* declaration by returning the empty set.
+//!
+//! Triggers are always attributed to **base relations**: a condition over
+//! `beer@pre` is checked against the pre-state, which no update of the
+//! current transaction can change, so auxiliary-relation atoms contribute
+//! no triggers.
+
+use tm_calculus::ast::{Atom, Formula, Quantifier, Term, VarName};
+use tm_relational::auxiliary;
+
+use std::collections::BTreeSet;
+
+use tm_algebra::{Program, Statement};
+
+use crate::trigger::{Trigger, TriggerSet, UpdateType};
+
+/// Variable context: the sets `V_u` and `V_e` of Algorithm 5.7.
+#[derive(Debug, Default, Clone)]
+struct VarSets {
+    universal: BTreeSet<VarName>,
+    existential: BTreeSet<VarName>,
+}
+
+/// `GenTrigC` (Algorithm 5.7): generate a trigger set from a rule
+/// condition.
+pub fn gen_trig_c(condition: &Formula) -> TriggerSet {
+    let mut out = TriggerSet::empty();
+    gen_trig_w(condition, &VarSets::default(), &mut out);
+    out
+}
+
+/// `GenTrigW`: positive-position walk.
+fn gen_trig_w(w: &Formula, vars: &VarSets, out: &mut TriggerSet) {
+    match w {
+        Formula::Quant(Quantifier::Forall, x, body) => {
+            let mut v = vars.clone();
+            v.universal.insert(x.clone());
+            v.existential.remove(x);
+            gen_trig_w(body, &v, out);
+        }
+        Formula::Quant(Quantifier::Exists, x, body) => {
+            let mut v = vars.clone();
+            v.existential.insert(x.clone());
+            v.universal.remove(x);
+            gen_trig_w(body, &v, out);
+        }
+        Formula::And(l, r) | Formula::Or(l, r) => {
+            gen_trig_w(l, vars, out);
+            gen_trig_w(r, vars, out);
+        }
+        Formula::Implies(l, r) => {
+            gen_trig_n(l, vars, out);
+            gen_trig_w(r, vars, out);
+        }
+        Formula::Not(x) => gen_trig_n(x, vars, out),
+        Formula::Atom(a) => gen_trig_a(a, vars, out),
+    }
+}
+
+/// `GenTrigN`: negative-position walk — quantifier roles swap.
+fn gen_trig_n(w: &Formula, vars: &VarSets, out: &mut TriggerSet) {
+    match w {
+        Formula::Quant(Quantifier::Forall, x, body) => {
+            let mut v = vars.clone();
+            v.existential.insert(x.clone());
+            v.universal.remove(x);
+            gen_trig_n(body, &v, out);
+        }
+        Formula::Quant(Quantifier::Exists, x, body) => {
+            let mut v = vars.clone();
+            v.universal.insert(x.clone());
+            v.existential.remove(x);
+            gen_trig_n(body, &v, out);
+        }
+        Formula::And(l, r) | Formula::Or(l, r) => {
+            gen_trig_n(l, vars, out);
+            gen_trig_n(r, vars, out);
+        }
+        Formula::Implies(l, r) => {
+            gen_trig_w(l, vars, out);
+            gen_trig_n(r, vars, out);
+        }
+        Formula::Not(x) => gen_trig_w(x, vars, out),
+        Formula::Atom(a) => gen_trig_a(a, vars, out),
+    }
+}
+
+/// `GenTrigA`: triggers contributed by an atomic formula.
+fn gen_trig_a(a: &Atom, vars: &VarSets, out: &mut TriggerSet) {
+    match a {
+        Atom::Cmp(_, l, r) => {
+            gen_trig_t(l, out);
+            gen_trig_t(r, out);
+        }
+        Atom::Member { var, rel } => {
+            // Auxiliary relations (pre-state) cannot be changed by the
+            // transaction being modified — no trigger.
+            if auxiliary::is_auxiliary(rel) {
+                return;
+            }
+            if vars.universal.contains(var) {
+                out.insert(Trigger::ins(rel.clone()));
+            } else if vars.existential.contains(var) {
+                out.insert(Trigger::del(rel.clone()));
+            }
+        }
+        Atom::TupleEq(..) => {}
+    }
+}
+
+/// `GenTrigT`: triggers contributed by a term — aggregates and counts
+/// depend on the whole relation, so both update types threaten them.
+fn gen_trig_t(t: &Term, out: &mut TriggerSet) {
+    match t {
+        Term::Agg { rel, .. } | Term::Cnt { rel } => {
+            if !auxiliary::is_auxiliary(rel) {
+                out.insert(Trigger::ins(rel.clone()));
+                out.insert(Trigger::del(rel.clone()));
+            }
+        }
+        Term::Arith(_, l, r) => {
+            gen_trig_t(l, out);
+            gen_trig_t(r, out);
+        }
+        Term::Const(_) | Term::Attr { .. } => {}
+    }
+}
+
+/// `GetTrigS` (Algorithm 5.2): triggers performed by a single statement.
+pub fn get_trig_s(s: &Statement) -> TriggerSet {
+    match s {
+        Statement::Insert { relation, .. } => {
+            TriggerSet::from_triggers(vec![Trigger::ins(relation.clone())])
+        }
+        Statement::Delete { relation, .. } => {
+            TriggerSet::from_triggers(vec![Trigger::del(relation.clone())])
+        }
+        Statement::Update { relation, .. } => TriggerSet::from_triggers(vec![
+            Trigger::ins(relation.clone()),
+            Trigger::del(relation.clone()),
+        ]),
+        Statement::Assign { .. } | Statement::Alarm(_) | Statement::Abort => TriggerSet::empty(),
+    }
+}
+
+/// `GetTrigP` (Algorithm 5.2): triggers performed by a program — the union
+/// over its statements.
+pub fn get_trig_p(p: &Program) -> TriggerSet {
+    let mut out = TriggerSet::empty();
+    for s in p.statements() {
+        out = out.union(get_trig_s(s));
+    }
+    out
+}
+
+/// `GetTrigPX` (Definition 6.2): like [`get_trig_p`], but a program
+/// declared non-triggering contributes nothing.
+pub fn get_trig_px(p: &Program, non_triggering: bool) -> TriggerSet {
+    if non_triggering {
+        TriggerSet::empty()
+    } else {
+        get_trig_p(p)
+    }
+}
+
+/// The update types as a pair, useful for exhaustive sweeps in tests.
+pub const ALL_UPDATE_TYPES: [UpdateType; 2] = [UpdateType::Ins, UpdateType::Del];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_calculus::parse_formula;
+
+    fn triggers_of(src: &str) -> String {
+        gen_trig_c(&parse_formula(src).unwrap()).to_string()
+    }
+
+    #[test]
+    fn paper_r1_domain_constraint() {
+        // I1: (∀x)(x ∈ beer ⇒ x.alcohol ≥ 0) — paper: WHEN INS(beer)
+        assert_eq!(
+            triggers_of("forall x (x in beer implies x.alcohol >= 0)"),
+            "INS(beer)"
+        );
+    }
+
+    #[test]
+    fn paper_r2_referential_constraint() {
+        // I2 — paper: WHEN INS(beer), DEL(brewery)
+        assert_eq!(
+            triggers_of(
+                "forall x (x in beer implies \
+                 exists y (y in brewery and x.brewery = y.name))"
+            ),
+            "INS(beer), DEL(brewery)"
+        );
+    }
+
+    #[test]
+    fn exclusion_constraint() {
+        // (∀x)(x∈R ⇒ (∀y)(y∈S ⇒ x.1 ≠ y.1)): inserts into either side.
+        assert_eq!(
+            triggers_of(
+                "forall x (x in r implies forall y (y in s implies x.1 != y.1))"
+            ),
+            "INS(r), INS(s)"
+        );
+    }
+
+    #[test]
+    fn pure_existence_constraint() {
+        // (∃x)(x ∈ r): only deletion can falsify.
+        assert_eq!(triggers_of("exists x (x in r and x.1 = x.1)"), "DEL(r)");
+    }
+
+    #[test]
+    fn negated_existence() {
+        // ¬(∃x)(x∈r ∧ c): under negation x is effectively universal → INS.
+        assert_eq!(triggers_of("not exists x (x in r and x.1 > 0)"), "INS(r)");
+    }
+
+    #[test]
+    fn aggregates_trigger_both() {
+        assert_eq!(triggers_of("SUM(account, 2) <= 100"), "INS(account), DEL(account)");
+        assert_eq!(triggers_of("CNT(beer) < 10"), "INS(beer), DEL(beer)");
+        assert_eq!(
+            triggers_of("SUM(a, 1) = CNT(b)"),
+            "INS(a), INS(b), DEL(a), DEL(b)"
+        );
+    }
+
+    #[test]
+    fn pre_state_atoms_do_not_trigger() {
+        // Transition constraint: old tuples must persist. Only DEL(beer)
+        // can violate; beer@pre is immutable.
+        assert_eq!(
+            triggers_of(
+                "forall x (x in beer@pre implies exists y (y in beer and x == y))"
+            ),
+            "DEL(beer)"
+        );
+    }
+
+    #[test]
+    fn double_negation_restores_polarity() {
+        assert_eq!(
+            triggers_of("not not forall x (x in beer implies x.alcohol >= 0)"),
+            "INS(beer)"
+        );
+    }
+
+    #[test]
+    fn get_trig_s_matches_algorithm() {
+        use tm_algebra::RelExpr;
+        let ins = Statement::Insert {
+            relation: "r".into(),
+            source: RelExpr::relation("s"),
+        };
+        assert_eq!(get_trig_s(&ins).to_string(), "INS(r)");
+        let del = Statement::Delete {
+            relation: "r".into(),
+            source: RelExpr::relation("s"),
+        };
+        assert_eq!(get_trig_s(&del).to_string(), "DEL(r)");
+        let upd = Statement::Update {
+            relation: "r".into(),
+            pred: tm_algebra::ScalarExpr::true_(),
+            set: vec![],
+        };
+        assert_eq!(get_trig_s(&upd).to_string(), "INS(r), DEL(r)");
+        assert!(get_trig_s(&Statement::Abort).is_empty());
+        assert!(get_trig_s(&Statement::Alarm(RelExpr::relation("r"))).is_empty());
+        assert!(get_trig_s(&Statement::Assign {
+            target: "t".into(),
+            expr: RelExpr::relation("r")
+        })
+        .is_empty());
+    }
+
+    #[test]
+    fn get_trig_p_unions() {
+        let p = tm_algebra::parse_program(
+            "insert(a, {(1)}); delete(b, {(2)}); abort",
+        )
+        .unwrap();
+        assert_eq!(get_trig_p(&p).to_string(), "INS(a), DEL(b)");
+    }
+
+    #[test]
+    fn get_trig_px_respects_non_triggering() {
+        let p = tm_algebra::parse_program("insert(a, {(1)})").unwrap();
+        assert!(!get_trig_px(&p, false).is_empty());
+        assert!(get_trig_px(&p, true).is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! The triggering graph and infinite-triggering analysis (Section 6.1).
+//!
+//! Definition 6.1: the triggering graph of a rule set `J` has the rules as
+//! vertices and an edge `(J1, J2)` whenever
+//! `GetTrigP(action(J1)) ∩ triggers(J2) ≠ ∅` — executing `J1`'s violation
+//! response may trigger `J2`. "Infinite rule triggering in a rule set J can
+//! only occur if the triggering graph of J contains one or more cycles", so
+//! an integrity control subsystem validates rule sets by constructing and
+//! analysing this graph; declaring actions *non-triggering*
+//! (Definition 6.2) removes their outgoing edges.
+
+use std::fmt;
+
+use crate::gentrig::get_trig_px;
+use crate::rule::IntegrityRule;
+use crate::trigger::TriggerSet;
+
+/// The triggering graph of a rule set.
+#[derive(Debug, Clone)]
+pub struct TriggeringGraph {
+    names: Vec<String>,
+    /// Adjacency: `edges[i]` lists the indices of rules triggered by rule
+    /// `i`'s action.
+    edges: Vec<Vec<usize>>,
+}
+
+impl TriggeringGraph {
+    /// Build the triggering graph of `rules` (Definition 6.1, with
+    /// `GetTrigPX` so non-triggering actions contribute no edges).
+    pub fn build(rules: &[IntegrityRule]) -> TriggeringGraph {
+        let action_triggers: Vec<TriggerSet> = rules
+            .iter()
+            .map(|r| get_trig_px(&r.action.as_program(), r.non_triggering))
+            .collect();
+        let mut edges = Vec::with_capacity(rules.len());
+        for at in &action_triggers {
+            let mut out = Vec::new();
+            for (j, rj) in rules.iter().enumerate() {
+                if at.intersects(rj.triggers()) {
+                    out.push(j);
+                }
+            }
+            edges.push(out);
+        }
+        TriggeringGraph {
+            names: rules.iter().map(|r| r.name.clone()).collect(),
+            edges,
+        }
+    }
+
+    /// Number of vertices (rules).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The edges as `(from, to)` rule-name pairs, deterministic order.
+    pub fn edge_names(&self) -> Vec<(&str, &str)> {
+        let mut out = Vec::new();
+        for (i, targets) in self.edges.iter().enumerate() {
+            for &j in targets {
+                out.push((self.names[i].as_str(), self.names[j].as_str()));
+            }
+        }
+        out
+    }
+
+    /// All elementary cycles' vertex sets, as rule-name lists — computed
+    /// via strongly connected components (a rule set is cycle-free iff
+    /// every SCC is a single vertex without a self-loop).
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let sccs = self.tarjan_sccs();
+        let mut cycles = Vec::new();
+        for scc in sccs {
+            let cyclic = scc.len() > 1
+                || (scc.len() == 1 && self.edges[scc[0]].contains(&scc[0]));
+            if cyclic {
+                let mut names: Vec<String> =
+                    scc.iter().map(|&i| self.names[i].clone()).collect();
+                names.sort();
+                cycles.push(names);
+            }
+        }
+        cycles.sort();
+        cycles
+    }
+
+    /// Whether the rule set is free of potential infinite triggering.
+    pub fn is_acyclic(&self) -> bool {
+        self.cycles().is_empty()
+    }
+
+    fn tarjan_sccs(&self) -> Vec<Vec<usize>> {
+        struct State<'g> {
+            graph: &'g TriggeringGraph,
+            index: usize,
+            indices: Vec<Option<usize>>,
+            lowlink: Vec<usize>,
+            on_stack: Vec<bool>,
+            stack: Vec<usize>,
+            sccs: Vec<Vec<usize>>,
+        }
+        fn strongconnect(s: &mut State<'_>, v: usize) {
+            s.indices[v] = Some(s.index);
+            s.lowlink[v] = s.index;
+            s.index += 1;
+            s.stack.push(v);
+            s.on_stack[v] = true;
+            for i in 0..s.graph.edges[v].len() {
+                let w = s.graph.edges[v][i];
+                if s.indices[w].is_none() {
+                    strongconnect(s, w);
+                    s.lowlink[v] = s.lowlink[v].min(s.lowlink[w]);
+                } else if s.on_stack[w] {
+                    s.lowlink[v] = s.lowlink[v].min(s.indices[w].expect("visited"));
+                }
+            }
+            if Some(s.lowlink[v]) == s.indices[v] {
+                let mut scc = Vec::new();
+                loop {
+                    let w = s.stack.pop().expect("stack non-empty");
+                    s.on_stack[w] = false;
+                    scc.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                scc.sort_unstable();
+                s.sccs.push(scc);
+            }
+        }
+        let n = self.len();
+        let mut state = State {
+            graph: self,
+            index: 0,
+            indices: vec![None; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            sccs: Vec::new(),
+        };
+        for v in 0..n {
+            if state.indices[v].is_none() {
+                strongconnect(&mut state, v);
+            }
+        }
+        state.sccs
+    }
+}
+
+impl fmt::Display for TriggeringGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "triggering graph: {} rule(s)", self.len())?;
+        for (from, to) in self.edge_names() {
+            writeln!(f, "  {from} -> {to}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of validating a rule set for triggering behaviour (the check
+/// Section 6.1 prescribes at rule definition time).
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Cyclic rule groups; empty means the set is safe.
+    pub cycles: Vec<Vec<String>>,
+    /// Rule names indexed consistently with the graph.
+    pub rule_names: Vec<String>,
+}
+
+impl ValidationReport {
+    /// Validate a rule set: build the triggering graph and collect cycles.
+    pub fn validate(rules: &[IntegrityRule]) -> ValidationReport {
+        let graph = TriggeringGraph::build(rules);
+        ValidationReport {
+            cycles: graph.cycles(),
+            rule_names: rules.iter().map(|r| r.name.clone()).collect(),
+        }
+    }
+
+    /// Whether the rule set may trigger forever.
+    pub fn has_cycles(&self) -> bool {
+        !self.cycles.is_empty()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cycles.is_empty() {
+            write!(f, "rule set is cycle-free ({} rules)", self.rule_names.len())
+        } else {
+            writeln!(f, "rule set has potential infinite triggering:")?;
+            for c in &self.cycles {
+                writeln!(f, "  cycle: {}", c.join(" -> "))?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleAction;
+    use crate::trigger::Trigger;
+    use tm_calculus::parse_formula;
+
+    fn abort_rule(name: &str, triggers: Vec<Trigger>) -> IntegrityRule {
+        IntegrityRule::new(
+            name,
+            TriggerSet::from_triggers(triggers),
+            parse_formula("1 = 1").unwrap(),
+            RuleAction::Abort,
+        )
+    }
+
+    fn compensating_rule(name: &str, triggers: Vec<Trigger>, action: &str) -> IntegrityRule {
+        IntegrityRule::new(
+            name,
+            TriggerSet::from_triggers(triggers),
+            parse_formula("1 = 1").unwrap(),
+            RuleAction::Compensate(tm_algebra::parse_program(action).unwrap()),
+        )
+    }
+
+    #[test]
+    fn aborting_rules_never_cycle() {
+        let rules = vec![
+            abort_rule("a", vec![Trigger::ins("r")]),
+            abort_rule("b", vec![Trigger::del("r")]),
+        ];
+        let g = TriggeringGraph::build(&rules);
+        assert!(g.is_acyclic());
+        assert!(g.edge_names().is_empty());
+    }
+
+    #[test]
+    fn compensation_creates_edges() {
+        let rules = vec![
+            compensating_rule("fixup", vec![Trigger::ins("r")], "insert(s, {(1)})"),
+            abort_rule("check_s", vec![Trigger::ins("s")]),
+        ];
+        let g = TriggeringGraph::build(&rules);
+        assert_eq!(g.edge_names(), vec![("fixup", "check_s")]);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        // Rule triggered by INS(r) whose action inserts into r.
+        let rules = vec![compensating_rule(
+            "looper",
+            vec![Trigger::ins("r")],
+            "insert(r, {(1)})",
+        )];
+        let g = TriggeringGraph::build(&rules);
+        assert!(!g.is_acyclic());
+        assert_eq!(g.cycles(), vec![vec!["looper".to_owned()]]);
+    }
+
+    #[test]
+    fn two_rule_cycle_detected() {
+        let rules = vec![
+            compensating_rule("a", vec![Trigger::ins("r")], "insert(s, {(1)})"),
+            compensating_rule("b", vec![Trigger::ins("s")], "insert(r, {(1)})"),
+        ];
+        let report = ValidationReport::validate(&rules);
+        assert!(report.has_cycles());
+        assert_eq!(report.cycles, vec![vec!["a".to_owned(), "b".to_owned()]]);
+    }
+
+    #[test]
+    fn non_triggering_breaks_cycle() {
+        let rules = vec![
+            compensating_rule("a", vec![Trigger::ins("r")], "insert(s, {(1)})"),
+            compensating_rule("b", vec![Trigger::ins("s")], "insert(r, {(1)})")
+                .non_triggering(),
+        ];
+        let report = ValidationReport::validate(&rules);
+        assert!(!report.has_cycles(), "{report}");
+    }
+
+    #[test]
+    fn diamond_without_cycle() {
+        let rules = vec![
+            compensating_rule("top", vec![Trigger::ins("a")], "insert(b, {(1)}); insert(c, {(1)})"),
+            compensating_rule("left", vec![Trigger::ins("b")], "insert(d, {(1)})"),
+            compensating_rule("right", vec![Trigger::ins("c")], "insert(d, {(1)})"),
+            abort_rule("bottom", vec![Trigger::ins("d")]),
+        ];
+        let g = TriggeringGraph::build(&rules);
+        assert!(g.is_acyclic());
+        assert_eq!(g.edge_names().len(), 4);
+    }
+
+    #[test]
+    fn display_renders_edges() {
+        let rules = vec![
+            compensating_rule("fixup", vec![Trigger::ins("r")], "insert(s, {(1)})"),
+            abort_rule("check_s", vec![Trigger::ins("s")]),
+        ];
+        let g = TriggeringGraph::build(&rules);
+        let s = g.to_string();
+        assert!(s.contains("fixup -> check_s"));
+    }
+}

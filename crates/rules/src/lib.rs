@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # `tm-rules` — the RL integrity rule language
+//!
+//! Section 4.2 of Grefen (VLDB 1993) turns declarative integrity
+//! constraints into *integrity rules* — the operational form used by the
+//! transaction modification subsystem:
+//!
+//! ```text
+//! WHEN  ts          -- trigger set: update types that may violate
+//! IF NOT c          -- the CL constraint
+//! THEN  p           -- violation response action (algebra program)
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`trigger`] — trigger specifications `U(R)` and trigger sets
+//!   (Definitions 4.5–4.6),
+//! * [`rule`] — integrity rules (Definition 4.7) with aborting or
+//!   compensating violation response actions,
+//! * [`gentrig`] — automatic trigger set generation from rule conditions
+//!   (`GenTrigC`, Algorithm 5.7) plus the statement-level trigger
+//!   derivation of Algorithm 5.2 (`GetTrigS`/`GetTrigP`) and the
+//!   non-triggering variant `GetTrigPX` (Definition 6.2),
+//! * [`graph`] — the triggering graph with cycle detection
+//!   (Definition 6.1),
+//! * [`parser`] — a parser for the textual RL syntax
+//!   (`WHEN INS(beer) IF NOT <CL> THEN abort`).
+
+pub mod gentrig;
+pub mod graph;
+pub mod parser;
+pub mod rule;
+pub mod trigger;
+
+pub use gentrig::{gen_trig_c, get_trig_p, get_trig_px, get_trig_s};
+pub use graph::{TriggeringGraph, ValidationReport};
+pub use parser::parse_rule;
+pub use rule::{IntegrityRule, RuleAction};
+pub use trigger::{Trigger, TriggerSet, UpdateType};

@@ -1,0 +1,318 @@
+//! Parser for the textual RL syntax (Definition 4.7).
+//!
+//! ```text
+//! RULE r2
+//! WHEN INS(beer), DEL(brewery)
+//! IF NOT forall x (x in beer implies
+//!          exists y (y in brewery and x.brewery = y.name))
+//! THEN temp := minus(project[#2](beer), project[#0](brewery));
+//!      insert(brewery, project[#0, null, null](temp))
+//! [NON-TRIGGERING]
+//! ```
+//!
+//! * the `RULE <name>` header is optional (a generated name is used),
+//! * `WHEN <trigger list>` is optional — when omitted, the trigger set is
+//!   generated from the condition with `GenTrigC`, which Section 5.3 calls
+//!   "more convenient and less error-prone",
+//! * the condition uses the CL syntax of `tm-calculus`,
+//! * the action is `abort` or an algebra program in `tm-algebra` syntax,
+//! * a trailing `NON-TRIGGERING` marker sets the Definition 6.2 flag.
+
+use tm_calculus::{parse_formula, CalculusError};
+
+use crate::rule::{IntegrityRule, RuleAction};
+use crate::trigger::{Trigger, TriggerSet, UpdateType};
+
+/// Errors from RL parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleParseError {
+    /// Structural problem with the WHEN/IF NOT/THEN skeleton.
+    Structure(String),
+    /// Bad trigger specification.
+    Trigger(String),
+    /// The condition failed to parse as CL.
+    Condition(CalculusError),
+    /// The action failed to parse as an algebra program.
+    Action(String),
+}
+
+impl std::fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuleParseError::Structure(m) => write!(f, "rule structure error: {m}"),
+            RuleParseError::Trigger(m) => write!(f, "trigger specification error: {m}"),
+            RuleParseError::Condition(e) => write!(f, "condition error: {e}"),
+            RuleParseError::Action(m) => write!(f, "action error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleParseError {}
+
+/// Case-insensitive search for a keyword at word boundaries, returning
+/// (start, end) byte offsets.
+fn find_keyword(src: &str, kw: &str, from: usize) -> Option<(usize, usize)> {
+    let lower = src.to_ascii_lowercase();
+    let kw = kw.to_ascii_lowercase();
+    let mut at = from;
+    while let Some(rel) = lower[at..].find(&kw) {
+        let start = at + rel;
+        let end = start + kw.len();
+        let before_ok = start == 0
+            || !lower.as_bytes()[start - 1].is_ascii_alphanumeric()
+                && lower.as_bytes()[start - 1] != b'_';
+        let after_ok = end >= lower.len()
+            || !lower.as_bytes()[end].is_ascii_alphanumeric() && lower.as_bytes()[end] != b'_';
+        if before_ok && after_ok {
+            return Some((start, end));
+        }
+        at = end;
+    }
+    None
+}
+
+fn parse_trigger_list(src: &str) -> Result<TriggerSet, RuleParseError> {
+    let mut out = TriggerSet::empty();
+    for part in src.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let open = part
+            .find('(')
+            .ok_or_else(|| RuleParseError::Trigger(format!("missing `(` in `{part}`")))?;
+        let close = part
+            .rfind(')')
+            .ok_or_else(|| RuleParseError::Trigger(format!("missing `)` in `{part}`")))?;
+        if close < open {
+            return Err(RuleParseError::Trigger(format!("malformed trigger `{part}`")));
+        }
+        let update = match part[..open].trim().to_ascii_uppercase().as_str() {
+            "INS" => UpdateType::Ins,
+            "DEL" => UpdateType::Del,
+            other => {
+                return Err(RuleParseError::Trigger(format!(
+                    "unknown update type `{other}` (expected INS or DEL)"
+                )))
+            }
+        };
+        let relation = part[open + 1..close].trim();
+        if relation.is_empty() {
+            return Err(RuleParseError::Trigger(format!(
+                "empty relation name in `{part}`"
+            )));
+        }
+        out.insert(Trigger {
+            update,
+            relation: relation.to_owned(),
+        });
+    }
+    if out.is_empty() {
+        return Err(RuleParseError::Trigger("empty trigger list".into()));
+    }
+    Ok(out)
+}
+
+/// Parse one RL rule. `default_name` is used when no `RULE <name>` header
+/// is present.
+pub fn parse_rule(src: &str, default_name: &str) -> Result<IntegrityRule, RuleParseError> {
+    let src = src.trim();
+
+    // Optional NON-TRIGGERING suffix.
+    let (src, non_triggering) = {
+        let trimmed = src.trim_end();
+        let lower = trimmed.to_ascii_lowercase();
+        if let Some(cut) = lower
+            .strip_suffix("non-triggering")
+            .or_else(|| lower.strip_suffix("nontriggering"))
+            .map(str::len)
+        {
+            (trimmed[..cut].trim_end(), true)
+        } else {
+            (trimmed, false)
+        }
+    };
+
+    // Optional `RULE <name>` header at the very start.
+    let (name, src) = if src.to_ascii_lowercase().starts_with("rule")
+        && src[4..].starts_with(|c: char| c.is_whitespace())
+    {
+        let rest = src[4..].trim_start();
+        let name_len = rest
+            .find(|c: char| c.is_whitespace())
+            .unwrap_or(rest.len());
+        let name = rest[..name_len].to_owned();
+        if name.is_empty() {
+            return Err(RuleParseError::Structure("empty rule name".into()));
+        }
+        (name, &rest[name_len..])
+    } else {
+        (default_name.to_owned(), src)
+    };
+
+    // IF NOT is mandatory; WHEN optional.
+    let (ifnot_start, ifnot_end) = find_keyword(src, "if", 0)
+        .ok_or_else(|| RuleParseError::Structure("missing `IF NOT` clause".into()))?;
+    let after_if = &src[ifnot_end..];
+    let not_kw = find_keyword(after_if, "not", 0)
+        .filter(|(s, _)| after_if[..*s].trim().is_empty())
+        .ok_or_else(|| RuleParseError::Structure("`IF` must be followed by `NOT`".into()))?;
+    let cond_start = ifnot_end + not_kw.1;
+
+    let (then_start, then_end) = find_keyword(src, "then", cond_start)
+        .ok_or_else(|| RuleParseError::Structure("missing `THEN` clause".into()))?;
+
+    // WHEN clause, if present, precedes IF NOT.
+    let triggers = if let Some((when_start, when_end)) = find_keyword(src, "when", 0) {
+        if when_start < ifnot_start {
+            Some(parse_trigger_list(src[when_end..ifnot_start].trim())?)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    let condition_src = src[cond_start..then_start].trim();
+    let condition = parse_formula(condition_src).map_err(RuleParseError::Condition)?;
+
+    let action_src = src[then_end..].trim();
+    let action = if action_src.eq_ignore_ascii_case("abort") {
+        RuleAction::Abort
+    } else {
+        let program = tm_algebra::parse_program(action_src)
+            .map_err(|e| RuleParseError::Action(e.to_string()))?;
+        // A THEN program consisting solely of `abort` is the aborting form.
+        if program.statements() == [tm_algebra::Statement::Abort] {
+            RuleAction::Abort
+        } else {
+            RuleAction::Compensate(program)
+        }
+    };
+
+    let rule = match triggers {
+        Some(ts) => IntegrityRule::new(name, ts, condition, action),
+        None => IntegrityRule::with_generated_triggers(name, condition, action),
+    };
+    Ok(if non_triggering {
+        rule.non_triggering()
+    } else {
+        rule
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_r1() {
+        let r = parse_rule(
+            "WHEN INS(beer) \
+             IF NOT forall x (x in beer implies x.alcohol >= 0) \
+             THEN abort",
+            "r1",
+        )
+        .unwrap();
+        assert_eq!(r.name, "r1");
+        assert_eq!(r.triggers().to_string(), "INS(beer)");
+        assert!(r.action().is_abort());
+    }
+
+    #[test]
+    fn parses_paper_r2_with_compensation() {
+        let r = parse_rule(
+            "RULE r2 \
+             WHEN INS(beer), DEL(brewery) \
+             IF NOT forall x (x in beer implies \
+                      exists y (y in brewery and x.brewery = y.name)) \
+             THEN temp := minus(project[#2](beer), project[#0](brewery)); \
+                  insert(brewery, project[#0, null, null](temp))",
+            "ignored",
+        )
+        .unwrap();
+        assert_eq!(r.name, "r2");
+        assert_eq!(r.triggers().to_string(), "INS(beer), DEL(brewery)");
+        assert!(!r.action().is_abort());
+        match r.action() {
+            RuleAction::Compensate(p) => assert_eq!(p.len(), 2),
+            other => panic!("expected compensation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn when_clause_optional_triggers_generated() {
+        let r = parse_rule(
+            "IF NOT forall x (x in beer implies x.alcohol >= 0) THEN abort",
+            "auto",
+        )
+        .unwrap();
+        assert_eq!(r.triggers().to_string(), "INS(beer)");
+    }
+
+    #[test]
+    fn non_triggering_marker() {
+        let r = parse_rule(
+            "IF NOT forall x (x in beer implies x.alcohol >= 0) \
+             THEN delete(beer, select[#3 < 0](beer)) NON-TRIGGERING",
+            "nt",
+        )
+        .unwrap();
+        assert!(r.non_triggering);
+        assert!(!r.action().is_abort());
+    }
+
+    #[test]
+    fn abort_program_collapses_to_abort_action() {
+        let r = parse_rule("IF NOT 1 = 1 THEN abort;", "x").unwrap();
+        assert!(r.action().is_abort());
+    }
+
+    #[test]
+    fn structure_errors() {
+        assert!(matches!(
+            parse_rule("THEN abort", "x"),
+            Err(RuleParseError::Structure(_))
+        ));
+        assert!(matches!(
+            parse_rule("IF 1 = 1 THEN abort", "x"),
+            Err(RuleParseError::Structure(_))
+        ));
+        assert!(matches!(
+            parse_rule("IF NOT 1 = 1", "x"),
+            Err(RuleParseError::Structure(_))
+        ));
+        assert!(matches!(
+            parse_rule("WHEN FOO(r) IF NOT 1 = 1 THEN abort", "x"),
+            Err(RuleParseError::Trigger(_))
+        ));
+        assert!(matches!(
+            parse_rule("IF NOT forall x (x in THEN abort", "x"),
+            Err(RuleParseError::Condition(_))
+        ));
+        assert!(matches!(
+            parse_rule("IF NOT 1 = 1 THEN insert(r)", "x"),
+            Err(RuleParseError::Action(_))
+        ));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let r = parse_rule(
+            "when ins(beer) if not forall x (x in beer implies x.alcohol >= 0) then abort",
+            "lc",
+        )
+        .unwrap();
+        assert_eq!(r.triggers().to_string(), "INS(beer)");
+    }
+
+    #[test]
+    fn identifiers_containing_keywords_not_confused() {
+        // Relation named `thenewest` must not be mistaken for `THEN`.
+        let r = parse_rule(
+            "IF NOT forall x (x in thenewest implies x.1 >= 0) THEN abort",
+            "kw",
+        );
+        assert!(r.is_ok(), "{r:?}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Trigger specifications and trigger sets (Definitions 4.5 and 4.6).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Elementary update types `U ∈ {INS, DEL}` (Definition 4.5). Updates are
+/// treated as a DEL/INS combination, so no third variant exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UpdateType {
+    /// Insertion into a relation.
+    Ins,
+    /// Deletion from a relation.
+    Del,
+}
+
+impl fmt::Display for UpdateType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}",
+            match self {
+                UpdateType::Ins => "INS",
+                UpdateType::Del => "DEL",
+            }
+        )
+    }
+}
+
+/// A trigger specification `U(R)` — an update type applied to a relation
+/// (Definition 4.5).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Trigger {
+    /// The update type.
+    pub update: UpdateType,
+    /// The relation name.
+    pub relation: String,
+}
+
+impl Trigger {
+    /// `INS(relation)`.
+    pub fn ins(relation: impl Into<String>) -> Trigger {
+        Trigger {
+            update: UpdateType::Ins,
+            relation: relation.into(),
+        }
+    }
+
+    /// `DEL(relation)`.
+    pub fn del(relation: impl Into<String>) -> Trigger {
+        Trigger {
+            update: UpdateType::Del,
+            relation: relation.into(),
+        }
+    }
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.update, self.relation)
+    }
+}
+
+/// A trigger set (Definition 4.6) — stored ordered for deterministic
+/// display and comparison.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TriggerSet {
+    triggers: BTreeSet<Trigger>,
+}
+
+impl TriggerSet {
+    /// The empty trigger set.
+    pub fn empty() -> TriggerSet {
+        TriggerSet::default()
+    }
+
+    /// Build from individual triggers.
+    pub fn from_triggers(triggers: impl IntoIterator<Item = Trigger>) -> TriggerSet {
+        TriggerSet {
+            triggers: triggers.into_iter().collect(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+
+    /// Number of triggers.
+    pub fn len(&self) -> usize {
+        self.triggers.len()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Trigger) -> bool {
+        self.triggers.contains(t)
+    }
+
+    /// Insert a trigger; returns whether it was new.
+    pub fn insert(&mut self, t: Trigger) -> bool {
+        self.triggers.insert(t)
+    }
+
+    /// Set union (consuming).
+    pub fn union(mut self, other: TriggerSet) -> TriggerSet {
+        self.triggers.extend(other.triggers);
+        self
+    }
+
+    /// Whether the intersection with `other` is non-empty — the test at
+    /// the heart of rule selection (`SelRS`, Algorithm 5.2) and of the
+    /// triggering graph's edge definition (Definition 6.1).
+    pub fn intersects(&self, other: &TriggerSet) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.iter().any(|t| large.contains(t))
+    }
+
+    /// Iterate in deterministic (ordered) fashion.
+    pub fn iter(&self) -> impl Iterator<Item = &Trigger> {
+        self.triggers.iter()
+    }
+
+    /// The relations mentioned by the triggers, deduplicated, sorted.
+    pub fn relations(&self) -> Vec<&str> {
+        let set: BTreeSet<&str> = self.triggers.iter().map(|t| t.relation.as_str()).collect();
+        set.into_iter().collect()
+    }
+}
+
+impl FromIterator<Trigger> for TriggerSet {
+    fn from_iter<I: IntoIterator<Item = Trigger>>(iter: I) -> Self {
+        TriggerSet::from_triggers(iter)
+    }
+}
+
+impl fmt::Display for TriggerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.triggers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_dedup() {
+        let ts = TriggerSet::from_triggers(vec![
+            Trigger::ins("beer"),
+            Trigger::del("brewery"),
+            Trigger::ins("beer"),
+        ]);
+        assert_eq!(ts.len(), 2);
+        assert!(ts.contains(&Trigger::ins("beer")));
+        assert!(!ts.contains(&Trigger::del("beer")));
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = TriggerSet::from_triggers(vec![Trigger::ins("beer")]);
+        let b = TriggerSet::from_triggers(vec![Trigger::ins("beer"), Trigger::del("x")]);
+        let c = TriggerSet::from_triggers(vec![Trigger::del("beer")]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&TriggerSet::empty()));
+        assert!(!TriggerSet::empty().intersects(&TriggerSet::empty()));
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let a = TriggerSet::from_triggers(vec![Trigger::ins("r")]);
+        let b = TriggerSet::from_triggers(vec![Trigger::del("r")]);
+        let u = a.union(b);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_display() {
+        let ts = TriggerSet::from_triggers(vec![
+            Trigger::ins("beer"),
+            Trigger::del("brewery"),
+        ]);
+        // DEL < INS by enum order? No: Ins < Del in declaration order.
+        assert_eq!(ts.to_string(), "INS(beer), DEL(brewery)");
+    }
+
+    #[test]
+    fn relations_listed() {
+        let ts = TriggerSet::from_triggers(vec![
+            Trigger::ins("beer"),
+            Trigger::del("beer"),
+            Trigger::del("brewery"),
+        ]);
+        assert_eq!(ts.relations(), vec!["beer", "brewery"]);
+    }
+}

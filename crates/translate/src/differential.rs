@@ -1,0 +1,304 @@
+//! Differential-relation optimization (§5.2.1, refs \[18, 5, 7\]).
+//!
+//! The paper lists "the use of differential relations to avoid unnecessary
+//! data access" as the primary `OptC` technique; the author's companion
+//! work \[7\] (*Parallel Handling of Integrity Constraints on Fragmented
+//! Relations*) develops it fully. The idea: when a constraint held in the
+//! pre-transaction state, only tuples *touched by the transaction* can
+//! introduce a violation, so the appended check may run against the small
+//! delta relations `R@ins` / `R@del` instead of the full base relations.
+//!
+//! The specialization is **per trigger** — the same rule contributes a
+//! different (smaller) program depending on which update type activated it:
+//!
+//! * domain-style `(∀x)(x∈R ⟹ ψ(x))` with quantifier-free `ψ`:
+//!   - `INS(R)` → `alarm(σ_{¬ψ'}(R@ins))`
+//! * referential-style `(∀x)(x∈R ⟹ (∃y)(y∈S ∧ ρ(x,y)))`:
+//!   - `INS(R)` → `alarm(R@ins ▷_ρ S)` — new children need a parent,
+//!   - `DEL(S)` → `alarm((R ⋉_ρ S@del) ▷_ρ S)` — children that referenced
+//!     a deleted parent and have no remaining parent.
+//!
+//! Everything else falls back to the full (unspecialized) check, still per
+//! trigger, so correctness never depends on the optimizer recognising a
+//! shape. Soundness of the delta checks requires the constraint to hold in
+//! the pre-transaction state — exactly the induction invariant transaction
+//! modification maintains (Definition 3.5) — and is property-tested against
+//! the ground-truth evaluator in the `txmod` crate.
+
+use tm_algebra::{Program, RelExpr, ScalarExpr, Statement};
+use tm_calculus::analysis::analyze;
+use tm_calculus::ast::{Atom, Formula, Quantifier};
+use tm_relational::{auxiliary, DatabaseSchema};
+use tm_rules::{IntegrityRule, RuleAction, Trigger, UpdateType};
+
+use crate::error::Result;
+use crate::simplify::simplify_rel;
+use crate::transc::{flatten_and_pub, predicate_over, strip_guard_pub, trans_c};
+
+/// A per-trigger specialized program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DifferentialProgram {
+    /// The trigger this program handles.
+    pub trigger: Trigger,
+    /// The specialized check (or compensation) program.
+    pub program: Program,
+    /// Whether specialization succeeded (false ⇒ full fallback check).
+    pub specialized: bool,
+}
+
+/// The recognised condition shapes.
+#[derive(Debug, Clone)]
+pub(crate) enum Shape {
+    /// `(∀x)(x∈R ⟹ ψ)` with quantifier-free `ψ` (over x only).
+    Domain {
+        rel: String,
+        /// ¬ψ as a scalar predicate over an `R`-tuple.
+        violation_pred: ScalarExpr,
+    },
+    /// `(∀x)(x∈R ⟹ (∃y)(y∈S ∧ ρ))` with quantifier-free `ρ`.
+    Referential {
+        rel_r: String,
+        rel_s: String,
+        /// ρ as a predicate over the concatenated `(R, S)` tuple.
+        match_pred: ScalarExpr,
+    },
+    /// Anything else.
+    Other,
+}
+
+/// Classify an *analysed* condition.
+pub(crate) fn classify(formula: &Formula, schema: &DatabaseSchema) -> Shape {
+    let Formula::Quant(Quantifier::Forall, x, body) = formula else {
+        return Shape::Other;
+    };
+    let Some((rel, rest)) = strip_guard_pub(x, body) else {
+        return Shape::Other;
+    };
+    if auxiliary::is_auxiliary(&rel) {
+        // Pre-state ranges are immutable; differential treatment of the
+        // outer relation does not apply.
+        return Shape::Other;
+    }
+    // Try domain: rest is quantifier-free.
+    if let Ok(Some(pred)) =
+        predicate_over(schema, &[(x.clone(), rel.clone())], &Formula::not(rest.clone()))
+    {
+        return Shape::Domain {
+            rel,
+            violation_pred: pred,
+        };
+    }
+    // Try referential: rest = (∃y)(y∈S ∧ ρ).
+    if let Formula::Quant(Quantifier::Exists, y, ebody) = &rest {
+        let mut conj = Vec::new();
+        flatten_and_pub(ebody, &mut conj);
+        let mem_idx = conj
+            .iter()
+            .position(|c| matches!(c, Formula::Atom(Atom::Member { var, .. }) if var == y));
+        if let Some(i) = mem_idx {
+            let rel_s = match &conj[i] {
+                Formula::Atom(Atom::Member { rel, .. }) => rel.clone(),
+                _ => unreachable!("matched a member atom"),
+            };
+            if auxiliary::is_auxiliary(&rel_s) {
+                return Shape::Other;
+            }
+            conj.remove(i);
+            if conj.is_empty() {
+                return Shape::Other;
+            }
+            let mut rho = conj.remove(0);
+            for c in conj {
+                rho = Formula::and(rho, c);
+            }
+            if let Ok(Some(pred)) = predicate_over(
+                schema,
+                &[(x.clone(), rel.clone()), (y.clone(), rel_s.clone())],
+                &rho,
+            ) {
+                return Shape::Referential {
+                    rel_r: rel,
+                    rel_s,
+                    match_pred: pred,
+                };
+            }
+        }
+    }
+    Shape::Other
+}
+
+fn alarm(expr: RelExpr) -> Program {
+    Program::new(vec![Statement::Alarm(simplify_rel(expr))])
+}
+
+/// Compute the per-trigger specialized programs for a rule (§5.2.1).
+///
+/// Compensating rules are returned unspecialized (their response action is
+/// the program, per `TransCA`); aborting rules get delta checks where the
+/// shape allows, full checks otherwise.
+pub fn differential_programs(
+    rule: &IntegrityRule,
+    schema: &DatabaseSchema,
+) -> Result<Vec<DifferentialProgram>> {
+    // Compensations run as-is for every trigger.
+    if let RuleAction::Compensate(p) = rule.action() {
+        return Ok(rule
+            .triggers()
+            .iter()
+            .map(|t| DifferentialProgram {
+                trigger: t.clone(),
+                program: p.clone(),
+                specialized: false,
+            })
+            .collect());
+    }
+
+    let full = trans_c(rule.condition(), schema)?;
+    let info = analyze(rule.condition(), schema)?;
+    let shape = classify(&info.formula, schema);
+
+    let mut out = Vec::new();
+    for t in rule.triggers().iter() {
+        let specialized = match (&shape, t.update) {
+            (Shape::Domain { rel, violation_pred }, UpdateType::Ins) if *rel == t.relation => {
+                Some(alarm(
+                    RelExpr::relation(auxiliary::ins_name(rel)).select(violation_pred.clone()),
+                ))
+            }
+            (
+                Shape::Referential {
+                    rel_r,
+                    rel_s,
+                    match_pred,
+                },
+                UpdateType::Ins,
+            ) if *rel_r == t.relation => Some(alarm(
+                RelExpr::relation(auxiliary::ins_name(rel_r))
+                    .anti_join(RelExpr::relation(rel_s.clone()), match_pred.clone()),
+            )),
+            (
+                Shape::Referential {
+                    rel_r,
+                    rel_s,
+                    match_pred,
+                },
+                UpdateType::Del,
+            ) if *rel_s == t.relation => Some(alarm(
+                RelExpr::relation(rel_r.clone())
+                    .semi_join(
+                        RelExpr::relation(auxiliary::del_name(rel_s)),
+                        match_pred.clone(),
+                    )
+                    .anti_join(RelExpr::relation(rel_s.clone()), match_pred.clone()),
+            )),
+            _ => None,
+        };
+        match specialized {
+            Some(program) => out.push(DifferentialProgram {
+                trigger: t.clone(),
+                program,
+                specialized: true,
+            }),
+            None => out.push(DifferentialProgram {
+                trigger: t.clone(),
+                program: full.clone(),
+                specialized: false,
+            }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_relational::schema::beer_schema;
+    use tm_rules::parse_rule;
+
+    fn r1() -> IntegrityRule {
+        parse_rule(
+            "IF NOT forall x (x in beer implies x.alcohol >= 0) THEN abort",
+            "r1",
+        )
+        .unwrap()
+    }
+
+    fn r2() -> IntegrityRule {
+        parse_rule(
+            "IF NOT forall x (x in beer implies \
+             exists y (y in brewery and x.brewery = y.name)) THEN abort",
+            "r2",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn domain_rule_specializes_to_ins_delta() {
+        let ps = differential_programs(&r1(), &beer_schema()).unwrap();
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].trigger, Trigger::ins("beer"));
+        assert!(ps[0].specialized);
+        assert_eq!(
+            ps[0].program.to_string().trim(),
+            "alarm(select[(#3 < 0)](beer@ins));"
+        );
+    }
+
+    #[test]
+    fn referential_rule_specializes_both_triggers() {
+        let ps = differential_programs(&r2(), &beer_schema()).unwrap();
+        assert_eq!(ps.len(), 2);
+        let ins = ps.iter().find(|p| p.trigger == Trigger::ins("beer")).unwrap();
+        assert!(ins.specialized);
+        assert_eq!(
+            ins.program.to_string().trim(),
+            "alarm(antijoin[(#2 = #4)](beer@ins, brewery));"
+        );
+        let del = ps
+            .iter()
+            .find(|p| p.trigger == Trigger::del("brewery"))
+            .unwrap();
+        assert!(del.specialized);
+        assert_eq!(
+            del.program.to_string().trim(),
+            "alarm(antijoin[(#2 = #4)](semijoin[(#2 = #4)](beer, brewery@del), brewery));"
+        );
+    }
+
+    #[test]
+    fn aggregate_rule_falls_back_to_full_check() {
+        let rule = parse_rule("IF NOT CNT(beer) <= 100 THEN abort", "cnt").unwrap();
+        let ps = differential_programs(&rule, &beer_schema()).unwrap();
+        assert_eq!(ps.len(), 2); // INS+DEL triggers
+        assert!(ps.iter().all(|p| !p.specialized));
+        assert!(ps[0].program.to_string().contains("CNT(beer)"));
+    }
+
+    #[test]
+    fn compensating_rule_not_specialized() {
+        let rule = parse_rule(
+            "IF NOT forall x (x in beer implies x.alcohol >= 0) \
+             THEN delete(beer, select[#3 < 0](beer)) NON-TRIGGERING",
+            "fix",
+        )
+        .unwrap();
+        let ps = differential_programs(&rule, &beer_schema()).unwrap();
+        assert!(ps.iter().all(|p| !p.specialized));
+        assert!(ps[0].program.to_string().contains("delete"));
+    }
+
+    #[test]
+    fn transition_constraints_not_misclassified() {
+        let rule = parse_rule(
+            "IF NOT forall x (x in beer@pre implies exists y (y in beer and x == y)) \
+             THEN abort",
+            "persist",
+        )
+        .unwrap();
+        let ps = differential_programs(&rule, &beer_schema()).unwrap();
+        // Trigger is DEL(beer); outer range is the immutable pre-state →
+        // no specialization.
+        assert_eq!(ps.len(), 1);
+        assert!(!ps[0].specialized);
+    }
+}

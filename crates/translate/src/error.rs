@@ -1,0 +1,65 @@
+//! Errors raised during rule translation.
+
+use std::fmt;
+
+use tm_calculus::CalculusError;
+
+/// Convenience alias used throughout `tm-translate`.
+pub type Result<T> = std::result::Result<T, TranslateError>;
+
+/// Errors from `TransC`/`TransR` and the optimizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranslateError {
+    /// The condition failed static analysis (closedness, safety, typing).
+    Analysis(CalculusError),
+    /// The formula shape falls outside the supported translation class
+    /// (e.g. a universal quantifier nested inside an existential one).
+    Unsupported {
+        /// What was being translated.
+        construct: String,
+        /// Why it is outside the class.
+        reason: String,
+    },
+    /// A quantified variable lacks a membership guard where the
+    /// translation needs one.
+    MissingGuard(String),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Analysis(e) => write!(f, "condition analysis failed: {e}"),
+            TranslateError::Unsupported { construct, reason } => {
+                write!(f, "unsupported construct `{construct}`: {reason}")
+            }
+            TranslateError::MissingGuard(var) => write!(
+                f,
+                "variable `{var}` has no membership guard usable for translation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<CalculusError> for TranslateError {
+    fn from(e: CalculusError) -> Self {
+        TranslateError::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_problem() {
+        let e = TranslateError::MissingGuard("x".into());
+        assert!(e.to_string().contains("`x`"));
+        let e = TranslateError::Unsupported {
+            construct: "(∀x)(∃y)(∀z)…".into(),
+            reason: "universal under existential".into(),
+        };
+        assert!(e.to_string().contains("universal under existential"));
+    }
+}

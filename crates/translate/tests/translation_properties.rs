@@ -1,0 +1,123 @@
+//! Property test: for randomly *generated* constraints in the supported
+//! class, the translated alarm program agrees with direct semantic
+//! evaluation on random database states — the translator's soundness and
+//! completeness over its whole input space, not just hand-picked examples.
+
+use proptest::prelude::*;
+
+use tm_algebra::Executor;
+use tm_calculus::ast::{Atom, CmpOp, Formula, Term};
+use tm_calculus::{analyze, eval_constraint, StateSource};
+use tm_relational::{Database, DatabaseSchema, RelationSchema, Tuple, ValueType};
+use tm_translate::trans_c;
+
+fn schema() -> DatabaseSchema {
+    DatabaseSchema::from_relations(vec![
+        RelationSchema::of("r", &[("a", ValueType::Int), ("b", ValueType::Int)]),
+        RelationSchema::of("s", &[("c", ValueType::Int), ("d", ValueType::Int)]),
+    ])
+    .unwrap()
+}
+
+fn db(r: &[(i64, i64)], s: &[(i64, i64)]) -> Database {
+    let mut db = Database::new(schema().into_shared());
+    for &(a, b) in r {
+        db.insert("r", Tuple::of((a, b))).unwrap();
+    }
+    for &(c, d) in s {
+        db.insert("s", Tuple::of((c, d))).unwrap();
+    }
+    db
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Gt),
+    ]
+}
+
+/// A quantifier-free condition over variable `var` (2-column tuples).
+fn simple_cond(var: &'static str) -> impl Strategy<Value = Formula> {
+    (cmp_op(), 1usize..3, -2..3i64).prop_map(move |(op, pos, k)| {
+        Formula::Atom(Atom::Cmp(op, Term::attr(var, pos), Term::int(k)))
+    })
+}
+
+/// A join condition between `x` (offset 0) and `y`.
+fn join_cond() -> impl Strategy<Value = Formula> {
+    (cmp_op(), 1usize..3, 1usize..3).prop_map(|(op, px, py)| {
+        Formula::Atom(Atom::Cmp(op, Term::attr("x", px), Term::attr("y", py)))
+    })
+}
+
+/// Constraints from the supported translation class, generated at random:
+/// domain, referential, exclusion, existence, count, and conjunctions.
+fn constraint() -> impl Strategy<Value = Formula> {
+    let domain = simple_cond("x").prop_map(|c| {
+        Formula::forall("x", Formula::implies(Formula::member("x", "r"), c))
+    });
+    let referential = join_cond().prop_map(|c| {
+        Formula::forall(
+            "x",
+            Formula::implies(
+                Formula::member("x", "r"),
+                Formula::exists("y", Formula::and(Formula::member("y", "s"), c)),
+            ),
+        )
+    });
+    let exclusion = join_cond().prop_map(|c| {
+        Formula::forall(
+            "x",
+            Formula::implies(
+                Formula::member("x", "r"),
+                Formula::forall("y", Formula::implies(Formula::member("y", "s"), c)),
+            ),
+        )
+    });
+    let existence = simple_cond("x").prop_map(|c| {
+        Formula::exists("x", Formula::and(Formula::member("x", "r"), c))
+    });
+    let count = (cmp_op(), 0..6i64).prop_map(|(op, k)| {
+        Formula::Atom(Atom::Cmp(op, Term::Cnt { rel: "r".into() }, Term::int(k)))
+    });
+    let leaf = prop_oneof![domain, referential, exclusion, existence, count];
+    (leaf.clone(), prop::option::of(leaf)).prop_map(|(a, b)| match b {
+        None => a,
+        Some(b) => Formula::and(a, b),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn translation_agrees_with_semantics(
+        c in constraint(),
+        r in prop::collection::vec((-2..3i64, -2..3i64), 0..8),
+        s in prop::collection::vec((-2..3i64, -2..3i64), 0..8),
+    ) {
+        let schema = schema();
+        let database = db(&r, &s);
+        let info = analyze(&c, &schema).expect("generated constraints are analysable");
+        let truth = eval_constraint(&info, &StateSource(&database))
+            .expect("generated constraints are evaluable");
+        let program = trans_c(&c, &schema).expect("generated constraints translate");
+        let mut scratch = database.clone();
+        let committed = Executor
+            .execute(&mut scratch, &program.bracket())
+            .is_committed();
+        prop_assert_eq!(
+            committed,
+            truth,
+            "translation disagrees with semantics for `{}` on r={:?} s={:?}",
+            c,
+            r,
+            s
+        );
+    }
+}

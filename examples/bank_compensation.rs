@@ -1,0 +1,145 @@
+//! A banking scenario exercising aborting rules, compensating rules,
+//! transition constraints, and aggregates together.
+//!
+//! Schema: `account(id, owner, balance)` and `audit(id, delta)`.
+//! Policies:
+//!   * balances may not go negative (aborting domain rule),
+//!   * the bank's total liability is capped (aborting aggregate rule),
+//!   * accounts may never disappear (transition constraint on
+//!     `account@pre`),
+//!   * every balance update is logged to `audit` (compensating rule using
+//!     the differential relations — transaction modification as a
+//!     *trigger* mechanism).
+//!
+//! ```text
+//! cargo run --example bank_compensation
+//! ```
+
+use tm_algebra::builder::TransactionBuilder;
+use tm_algebra::{ArithOp, CmpOp, ScalarExpr, UpdateAssignment};
+use tm_relational::{DatabaseSchema, RelationSchema, Tuple, ValueType};
+use txmod::Engine;
+
+fn schema() -> DatabaseSchema {
+    DatabaseSchema::from_relations(vec![
+        RelationSchema::of(
+            "account",
+            &[
+                ("id", ValueType::Int),
+                ("owner", ValueType::Str),
+                ("balance", ValueType::Int),
+            ],
+        ),
+        RelationSchema::of(
+            "audit",
+            &[("id", ValueType::Int), ("balance", ValueType::Int)],
+        ),
+    ])
+    .expect("valid schema")
+}
+
+fn main() {
+    let mut engine = Engine::new(schema());
+
+    engine
+        .define_constraint(
+            "no_overdraft",
+            "forall x (x in account implies x.balance >= 0)",
+        )
+        .expect("valid");
+    engine
+        .define_constraint("liability_cap", "SUM(account, balance) <= 10000")
+        .expect("valid");
+    engine
+        .define_constraint(
+            "accounts_persist",
+            "forall x (x in account@pre implies exists y (y in account and x.id = y.id))",
+        )
+        .expect("valid");
+    // Audit log: whenever accounts change, record the post-state of every
+    // touched account. The action reads the differential relations and is
+    // declared non-triggering so it cannot cascade.
+    engine
+        .add_rule_text(
+            "RULE audit_log WHEN INS(account), DEL(account) \
+             IF NOT 1 = 1 \
+             THEN insert(audit, project[#0, #2](account@ins)) NON-TRIGGERING",
+            "audit_log",
+        )
+        .expect("valid");
+
+    // Open two accounts.
+    let open = TransactionBuilder::new()
+        .insert_tuples(
+            "account",
+            vec![
+                Tuple::of((1, "ada", 1000)),
+                Tuple::of((2, "brian", 2000)),
+            ],
+        )
+        .build();
+    assert!(engine.execute(&open).expect("runs").committed());
+    println!("opened accounts; audit entries: {}", engine.relation("audit").unwrap().len());
+
+    // Transfer 500 from brian to ada via update statements.
+    let transfer = TransactionBuilder::new()
+        .update(
+            "account",
+            ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::int(2)),
+            vec![UpdateAssignment::new(
+                2,
+                ScalarExpr::arith(ArithOp::Sub, ScalarExpr::col(2), ScalarExpr::int(500)),
+            )],
+        )
+        .update(
+            "account",
+            ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::int(1)),
+            vec![UpdateAssignment::new(
+                2,
+                ScalarExpr::arith(ArithOp::Add, ScalarExpr::col(2), ScalarExpr::int(500)),
+            )],
+        )
+        .build();
+    let outcome = engine.execute(&transfer).expect("runs");
+    println!("transfer: {outcome}");
+    assert!(outcome.committed());
+
+    // Overdraft attempt: brian only has 1500 now.
+    let overdraft = TransactionBuilder::new()
+        .update(
+            "account",
+            ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::int(2)),
+            vec![UpdateAssignment::new(
+                2,
+                ScalarExpr::arith(ArithOp::Sub, ScalarExpr::col(2), ScalarExpr::int(9999)),
+            )],
+        )
+        .build();
+    let outcome = engine.execute(&overdraft).expect("runs");
+    println!("overdraft attempt: {outcome}");
+    assert!(!outcome.committed());
+
+    // Liability cap: depositing 8000 would push the total over 10 000.
+    let too_rich = TransactionBuilder::new()
+        .insert_tuple("account", Tuple::of((3, "croesus", 8000)))
+        .build();
+    let outcome = engine.execute(&too_rich).expect("runs");
+    println!("liability breach: {outcome}");
+    assert!(!outcome.committed());
+
+    // Account deletion violates the transition constraint.
+    let close = TransactionBuilder::new()
+        .delete_where(
+            "account",
+            ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::int(1)),
+        )
+        .build();
+    let outcome = engine.execute(&close).expect("runs");
+    println!("account deletion: {outcome}");
+    assert!(!outcome.committed());
+
+    let audit = engine.relation("audit").expect("audit exists");
+    println!("\naudit log:\n{audit}");
+    assert!(engine.check_state().expect("checkable").is_empty());
+    println!("final state consistent.");
+}

@@ -1,0 +1,112 @@
+//! Materialized view maintenance by transaction modification — the second
+//! application the paper's conclusions name ("transaction modification can
+//! be used for purposes other than integrity control as well, like
+//! materialized view maintenance").
+//!
+//! ```text
+//! cargo run --example view_maintenance
+//! ```
+
+use tm_algebra::builder::TransactionBuilder;
+use tm_algebra::{CmpOp, RelExpr, ScalarExpr};
+use tm_relational::{DatabaseSchema, RelationSchema, Tuple, ValueType};
+use txmod::{Engine, ViewDef};
+
+fn main() {
+    // orders(id, customer, amount); views: big_orders (σ) and customers (π).
+    let schema = DatabaseSchema::from_relations(vec![
+        RelationSchema::of(
+            "orders",
+            &[
+                ("id", ValueType::Int),
+                ("customer", ValueType::Str),
+                ("amount", ValueType::Int),
+            ],
+        ),
+        RelationSchema::of(
+            "big_orders",
+            &[
+                ("id", ValueType::Int),
+                ("customer", ValueType::Str),
+                ("amount", ValueType::Int),
+            ],
+        ),
+        RelationSchema::of("customers", &[("customer", ValueType::Str)]),
+    ])
+    .expect("valid schema");
+
+    let mut engine = Engine::new(schema);
+
+    // Selection view: maintained incrementally from the differentials.
+    engine
+        .define_view(ViewDef::new(
+            "big_orders",
+            RelExpr::relation("orders").select(ScalarExpr::cmp(
+                CmpOp::Ge,
+                ScalarExpr::col(2),
+                ScalarExpr::int(1000),
+            )),
+        ))
+        .expect("view valid");
+
+    // Projection view: maintained by full refresh.
+    engine
+        .define_view(ViewDef::new(
+            "customers",
+            RelExpr::relation("orders").project_cols(&[1]),
+        ))
+        .expect("view valid");
+
+    // A constraint *on the view*: at most 2 big orders outstanding. The
+    // enforcement chain runs INS(orders) → view refresh → INS(big_orders)
+    // → constraint check, all inside one modified transaction.
+    engine
+        .define_constraint("big_order_cap", "CNT(big_orders) <= 2")
+        .expect("valid");
+
+    let tx = TransactionBuilder::new()
+        .insert_tuples(
+            "orders",
+            vec![
+                Tuple::of((1, "ada", 50)),
+                Tuple::of((2, "ada", 5000)),
+                Tuple::of((3, "brian", 1200)),
+            ],
+        )
+        .build();
+    let outcome = engine.execute(&tx).expect("runs");
+    println!("initial orders: {outcome}");
+    assert!(outcome.committed());
+
+    println!("\nbig_orders view:\n{}", engine.relation("big_orders").unwrap());
+    println!("customers view:\n{}", engine.relation("customers").unwrap());
+    assert_eq!(engine.relation("big_orders").unwrap().len(), 2);
+    assert_eq!(engine.relation("customers").unwrap().len(), 2);
+
+    // Deleting an order updates the views in the same transaction.
+    let tx = TransactionBuilder::new()
+        .delete_tuple("orders", Tuple::of((2, "ada", 5000)))
+        .build();
+    assert!(engine.execute(&tx).expect("runs").committed());
+    println!(
+        "after deleting order 2: big_orders={}, customers={}",
+        engine.relation("big_orders").unwrap().len(),
+        engine.relation("customers").unwrap().len()
+    );
+    assert_eq!(engine.relation("big_orders").unwrap().len(), 1);
+
+    // A third big order would break the cap — the whole transaction
+    // (including the view refresh) rolls back atomically.
+    let tx = TransactionBuilder::new()
+        .insert_tuples(
+            "orders",
+            vec![Tuple::of((4, "carol", 9000)), Tuple::of((5, "dave", 8000))],
+        )
+        .build();
+    let outcome = engine.execute(&tx).expect("runs");
+    println!("cap-breaking insert: {outcome}");
+    assert!(!outcome.committed());
+    assert_eq!(engine.relation("big_orders").unwrap().len(), 1);
+    assert_eq!(engine.relation("orders").unwrap().len(), 2);
+    println!("views stayed consistent after rollback.");
+}

@@ -1,0 +1,126 @@
+//! Property tests of the executor's auxiliary-relation invariants
+//! (Section 4.1): after any statement sequence, the differentials are the
+//! exact net change —
+//!
+//! ```text
+//! R@ins = R − R@pre        R@del = R@pre − R
+//! (R@pre ∪ R@ins) − R@del = R
+//! ```
+//!
+//! The invariants are asserted *from inside the transaction* using `alarm`
+//! statements over set differences: the transaction commits iff every
+//! difference is empty.
+
+use proptest::prelude::*;
+
+use tm_algebra::builder::TransactionBuilder;
+use tm_algebra::{Executor, RelExpr};
+use tm_relational::{Database, DatabaseSchema, RelationSchema, Tuple, ValueType};
+
+fn schema() -> DatabaseSchema {
+    DatabaseSchema::from_relations(vec![RelationSchema::of(
+        "r",
+        &[("a", ValueType::Int)],
+    )])
+    .unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    Delete(i64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..10i64).prop_map(Op::Insert),
+            (0..10i64).prop_map(Op::Delete),
+        ],
+        0..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn differentials_are_net_changes(seed in prop::collection::vec(0..10i64, 0..10), operations in ops()) {
+        let mut db = Database::new(schema().into_shared());
+        for v in &seed {
+            db.insert("r", Tuple::of((*v,))).unwrap();
+        }
+
+        let mut b = TransactionBuilder::new();
+        for op in &operations {
+            b = match op {
+                Op::Insert(v) => b.insert_tuple("r", Tuple::of((*v,))),
+                Op::Delete(v) => b.delete_tuple("r", Tuple::of((*v,))),
+            };
+        }
+        // Invariant checks, evaluated after all updates:
+        //   r@ins = r − r@pre          r@del = r@pre − r
+        //   (r@pre ∪ r@ins) − r@del = r
+        // alarm fires iff the symmetric differences are non-empty.
+        let ins = RelExpr::relation("r@ins");
+        let del = RelExpr::relation("r@del");
+        let pre = RelExpr::relation("r@pre");
+        let r = RelExpr::relation("r");
+        let pairs = [
+            (ins.clone(), r.clone().difference(pre.clone())),
+            (del.clone(), pre.clone().difference(r.clone())),
+            (
+                pre.clone().union(ins.clone()).difference(del.clone()),
+                r.clone(),
+            ),
+        ];
+        for (lhs, rhs) in pairs {
+            b = b
+                .alarm(lhs.clone().difference(rhs.clone()))
+                .alarm(rhs.difference(lhs));
+        }
+        // Differentials must also be disjoint: r@ins ∩ r@del = ∅.
+        b = b.alarm(ins.intersect(del));
+
+        let tx = b.build();
+        let outcome = Executor.execute(&mut db, &tx);
+        prop_assert!(
+            outcome.is_committed(),
+            "invariant violated for seed {:?} ops {:?}: {:?}",
+            seed,
+            operations,
+            outcome
+        );
+    }
+
+    /// The post-state equals the pre-state with the net differentials
+    /// applied externally as well: replaying ops on a hash set matches.
+    #[test]
+    fn executor_matches_model(seed in prop::collection::vec(0..10i64, 0..10), operations in ops()) {
+        let mut db = Database::new(schema().into_shared());
+        let mut model: std::collections::BTreeSet<i64> = seed.iter().copied().collect();
+        for v in &seed {
+            db.insert("r", Tuple::of((*v,))).unwrap();
+        }
+        let mut b = TransactionBuilder::new();
+        for op in &operations {
+            b = match op {
+                Op::Insert(v) => {
+                    model.insert(*v);
+                    b.insert_tuple("r", Tuple::of((*v,)))
+                }
+                Op::Delete(v) => {
+                    model.remove(v);
+                    b.delete_tuple("r", Tuple::of((*v,)))
+                }
+            };
+        }
+        let outcome = Executor.execute(&mut db, &b.build());
+        prop_assert!(outcome.is_committed());
+        let rel = db.relation("r").unwrap();
+        prop_assert_eq!(rel.len(), model.len());
+        for v in model {
+            prop_assert!(rel.contains(&Tuple::of((v,))));
+        }
+    }
+}
