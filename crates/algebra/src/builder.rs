@@ -82,7 +82,8 @@ impl TransactionBuilder {
 
     /// Append `delete(R, σ_pred(R))`.
     pub fn delete_where(mut self, relation: impl Into<String>, pred: ScalarExpr) -> Self {
-        self.statements.push(Statement::delete_where(relation, pred));
+        self.statements
+            .push(Statement::delete_where(relation, pred));
         self
     }
 

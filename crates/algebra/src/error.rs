@@ -102,6 +102,8 @@ mod tests {
         assert!(e.to_string().contains('r'));
         assert!(e.source().is_some());
         assert!(AlgebraError::DivisionByZero.source().is_none());
-        assert!(AlgebraError::EmptyAggregate("MIN").to_string().contains("MIN"));
+        assert!(AlgebraError::EmptyAggregate("MIN")
+            .to_string()
+            .contains("MIN"));
     }
 }

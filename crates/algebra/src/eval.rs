@@ -43,22 +43,16 @@ impl EvalContext for Database {
 }
 
 /// Evaluate a scalar expression against an input tuple.
-pub fn eval_scalar(
-    expr: &ScalarExpr,
-    tuple: &Tuple,
-    ctx: &impl EvalContext,
-) -> Result<Value> {
+pub fn eval_scalar(expr: &ScalarExpr, tuple: &Tuple, ctx: &impl EvalContext) -> Result<Value> {
     match expr {
         ScalarExpr::Const(v) => Ok(v.clone()),
-        ScalarExpr::Col(i) => {
-            tuple
-                .get(*i)
-                .cloned()
-                .ok_or(AlgebraError::ColumnOutOfRange {
-                    offset: *i,
-                    arity: tuple.arity(),
-                })
-        }
+        ScalarExpr::Col(i) => tuple
+            .get(*i)
+            .cloned()
+            .ok_or(AlgebraError::ColumnOutOfRange {
+                offset: *i,
+                arity: tuple.arity(),
+            }),
         ScalarExpr::Arith(op, l, r) => {
             let lv = eval_scalar(l, tuple, ctx)?;
             let rv = eval_scalar(r, tuple, ctx)?;
@@ -245,10 +239,7 @@ pub fn evaluate(expr: &RelExpr, ctx: &impl EvalContext) -> Result<Relation> {
                     .iter()
                     .enumerate()
                     .map(|(i, v)| {
-                        Attribute::new(
-                            format!("c{i}"),
-                            v.value_type().unwrap_or(ValueType::Int),
-                        )
+                        Attribute::new(format!("c{i}"), v.value_type().unwrap_or(ValueType::Int))
                     })
                     .collect();
                 Arc::new(
@@ -413,7 +404,12 @@ fn check_union_compatible(left: &Relation, right: &Relation) -> Result<()> {
 
 fn concat_schema(left: &Arc<RelationSchema>, right: &Arc<RelationSchema>) -> Arc<RelationSchema> {
     let mut attrs: Vec<Attribute> = Vec::with_capacity(left.arity() + right.arity());
-    for (i, a) in left.attributes().iter().chain(right.attributes()).enumerate() {
+    for (i, a) in left
+        .attributes()
+        .iter()
+        .chain(right.attributes())
+        .enumerate()
+    {
         // Positional names avoid collisions between the two sides.
         attrs.push(Attribute::new(format!("c{i}"), a.value_type()));
     }
@@ -442,10 +438,7 @@ mod tests {
 
     fn test_db() -> Database {
         let schema = DatabaseSchema::from_relations(vec![
-            RelationSchema::of(
-                "r",
-                &[("a", ValueType::Int), ("b", ValueType::Str)],
-            ),
+            RelationSchema::of("r", &[("a", ValueType::Int), ("b", ValueType::Str)]),
             RelationSchema::of("s", &[("x", ValueType::Int)]),
         ])
         .unwrap();

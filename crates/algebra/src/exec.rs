@@ -176,7 +176,12 @@ impl TxContext {
     /// Record the actual insertion of `t` into base relation `base`,
     /// maintaining the net differentials.
     fn note_insert(&mut self, base: &str, t: &Tuple) {
-        let schema = self.working.relation(base).expect("base exists").schema().clone();
+        let schema = self
+            .working
+            .relation(base)
+            .expect("base exists")
+            .schema()
+            .clone();
         let del = Self::delta_relation(&mut self.del, schema.clone(), base, AuxKind::Del);
         if !del.remove(t) {
             let ins = Self::delta_relation(&mut self.ins, schema, base, AuxKind::Ins);
@@ -187,7 +192,12 @@ impl TxContext {
 
     /// Record the actual deletion of `t` from base relation `base`.
     fn note_delete(&mut self, base: &str, t: &Tuple) {
-        let schema = self.working.relation(base).expect("base exists").schema().clone();
+        let schema = self
+            .working
+            .relation(base)
+            .expect("base exists")
+            .schema()
+            .clone();
         let ins = Self::delta_relation(&mut self.ins, schema.clone(), base, AuxKind::Ins);
         if !ins.remove(t) {
             let del = Self::delta_relation(&mut self.del, schema, base, AuxKind::Del);
@@ -202,19 +212,17 @@ impl TxContext {
     fn execute_statement(&mut self, stmt: &Statement) -> std::result::Result<(), AbortReason> {
         self.stats.statements += 1;
         match stmt {
-            Statement::Assign { target, expr } => {
-                self.run(|ctx| {
-                    if ctx.working.schema().contains(target) {
-                        return Err(AlgebraError::AssignToBase(target.clone()));
-                    }
-                    if auxiliary::is_auxiliary(target) {
-                        return Err(AlgebraError::AuxiliaryUpdate(target.clone()));
-                    }
-                    let rel = evaluate(expr, ctx)?;
-                    ctx.temps.insert(target.clone(), rel);
-                    Ok(())
-                })
-            }
+            Statement::Assign { target, expr } => self.run(|ctx| {
+                if ctx.working.schema().contains(target) {
+                    return Err(AlgebraError::AssignToBase(target.clone()));
+                }
+                if auxiliary::is_auxiliary(target) {
+                    return Err(AlgebraError::AuxiliaryUpdate(target.clone()));
+                }
+                let rel = evaluate(expr, ctx)?;
+                ctx.temps.insert(target.clone(), rel);
+                Ok(())
+            }),
             Statement::Insert { relation, source } => self.run(|ctx| {
                 if auxiliary::is_auxiliary(relation) {
                     return Err(AlgebraError::AuxiliaryUpdate(relation.clone()));
@@ -227,7 +235,11 @@ impl TxContext {
                     added.push(t.clone());
                 }
                 for t in added {
-                    if ctx.working.relation_mut(relation)?.insert_unchecked(t.clone()) {
+                    if ctx
+                        .working
+                        .relation_mut(relation)?
+                        .insert_unchecked(t.clone())
+                    {
                         ctx.note_insert(relation, &t);
                     }
                 }
@@ -273,8 +285,7 @@ impl TxContext {
                 // Materialise the update pairs first (evaluation may read
                 // the relation being updated).
                 let mut pairs: Vec<(Tuple, Tuple)> = Vec::new();
-                let current: Vec<Tuple> =
-                    ctx.working.relation(relation)?.iter().cloned().collect();
+                let current: Vec<Tuple> = ctx.working.relation(relation)?.iter().cloned().collect();
                 for t in current {
                     let selected = eval_scalar(pred, &t, ctx)?
                         .as_bool()
@@ -579,9 +590,7 @@ mod tests {
                 // alarm(r@pre − r@pre) must not fire while alarm on the
                 // difference of r@pre and r fires on 1 tuple? No —
                 // we assert commit by alarming on an empty difference.
-                Statement::Alarm(
-                    RelExpr::relation("r@pre").difference(RelExpr::relation("r@pre")),
-                ),
+                Statement::Alarm(RelExpr::relation("r@pre").difference(RelExpr::relation("r@pre"))),
                 Statement::insert_tuples("r", vec![Tuple::of((5, "five"))]),
             ],
         );
@@ -606,7 +615,10 @@ mod tests {
                 Statement::Alarm(RelExpr::relation("r@del")),
             ],
         );
-        assert!(out.is_committed(), "net-zero change must not alarm: {out:?}");
+        assert!(
+            out.is_committed(),
+            "net-zero change must not alarm: {out:?}"
+        );
     }
 
     #[test]
@@ -710,11 +722,7 @@ mod tests {
         let mut d = db();
         let (out, tr) = Executor.execute_with_transition(
             &mut d,
-            &Program::new(vec![Statement::insert_tuples(
-                "s",
-                vec![Tuple::of((20,))],
-            )])
-            .bracket(),
+            &Program::new(vec![Statement::insert_tuples("s", vec![Tuple::of((20,))])]).bracket(),
         );
         assert!(out.is_committed());
         assert!(!tr.is_identity());

@@ -356,7 +356,14 @@ mod tests {
         assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
         assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
         assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Ge, CmpOp::Gt] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Ge,
+            CmpOp::Gt,
+        ] {
             assert_eq!(op.negate().negate(), op);
             assert_eq!(op.flip().flip(), op);
         }
@@ -393,14 +400,15 @@ mod tests {
 
     #[test]
     fn max_col_and_inference() {
-        let e = ScalarExpr::cmp(
-            CmpOp::Ge,
-            ScalarExpr::col(3),
-            ScalarExpr::double(0.0),
-        );
+        let e = ScalarExpr::cmp(CmpOp::Ge, ScalarExpr::col(3), ScalarExpr::double(0.0));
         assert_eq!(e.max_col(), Some(3));
         assert_eq!(
-            e.infer_type(&[ValueType::Str, ValueType::Str, ValueType::Str, ValueType::Double]),
+            e.infer_type(&[
+                ValueType::Str,
+                ValueType::Str,
+                ValueType::Str,
+                ValueType::Double
+            ]),
             ValueType::Bool
         );
         let a = ScalarExpr::arith(ArithOp::Add, ScalarExpr::col(0), ScalarExpr::int(1));

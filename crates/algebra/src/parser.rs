@@ -67,7 +67,10 @@ enum Tok {
 }
 
 fn parse_err(offset: usize, message: impl Into<String>) -> AlgebraError {
-    AlgebraError::TypeError(format!("parse error at offset {offset}: {}", message.into()))
+    AlgebraError::TypeError(format!(
+        "parse error at offset {offset}: {}",
+        message.into()
+    ))
 }
 
 fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
@@ -431,7 +434,10 @@ impl P {
                 "null" => Ok(Value::Null),
                 "true" => Ok(Value::Bool(true)),
                 "false" => Ok(Value::Bool(false)),
-                _ => Err(parse_err(self.offset(), format!("unexpected `{k}` in tuple"))),
+                _ => Err(parse_err(
+                    self.offset(),
+                    format!("unexpected `{k}` in tuple"),
+                )),
             },
             _ => Err(parse_err(self.offset(), "expected literal value")),
         }
@@ -686,10 +692,7 @@ mod tests {
     #[test]
     fn parses_set_ops_and_nesting() {
         let e = parse_relexpr("union(minus(a, b), intersect(c, times(d, e)))").unwrap();
-        assert_eq!(
-            e.referenced_relations(),
-            vec!["a", "b", "c", "d", "e"]
-        );
+        assert_eq!(e.referenced_relations(), vec!["a", "b", "c", "d", "e"]);
     }
 
     #[test]

@@ -38,9 +38,8 @@ fn pred2() -> impl Strategy<Value = ScalarExpr> {
         Just(CmpOp::Ge),
         Just(CmpOp::Gt),
     ];
-    (op, 0usize..2, -3..4i64).prop_map(|(op, col, k)| {
-        ScalarExpr::cmp(op, ScalarExpr::col(col), ScalarExpr::int(k))
-    })
+    (op, 0usize..2, -3..4i64)
+        .prop_map(|(op, col, k)| ScalarExpr::cmp(op, ScalarExpr::col(col), ScalarExpr::int(k)))
 }
 
 fn rel_pairs() -> impl Strategy<Value = Vec<(i64, i64)>> {

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tm_algebra::builder::TransactionBuilder;
 use tm_bench::workload::{child_schema, parent_schema, Workload};
 use tm_relational::DatabaseSchema;
-use txmod::{Engine, EngineConfig, EnforcementMode};
+use txmod::{EnforcementMode, Engine, EngineConfig};
 
 fn build_engine(mode: EnforcementMode, children: usize) -> (Engine, tm_algebra::Transaction) {
     let schema = DatabaseSchema::from_relations(vec![parent_schema(), child_schema()])

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use tm_algebra::builder::TransactionBuilder;
 use tm_relational::Tuple;
-use txmod::{Engine, EngineConfig, EnforcementMode};
+use txmod::{EnforcementMode, Engine, EngineConfig};
 
 fn engine(mode: EnforcementMode) -> Engine {
     let mut e = Engine::with_config(
@@ -16,14 +16,23 @@ fn engine(mode: EnforcementMode) -> Engine {
         },
     );
     let rules: [(&str, &str); 6] = [
-        ("alcohol_nonneg", "forall x (x in beer implies x.alcohol >= 0)"),
-        ("alcohol_cap", "forall x (x in beer implies x.alcohol <= 80.0)"),
+        (
+            "alcohol_nonneg",
+            "forall x (x in beer implies x.alcohol >= 0)",
+        ),
+        (
+            "alcohol_cap",
+            "forall x (x in beer implies x.alcohol <= 80.0)",
+        ),
         (
             "brewery_fk",
             "forall x (x in beer implies exists y (y in brewery and x.brewery = y.name))",
         ),
         ("beer_count", "CNT(beer) <= 1000000"),
-        ("brewery_city", "forall x (x in brewery implies x.city != '')"),
+        (
+            "brewery_city",
+            "forall x (x in brewery implies x.city != '')",
+        ),
         (
             "unique_name",
             "forall x (x in beer implies forall y (y in beer implies \

@@ -24,7 +24,9 @@ fn bench_domain(c: &mut Criterion) {
         b.iter(|| db.check_domain_delta("child", &w.inserts, &pred))
     });
     let db1 = w.into_parallel_db(1);
-    group.bench_function("full_1node", |b| b.iter(|| db1.check_domain("child", &pred)));
+    group.bench_function("full_1node", |b| {
+        b.iter(|| db1.check_domain("child", &pred))
+    });
     group.finish();
 }
 

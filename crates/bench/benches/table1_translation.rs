@@ -23,10 +23,8 @@ fn bench_table1(c: &mut Criterion) {
     // End-to-end: parse + translate (what a DDL statement would cost).
     group.bench_function("parse_and_translate/row2", |b| {
         b.iter(|| {
-            let f = parse_formula(
-                "forall x (x in r implies exists y (y in s and x.1 = y.1))",
-            )
-            .expect("parses");
+            let f = parse_formula("forall x (x in r implies exists y (y in s and x.1 = y.1))")
+                .expect("parses");
             trans_c(&f, &schema).expect("translates")
         })
     });

@@ -17,7 +17,7 @@ use tm_bench::report::{fmt_duration, Table};
 use tm_bench::workload::{child_schema, paper, parent_schema, Workload};
 use tm_relational::{DatabaseSchema, Tuple};
 use tm_translate::table1_rows;
-use txmod::{Engine, EngineConfig, EnforcementMode};
+use txmod::{EnforcementMode, Engine, EngineConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,7 +65,12 @@ fn table1() {
     let rows = table1_rows().expect("table 1 translates");
     let mut t = Table::new(
         "T1 / Table 1 — translation of typical constraint constructs",
-        &["#", "construct (CL)", "paper translation", "this reproduction"],
+        &[
+            "#",
+            "construct (CL)",
+            "paper translation",
+            "this reproduction",
+        ],
     );
     for row in &rows {
         t.row(&[
@@ -121,10 +126,11 @@ fn perf() {
     let domain_pred = ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(2), ScalarExpr::int(0));
 
     let t_ref_full = time_median(5, || db.check_referential("child", 1, "parent", 0));
-    let t_ref_delta =
-        time_median(5, || db.check_referential_delta(&w.inserts, 1, "parent", 0));
+    let t_ref_delta = time_median(5, || db.check_referential_delta(&w.inserts, 1, "parent", 0));
     let t_dom_full = time_median(5, || db.check_domain("child", &domain_pred));
-    let t_dom_delta = time_median(5, || db.check_domain_delta("child", &w.inserts, &domain_pred));
+    let t_dom_delta = time_median(5, || {
+        db.check_domain_delta("child", &w.inserts, &domain_pred)
+    });
 
     let mut t = Table::new(
         format!(
@@ -134,7 +140,12 @@ fn perf() {
             paper::INSERT_TUPLES,
             paper::NODES
         ),
-        &["check", "paper (1992 POOMA)", "measured (full)", "measured (delta-only)"],
+        &[
+            "check",
+            "paper (1992 POOMA)",
+            "measured (full)",
+            "measured (delta-only)",
+        ],
     );
     t.row(&[
         "referential integrity".into(),
@@ -169,7 +180,13 @@ fn scaling() {
     let domain_pred = ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(2), ScalarExpr::int(0));
     let mut t = Table::new(
         "P3 — parallel scaling of the §7 checks (8x paper scale)",
-        &["nodes", "referential (full)", "domain (full)", "referential speedup", "domain speedup"],
+        &[
+            "nodes",
+            "referential (full)",
+            "domain (full)",
+            "referential speedup",
+            "domain speedup",
+        ],
     );
     let mut base: Option<(Duration, Duration)> = None;
     for nodes in [1usize, 2, 4, 8] {
@@ -181,8 +198,14 @@ fn scaling() {
             nodes.to_string(),
             fmt_duration(t_ref),
             fmt_duration(t_dom),
-            format!("{:.2}x", b_ref.as_secs_f64() / t_ref.as_secs_f64().max(1e-9)),
-            format!("{:.2}x", b_dom.as_secs_f64() / t_dom.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}x",
+                b_ref.as_secs_f64() / t_ref.as_secs_f64().max(1e-9)
+            ),
+            format!(
+                "{:.2}x",
+                b_dom.as_secs_f64() / t_dom.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     println!("{}", t.render());
@@ -197,8 +220,14 @@ fn beer_rules_engine(mode: EnforcementMode) -> Engine {
         },
     );
     let rules: [(&str, &str); 6] = [
-        ("alcohol_nonneg", "forall x (x in beer implies x.alcohol >= 0)"),
-        ("alcohol_cap", "forall x (x in beer implies x.alcohol <= 80.0)"),
+        (
+            "alcohol_nonneg",
+            "forall x (x in beer implies x.alcohol >= 0)",
+        ),
+        (
+            "alcohol_cap",
+            "forall x (x in beer implies x.alcohol <= 80.0)",
+        ),
         (
             "brewery_fk",
             "forall x (x in beer implies exists y (y in brewery and x.brewery = y.name))",
@@ -261,7 +290,12 @@ fn ablation_static() {
 fn ablation_differential() {
     let mut t = Table::new(
         "A2 / §5.2.1 — differential vs full checks (insert batch = 100 children)",
-        &["children in DB", "full check execute", "differential execute", "speedup"],
+        &[
+            "children in DB",
+            "full check execute",
+            "differential execute",
+            "speedup",
+        ],
     );
     for &size in &[1_000usize, 10_000, 100_000] {
         let mut times = Vec::new();

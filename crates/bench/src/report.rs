@@ -27,7 +27,8 @@ impl Table {
 
     /// Append a row of string slices.
     pub fn row_str(&mut self, cells: &[&str]) {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Render the table.

@@ -217,13 +217,14 @@ fn resolve_sel(rs: &RelationSchema, rel: &str, sel: &AttrSel) -> Result<usize> {
                 })
             }
         }
-        AttrSel::Name(n) => rs
-            .position_of(n)
-            .map(|p| p + 1)
-            .map_err(|_| CalculusError::UnknownAttribute {
-                relation: rel.to_owned(),
-                attribute: n.clone(),
-            }),
+        AttrSel::Name(n) => {
+            rs.position_of(n)
+                .map(|p| p + 1)
+                .map_err(|_| CalculusError::UnknownAttribute {
+                    relation: rel.to_owned(),
+                    attribute: n.clone(),
+                })
+        }
     }
 }
 
@@ -521,8 +522,7 @@ mod tests {
 
     #[test]
     fn conflicting_ranges_rejected() {
-        let e = analyze_src("forall x (x in beer and x in brewery implies x.1 = x.1)")
-            .unwrap_err();
+        let e = analyze_src("forall x (x in beer and x in brewery implies x.1 = x.1)").unwrap_err();
         assert!(matches!(e, CalculusError::TypeError(_)));
     }
 

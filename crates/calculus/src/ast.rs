@@ -486,7 +486,9 @@ mod tests {
                 rel: "account".into(),
                 sel: AttrSel::Position(2),
             },
-            Term::Cnt { rel: "limitrel".into() },
+            Term::Cnt {
+                rel: "limitrel".into(),
+            },
         ));
         assert_eq!(f.referenced_relations(), vec!["account", "limitrel"]);
     }
@@ -517,7 +519,14 @@ mod tests {
 
     #[test]
     fn cmp_negation_involution() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Ge, CmpOp::Gt] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Ge,
+            CmpOp::Gt,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }

@@ -57,14 +57,21 @@ impl fmt::Display for CalculusError {
             }
             CalculusError::UnboundVariable(v) => write!(f, "unbound tuple variable `{v}`"),
             CalculusError::NotClosed(vs) => {
-                write!(f, "formula is not closed; free variables: {}", vs.join(", "))
+                write!(
+                    f,
+                    "formula is not closed; free variables: {}",
+                    vs.join(", ")
+                )
             }
             CalculusError::UnsafeVariable(v) => write!(
                 f,
                 "quantified variable `{v}` is not range-restricted by any membership atom"
             ),
             CalculusError::ShadowedVariable(v) => {
-                write!(f, "tuple variable `{v}` is quantified more than once in scope")
+                write!(
+                    f,
+                    "tuple variable `{v}` is quantified more than once in scope"
+                )
             }
             CalculusError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
             CalculusError::UnknownAttribute {

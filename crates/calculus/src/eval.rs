@@ -66,11 +66,7 @@ impl ConstraintSource for TransitionSource<'_> {
 
 type Env = FxHashMap<VarName, Tuple>;
 
-fn eval_term(
-    t: &Term,
-    env: &Env,
-    src: &impl ConstraintSource,
-) -> Result<Value> {
+fn eval_term(t: &Term, env: &Env, src: &impl ConstraintSource) -> Result<Value> {
     match t {
         Term::Const(v) => Ok(v.clone()),
         Term::Attr { var, sel } => {
@@ -354,9 +350,15 @@ mod tests {
     #[test]
     fn exists_over_empty_relation_is_false() {
         let db = Database::new(beer_schema().into_shared());
-        assert_eq!(check("exists x (x in beer and x.alcohol > 0)", &db), Ok(false));
+        assert_eq!(
+            check("exists x (x in beer and x.alcohol > 0)", &db),
+            Ok(false)
+        );
         // forall over empty is vacuously true
-        assert_eq!(check("forall x (x in beer implies x.alcohol > 0)", &db), Ok(true));
+        assert_eq!(
+            check("forall x (x in beer implies x.alcohol > 0)", &db),
+            Ok(true)
+        );
     }
 
     #[test]
@@ -389,13 +391,8 @@ mod tests {
         after.tick();
         let tr = Transition::new(before, after);
         // "beers are never removed": every pre-beer still exists.
-        let grow_only =
-            "forall x (x in beer@pre implies exists y (y in beer and x == y))";
-        let info = analyze(
-            &parse_formula(grow_only).unwrap(),
-            tr.after.schema(),
-        )
-        .unwrap();
+        let grow_only = "forall x (x in beer@pre implies exists y (y in beer and x == y))";
+        let info = analyze(&parse_formula(grow_only).unwrap(), tr.after.schema()).unwrap();
         assert_eq!(eval_constraint(&info, &TransitionSource(&tr)), Ok(true));
 
         // Now delete a beer: the constraint must fail.

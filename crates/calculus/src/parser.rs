@@ -66,78 +66,132 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 i += 1;
             }
             '(' => {
-                toks.push(SpannedTok { tok: Tok::LParen, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                toks.push(SpannedTok { tok: Tok::RParen, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                toks.push(SpannedTok { tok: Tok::Comma, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                toks.push(SpannedTok { tok: Tok::Dot, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                toks.push(SpannedTok { tok: Tok::Plus, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                toks.push(SpannedTok { tok: Tok::Star, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                toks.push(SpannedTok { tok: Tok::Slash, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    toks.push(SpannedTok { tok: Tok::Arrow, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Arrow,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    toks.push(SpannedTok { tok: Tok::Minus, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Minus,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(SpannedTok { tok: Tok::Le, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    toks.push(SpannedTok { tok: Tok::Ne, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    toks.push(SpannedTok { tok: Tok::Lt, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(SpannedTok { tok: Tok::Ge, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    toks.push(SpannedTok { tok: Tok::Gt, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(SpannedTok { tok: Tok::EqEq, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::EqEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    toks.push(SpannedTok { tok: Tok::Arrow, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Arrow,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    toks.push(SpannedTok { tok: Tok::Eq, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Eq,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(SpannedTok { tok: Tok::Ne, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(CalculusError::Lex {
@@ -165,7 +219,10 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                         }
                     }
                 }
-                toks.push(SpannedTok { tok: Tok::Str(s), offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
                 i = j + 1;
             }
             '0'..='9' => {
@@ -184,7 +241,10 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                         offset: start,
                         message: format!("bad double literal `{text}`"),
                     })?;
-                    toks.push(SpannedTok { tok: Tok::Double(v), offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Double(v),
+                        offset: start,
+                    });
                     i = k;
                 } else {
                     let text = &src[i..j];
@@ -192,7 +252,10 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                         offset: start,
                         message: format!("bad integer literal `{text}`"),
                     })?;
-                    toks.push(SpannedTok { tok: Tok::Int(v), offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Int(v),
+                        offset: start,
+                    });
                     i = j;
                 }
             }
@@ -303,7 +366,10 @@ impl Parser {
     }
 
     fn quantified(&mut self) -> Result<Formula> {
-        for (kw, q) in [("forall", Quantifier::Forall), ("exists", Quantifier::Exists)] {
+        for (kw, q) in [
+            ("forall", Quantifier::Forall),
+            ("exists", Quantifier::Exists),
+        ] {
             if self.is_kw(kw) {
                 self.pos += 1;
                 let mut vars = vec![self.ident("tuple variable")?];
@@ -371,8 +437,17 @@ impl Parser {
                     if !matches!(
                         self.peek(),
                         Some(
-                            Tok::Lt | Tok::Le | Tok::Eq | Tok::EqEq | Tok::Ne | Tok::Ge
-                                | Tok::Gt | Tok::Plus | Tok::Minus | Tok::Star | Tok::Slash
+                            Tok::Lt
+                                | Tok::Le
+                                | Tok::Eq
+                                | Tok::EqEq
+                                | Tok::Ne
+                                | Tok::Ge
+                                | Tok::Gt
+                                | Tok::Plus
+                                | Tok::Minus
+                                | Tok::Star
+                                | Tok::Slash
                         )
                     ) {
                         return Ok(f);
@@ -453,9 +528,7 @@ impl Parser {
     fn attr_sel(&mut self) -> Result<AttrSel> {
         match self.bump() {
             Some(Tok::Int(i)) if i >= 1 => Ok(AttrSel::Position(i as usize)),
-            Some(Tok::Int(i)) => Err(self.err(format!(
-                "attribute positions are 1-based; got {i}"
-            ))),
+            Some(Tok::Int(i)) => Err(self.err(format!("attribute positions are 1-based; got {i}"))),
             Some(Tok::Ident(n)) => Ok(AttrSel::Name(n)),
             _ => Err(self.err("expected attribute position or name".into())),
         }
@@ -573,10 +646,7 @@ mod tests {
                 assert_eq!(v, "x");
                 match body.as_ref() {
                     F::Implies(l, r) => {
-                        assert_eq!(
-                            l.as_ref(),
-                            &Formula::member("x", "beer")
-                        );
+                        assert_eq!(l.as_ref(), &Formula::member("x", "beer"));
                         assert_eq!(
                             r.as_ref(),
                             &F::Atom(Atom::Cmp(
@@ -650,9 +720,7 @@ mod tests {
     #[test]
     fn tuple_equality() {
         let f = parse_formula("forall x (exists y (x == y))").unwrap();
-        assert!(f
-            .to_string()
-            .contains("x == y"));
+        assert!(f.to_string().contains("x == y"));
     }
 
     #[test]
@@ -677,8 +745,7 @@ mod tests {
 
     #[test]
     fn arithmetic_precedence() {
-        let f = parse_formula("x.1 + x.2 * 2 = 7")
-            .map_err(|e| e.to_string());
+        let f = parse_formula("x.1 + x.2 * 2 = 7").map_err(|e| e.to_string());
         let f = f.unwrap();
         match f {
             F::Atom(Atom::Cmp(_, lhs, _)) => match lhs {

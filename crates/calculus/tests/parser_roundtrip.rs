@@ -51,8 +51,11 @@ fn formula() -> impl Strategy<Value = Formula> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
-            ("[xyz]", inner.clone())
-                .prop_map(|(v, f)| Formula::Quant(Quantifier::Forall, v, Box::new(f))),
+            ("[xyz]", inner.clone()).prop_map(|(v, f)| Formula::Quant(
+                Quantifier::Forall,
+                v,
+                Box::new(f)
+            )),
             ("[xyz]", inner).prop_map(|(v, f)| Formula::Quant(Quantifier::Exists, v, Box::new(f))),
         ]
     })

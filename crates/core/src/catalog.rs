@@ -162,8 +162,11 @@ mod tests {
     fn validation_reports_cycles() {
         let mut c = catalog();
         c.add_rule(
-            parse_rule("WHEN INS(beer) IF NOT 1 = 1 THEN insert(beer, beer@ins)", "self")
-                .unwrap(),
+            parse_rule(
+                "WHEN INS(beer) IF NOT 1 = 1 THEN insert(beer, beer@ins)",
+                "self",
+            )
+            .unwrap(),
         )
         .unwrap();
         let report = c.validate();

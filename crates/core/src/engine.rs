@@ -134,10 +134,7 @@ impl Engine {
         let shared = schema.into_shared();
         Engine {
             db: Database::new(shared.clone()),
-            catalog: Catalog::new(
-                shared,
-                matches!(config.mode, EnforcementMode::Differential),
-            ),
+            catalog: Catalog::new(shared, matches!(config.mode, EnforcementMode::Differential)),
             config,
             executor: Executor,
             views: Vec::new(),
@@ -203,8 +200,7 @@ impl Engine {
     /// (abort on violation) and a generated trigger set — the paper's
     /// "default way" of Section 4.
     pub fn define_constraint(&mut self, name: &str, cl: &str) -> Result<()> {
-        let formula =
-            parse_formula(cl).map_err(|e| EngineError::RuleParse(e.to_string()))?;
+        let formula = parse_formula(cl).map_err(|e| EngineError::RuleParse(e.to_string()))?;
         self.add_rule(IntegrityRule::with_generated_triggers(
             name,
             formula,
@@ -338,11 +334,8 @@ mod tests {
             "r2",
         )
         .unwrap();
-        e.load(
-            "brewery",
-            vec![Tuple::of(("guineken", "dublin", "ie"))],
-        )
-        .unwrap();
+        e.load("brewery", vec![Tuple::of(("guineken", "dublin", "ie"))])
+            .unwrap();
         e
     }
 
@@ -376,7 +369,10 @@ mod tests {
         ] {
             let mut e = engine(mode);
             assert!(e.execute(&good_tx()).unwrap().committed(), "{mode:?}");
-            assert!(!e.execute(&bad_domain_tx()).unwrap().committed(), "{mode:?}");
+            assert!(
+                !e.execute(&bad_domain_tx()).unwrap().committed(),
+                "{mode:?}"
+            );
             assert!(!e.execute(&bad_ref_tx()).unwrap().committed(), "{mode:?}");
             // State reflects only the good transaction.
             assert_eq!(e.relation("beer").unwrap().len(), 1, "{mode:?}");

@@ -66,7 +66,7 @@ pub mod programs;
 pub mod views;
 
 pub use catalog::Catalog;
-pub use engine::{Engine, EngineConfig, EngineOutcome, EnforcementMode, ModStats};
+pub use engine::{EnforcementMode, Engine, EngineConfig, EngineOutcome, ModStats};
 pub use error::{EngineError, Result};
 pub use modify::mod_t;
 pub use programs::{get_int_p, IntegrityProgram};

@@ -221,14 +221,24 @@ mod tests {
     fn example_5_1_dynamic_modification() {
         let schema = beer_schema();
         let rs = rules();
-        let (modified, trace) =
-            mod_t(&example_51_tx(), SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
+        let (modified, trace) = mod_t(
+            &example_51_tx(),
+            SelectionMode::Dynamic,
+            &rs,
+            &[],
+            &schema,
+            32,
+        )
+        .unwrap();
         // Paper Example 5.1: insert + alarm (R1) + two compensation
         // statements (R2) = 4 statements.
         assert_eq!(modified.len(), 4);
         let rendered = modified.to_string();
         assert!(rendered.contains("insert(beer"), "{rendered}");
-        assert!(rendered.contains("alarm(select[(#3 < 0)](beer))"), "{rendered}");
+        assert!(
+            rendered.contains("alarm(select[(#3 < 0)](beer))"),
+            "{rendered}"
+        );
         assert!(rendered.contains("temp := "), "{rendered}");
         assert!(rendered.contains("insert(brewery"), "{rendered}");
         // R2's compensation inserts into brewery; no rule watches
@@ -244,10 +254,24 @@ mod tests {
         let schema = beer_schema();
         let rs = rules();
         let ks = compiled(false);
-        let (dynamic, _) =
-            mod_t(&example_51_tx(), SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
-        let (statik, trace) =
-            mod_t(&example_51_tx(), SelectionMode::Static, &[], &ks, &schema, 32).unwrap();
+        let (dynamic, _) = mod_t(
+            &example_51_tx(),
+            SelectionMode::Dynamic,
+            &rs,
+            &[],
+            &schema,
+            32,
+        )
+        .unwrap();
+        let (statik, trace) = mod_t(
+            &example_51_tx(),
+            SelectionMode::Static,
+            &[],
+            &ks,
+            &schema,
+            32,
+        )
+        .unwrap();
         assert_eq!(dynamic, statik);
         assert_eq!(trace.rules_translated, 0); // no enforcement-time translation
     }
@@ -276,8 +300,7 @@ mod tests {
         let tx = TransactionBuilder::new()
             .assign("t", tm_algebra::RelExpr::relation("beer"))
             .build();
-        let (modified, trace) =
-            mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
+        let (modified, trace) = mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
         assert_eq!(modified, tx);
         assert_eq!(trace.rounds, 0);
     }
@@ -291,8 +314,7 @@ mod tests {
         let tx = TransactionBuilder::new()
             .delete_where("beer", tm_algebra::ScalarExpr::true_())
             .build();
-        let (modified, trace) =
-            mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
+        let (modified, trace) = mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
         assert_eq!(modified, tx);
         assert_eq!(trace.rounds, 0);
     }
@@ -306,22 +328,13 @@ mod tests {
         ])
         .unwrap();
         let rs = vec![
-            parse_rule(
-                "WHEN INS(a) IF NOT 1 = 1 THEN insert(b, a@ins)",
-                "a_to_b",
-            )
-            .unwrap(),
-            parse_rule(
-                "WHEN INS(b) IF NOT 1 = 1 THEN insert(c, b@ins)",
-                "b_to_c",
-            )
-            .unwrap(),
+            parse_rule("WHEN INS(a) IF NOT 1 = 1 THEN insert(b, a@ins)", "a_to_b").unwrap(),
+            parse_rule("WHEN INS(b) IF NOT 1 = 1 THEN insert(c, b@ins)", "b_to_c").unwrap(),
         ];
         let tx = TransactionBuilder::new()
             .insert_tuple("a", Tuple::of((1,)))
             .build();
-        let (modified, trace) =
-            mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
+        let (modified, trace) = mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 32).unwrap();
         assert_eq!(trace.rounds, 2);
         assert_eq!(
             trace.rules_fired,
@@ -332,28 +345,32 @@ mod tests {
 
     #[test]
     fn cyclic_rules_hit_round_budget() {
-        let schema = tm_relational::DatabaseSchema::from_relations(vec![
-            tm_relational::RelationSchema::of("a", &[("x", tm_relational::ValueType::Int)]),
-        ])
-        .unwrap();
-        let rs = vec![parse_rule(
-            "WHEN INS(a) IF NOT 1 = 1 THEN insert(a, {(1)})",
-            "loop",
-        )
-        .unwrap()];
+        let schema =
+            tm_relational::DatabaseSchema::from_relations(vec![tm_relational::RelationSchema::of(
+                "a",
+                &[("x", tm_relational::ValueType::Int)],
+            )])
+            .unwrap();
+        let rs =
+            vec![parse_rule("WHEN INS(a) IF NOT 1 = 1 THEN insert(a, {(1)})", "loop").unwrap()];
         let tx = TransactionBuilder::new()
             .insert_tuple("a", Tuple::of((1,)))
             .build();
         let err = mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 8).unwrap_err();
-        assert!(matches!(err, EngineError::ModificationDiverged { rounds: 8 }));
+        assert!(matches!(
+            err,
+            EngineError::ModificationDiverged { rounds: 8 }
+        ));
     }
 
     #[test]
     fn non_triggering_action_stops_recursion() {
-        let schema = tm_relational::DatabaseSchema::from_relations(vec![
-            tm_relational::RelationSchema::of("a", &[("x", tm_relational::ValueType::Int)]),
-        ])
-        .unwrap();
+        let schema =
+            tm_relational::DatabaseSchema::from_relations(vec![tm_relational::RelationSchema::of(
+                "a",
+                &[("x", tm_relational::ValueType::Int)],
+            )])
+            .unwrap();
         let rs = vec![parse_rule(
             "WHEN INS(a) IF NOT 1 = 1 THEN insert(a, {(1)}) NON-TRIGGERING",
             "fix",

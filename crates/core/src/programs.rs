@@ -105,10 +105,7 @@ mod tests {
         assert!(k.action().to_string().contains("antijoin"));
         assert!(k.by_trigger.is_empty());
         // Without specializations every trigger maps to the full program.
-        assert_eq!(
-            k.program_for_trigger(&Trigger::ins("beer")),
-            k.action()
-        );
+        assert_eq!(k.program_for_trigger(&Trigger::ins("beer")), k.action());
     }
 
     #[test]

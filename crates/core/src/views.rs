@@ -79,20 +79,16 @@ impl ViewDef {
     fn incremental_program(&self) -> Option<Program> {
         match &self.definition {
             RelExpr::Select(input, pred) => match input.as_ref() {
-                RelExpr::Rel(base) if !auxiliary::is_auxiliary(base) => {
-                    Some(Program::new(vec![
-                        Statement::Delete {
-                            relation: self.name.clone(),
-                            source: RelExpr::relation(auxiliary::del_name(base))
-                                .select(pred.clone()),
-                        },
-                        Statement::Insert {
-                            relation: self.name.clone(),
-                            source: RelExpr::relation(auxiliary::ins_name(base))
-                                .select(pred.clone()),
-                        },
-                    ]))
-                }
+                RelExpr::Rel(base) if !auxiliary::is_auxiliary(base) => Some(Program::new(vec![
+                    Statement::Delete {
+                        relation: self.name.clone(),
+                        source: RelExpr::relation(auxiliary::del_name(base)).select(pred.clone()),
+                    },
+                    Statement::Insert {
+                        relation: self.name.clone(),
+                        source: RelExpr::relation(auxiliary::ins_name(base)).select(pred.clone()),
+                    },
+                ])),
                 _ => None,
             },
             _ => None,
@@ -153,7 +149,7 @@ impl ViewDef {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{Engine, EngineConfig, EnforcementMode};
+    use crate::engine::{EnforcementMode, Engine, EngineConfig};
     use tm_algebra::builder::TransactionBuilder;
     use tm_algebra::{CmpOp, ScalarExpr};
     use tm_relational::{RelationSchema, Tuple, ValueType};
@@ -192,10 +188,7 @@ mod tests {
         let rendered = p.to_string();
         assert!(rendered.contains("orders@del"), "{rendered}");
         assert!(rendered.contains("orders@ins"), "{rendered}");
-        assert_eq!(
-            rule.triggers().to_string(),
-            "INS(orders), DEL(orders)"
-        );
+        assert_eq!(rule.triggers().to_string(), "INS(orders), DEL(orders)");
     }
 
     #[test]
@@ -203,7 +196,10 @@ mod tests {
         let v = ViewDef::new("order_ids", RelExpr::relation("orders").project_cols(&[0]));
         let rule = v.maintenance_rule(&schema()).unwrap();
         let rendered = rule.action().as_program().to_string();
-        assert!(rendered.contains("delete(order_ids, order_ids)"), "{rendered}");
+        assert!(
+            rendered.contains("delete(order_ids, order_ids)"),
+            "{rendered}"
+        );
         assert!(rendered.contains("insert(order_ids"), "{rendered}");
     }
 
@@ -279,11 +275,8 @@ mod tests {
         // chain: INS(orders) → view refresh → INS(big_orders) → check.
         let mut e = Engine::new(schema());
         e.define_view(big_orders_view()).unwrap();
-        e.define_constraint(
-            "few_big",
-            "CNT(big_orders) <= 1",
-        )
-        .unwrap();
+        e.define_constraint("few_big", "CNT(big_orders) <= 1")
+            .unwrap();
         let tx = TransactionBuilder::new()
             .insert_tuples("orders", vec![Tuple::of((1, 200))])
             .build();

@@ -124,7 +124,10 @@ impl ParallelDb {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("node panicked")).sum()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node panicked"))
+                .sum()
         });
         CheckReport {
             violations,
@@ -167,7 +170,10 @@ impl ParallelDb {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("node panicked")).sum()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node panicked"))
+                .sum()
         });
         CheckReport {
             violations,
@@ -190,8 +196,7 @@ impl ParallelDb {
         parent: &str,
         parent_col: usize,
     ) -> CheckReport {
-        let (Some(cf), Some(pf)) = (self.relations.get(child), self.relations.get(parent))
-        else {
+        let (Some(cf), Some(pf)) = (self.relations.get(child), self.relations.get(parent)) else {
             return CheckReport::default();
         };
         let co_partitioned = cf.key_col() == child_col && pf.key_col() == parent_col;
@@ -390,11 +395,8 @@ mod tests {
         db.create_relation(fk_schema(), 1); // fragmented on the FK → co-partitioned
         db.load("parent", (0..parents).map(|i| Tuple::of((i, 0))))
             .unwrap();
-        db.load(
-            "child",
-            (0..children).map(|i| Tuple::of((i, i % parents))),
-        )
-        .unwrap();
+        db.load("child", (0..children).map(|i| Tuple::of((i, i % parents))))
+            .unwrap();
         db
     }
 
@@ -417,7 +419,10 @@ mod tests {
         let mut db = loaded_db(8, 100, 1000);
         let r = db.check_referential("child", 1, "parent", 0);
         assert!(r.satisfied());
-        assert_eq!(r.tuples_shuffled, 0, "co-partitioned check must not move data");
+        assert_eq!(
+            r.tuples_shuffled, 0,
+            "co-partitioned check must not move data"
+        );
         // Orphan a child.
         db.relation_mut("child")
             .unwrap()
@@ -493,9 +498,6 @@ mod tests {
         let db = ParallelDb::new(2);
         let pred = ScalarExpr::true_();
         assert_eq!(db.check_domain("ghost", &pred), CheckReport::default());
-        assert_eq!(
-            db.check_referential("a", 0, "b", 0),
-            CheckReport::default()
-        );
+        assert_eq!(db.check_referential("a", 0, "b", 0), CheckReport::default());
     }
 }

@@ -32,7 +32,9 @@ impl FragmentedRelation {
             "fragmentation attribute out of range"
         );
         FragmentedRelation {
-            fragments: (0..nodes).map(|_| Relation::empty(schema.clone())).collect(),
+            fragments: (0..nodes)
+                .map(|_| Relation::empty(schema.clone()))
+                .collect(),
             schema,
             key_col,
         }

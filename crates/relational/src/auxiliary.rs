@@ -103,9 +103,18 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        assert_eq!(parse_auxiliary(&pre_name("beer")), Some(("beer", AuxKind::Pre)));
-        assert_eq!(parse_auxiliary(&ins_name("beer")), Some(("beer", AuxKind::Ins)));
-        assert_eq!(parse_auxiliary(&del_name("beer")), Some(("beer", AuxKind::Del)));
+        assert_eq!(
+            parse_auxiliary(&pre_name("beer")),
+            Some(("beer", AuxKind::Pre))
+        );
+        assert_eq!(
+            parse_auxiliary(&ins_name("beer")),
+            Some(("beer", AuxKind::Ins))
+        );
+        assert_eq!(
+            parse_auxiliary(&del_name("beer")),
+            Some(("beer", AuxKind::Del))
+        );
         for kind in AuxKind::all() {
             assert_eq!(parse_auxiliary(&aux_name("r", kind)), Some(("r", kind)));
         }

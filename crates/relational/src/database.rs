@@ -29,10 +29,7 @@ impl Database {
     pub fn new(schema: Arc<DatabaseSchema>) -> Self {
         let mut relations = FxHashMap::default();
         for r in schema.relations() {
-            relations.insert(
-                r.name().to_owned(),
-                Relation::empty(Arc::new(r.clone())),
-            );
+            relations.insert(r.name().to_owned(), Relation::empty(Arc::new(r.clone())));
         }
         Database {
             schema,

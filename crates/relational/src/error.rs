@@ -101,10 +101,9 @@ impl fmt::Display for RelationalError {
                 f,
                 "relation name `{name}` uses the reserved auxiliary-relation marker `@`"
             ),
-            RelationalError::SchemaMismatch { left, right } => write!(
-                f,
-                "incompatible relation schemas: {left} vs {right}"
-            ),
+            RelationalError::SchemaMismatch { left, right } => {
+                write!(f, "incompatible relation schemas: {left} vs {right}")
+            }
         }
     }
 }

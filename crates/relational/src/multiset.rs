@@ -199,7 +199,13 @@ impl Multiset {
 
 impl fmt::Display for Multiset {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} [{} tuples, {} distinct]", self.schema, self.total, self.distinct_len())?;
+        writeln!(
+            f,
+            "{} [{} tuples, {} distinct]",
+            self.schema,
+            self.total,
+            self.distinct_len()
+        )?;
         let mut entries: Vec<(&Tuple, u64)> = self.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0));
         for (t, c) in entries {

@@ -191,7 +191,11 @@ mod tests {
     fn remove_and_retain() {
         let mut r = Relation::from_tuples(
             schema(),
-            vec![Tuple::of((1, "x")), Tuple::of((2, "y")), Tuple::of((3, "z"))],
+            vec![
+                Tuple::of((1, "x")),
+                Tuple::of((2, "y")),
+                Tuple::of((3, "z")),
+            ],
         )
         .unwrap();
         assert!(r.remove(&Tuple::of((2, "y"))));

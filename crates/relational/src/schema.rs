@@ -9,7 +9,7 @@ use crate::util::FxHashMap;
 use crate::value::ValueType;
 
 /// A named, typed attribute `A_i` with domain `dom(A_i)` (Definition 2.1).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Attribute {
     name: String,
     ty: ValueType,
@@ -44,7 +44,7 @@ impl fmt::Display for Attribute {
 /// A relation schema `R` — a relation name plus an attribute list
 /// (Definition 2.1). The type of the schema is the cartesian product of the
 /// attribute domains.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationSchema {
     name: String,
     attributes: Vec<Attribute>,
@@ -70,10 +70,7 @@ impl RelationSchema {
     pub fn of(name: &str, attrs: &[(&str, ValueType)]) -> Self {
         RelationSchema::new(
             name,
-            attrs
-                .iter()
-                .map(|(n, t)| Attribute::new(*n, *t))
-                .collect(),
+            attrs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect(),
         )
         .expect("duplicate attribute name")
     }
@@ -170,10 +167,9 @@ impl fmt::Display for RelationSchema {
 ///
 /// Iteration order is deterministic (declaration order) so that plans,
 /// reports and tests are reproducible.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DatabaseSchema {
     relations: Vec<RelationSchema>,
-    #[serde(skip)]
     index: FxHashMap<String, usize>,
 }
 
@@ -310,10 +306,7 @@ mod tests {
                 Attribute::new("a", ValueType::Str),
             ],
         );
-        assert!(matches!(
-            r,
-            Err(RelationalError::DuplicateAttribute { .. })
-        ));
+        assert!(matches!(r, Err(RelationalError::DuplicateAttribute { .. })));
     }
 
     #[test]

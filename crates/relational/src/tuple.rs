@@ -37,7 +37,9 @@ impl Tuple {
 
     /// The empty tuple.
     pub fn empty() -> Self {
-        Tuple { values: Arc::from(Vec::new()) }
+        Tuple {
+            values: Arc::from(Vec::new()),
+        }
     }
 
     /// Number of attributes in this tuple.

@@ -16,7 +16,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// The type (domain) of an attribute value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ValueType {
     /// 64-bit signed integers.
     Int,
@@ -46,7 +46,7 @@ impl fmt::Display for ValueType {
 /// two-valued logic — `Null` equals only itself and sorts before every other
 /// value — rather than SQL's three-valued logic, because the CL language of
 /// Section 4.1 is two-valued.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// Absent value, used by compensating actions (cf. Example 4.2).
     Null,

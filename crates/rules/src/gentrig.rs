@@ -224,9 +224,7 @@ mod tests {
     fn exclusion_constraint() {
         // (∀x)(x∈R ⇒ (∀y)(y∈S ⇒ x.1 ≠ y.1)): inserts into either side.
         assert_eq!(
-            triggers_of(
-                "forall x (x in r implies forall y (y in s implies x.1 != y.1))"
-            ),
+            triggers_of("forall x (x in r implies forall y (y in s implies x.1 != y.1))"),
             "INS(r), INS(s)"
         );
     }
@@ -245,7 +243,10 @@ mod tests {
 
     #[test]
     fn aggregates_trigger_both() {
-        assert_eq!(triggers_of("SUM(account, 2) <= 100"), "INS(account), DEL(account)");
+        assert_eq!(
+            triggers_of("SUM(account, 2) <= 100"),
+            "INS(account), DEL(account)"
+        );
         assert_eq!(triggers_of("CNT(beer) < 10"), "INS(beer), DEL(beer)");
         assert_eq!(
             triggers_of("SUM(a, 1) = CNT(b)"),
@@ -258,9 +259,7 @@ mod tests {
         // Transition constraint: old tuples must persist. Only DEL(beer)
         // can violate; beer@pre is immutable.
         assert_eq!(
-            triggers_of(
-                "forall x (x in beer@pre implies exists y (y in beer and x == y))"
-            ),
+            triggers_of("forall x (x in beer@pre implies exists y (y in beer and x == y))"),
             "DEL(beer)"
         );
     }
@@ -303,10 +302,7 @@ mod tests {
 
     #[test]
     fn get_trig_p_unions() {
-        let p = tm_algebra::parse_program(
-            "insert(a, {(1)}); delete(b, {(2)}); abort",
-        )
-        .unwrap();
+        let p = tm_algebra::parse_program("insert(a, {(1)}); delete(b, {(2)}); abort").unwrap();
         assert_eq!(get_trig_p(&p).to_string(), "INS(a), DEL(b)");
     }
 

@@ -76,11 +76,9 @@ impl TriggeringGraph {
         let sccs = self.tarjan_sccs();
         let mut cycles = Vec::new();
         for scc in sccs {
-            let cyclic = scc.len() > 1
-                || (scc.len() == 1 && self.edges[scc[0]].contains(&scc[0]));
+            let cyclic = scc.len() > 1 || (scc.len() == 1 && self.edges[scc[0]].contains(&scc[0]));
             if cyclic {
-                let mut names: Vec<String> =
-                    scc.iter().map(|&i| self.names[i].clone()).collect();
+                let mut names: Vec<String> = scc.iter().map(|&i| self.names[i].clone()).collect();
                 names.sort();
                 cycles.push(names);
             }
@@ -191,7 +189,11 @@ impl ValidationReport {
 impl fmt::Display for ValidationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.cycles.is_empty() {
-            write!(f, "rule set is cycle-free ({} rules)", self.rule_names.len())
+            write!(
+                f,
+                "rule set is cycle-free ({} rules)",
+                self.rule_names.len()
+            )
         } else {
             writeln!(f, "rule set has potential infinite triggering:")?;
             for c in &self.cycles {
@@ -277,8 +279,7 @@ mod tests {
     fn non_triggering_breaks_cycle() {
         let rules = vec![
             compensating_rule("a", vec![Trigger::ins("r")], "insert(s, {(1)})"),
-            compensating_rule("b", vec![Trigger::ins("s")], "insert(r, {(1)})")
-                .non_triggering(),
+            compensating_rule("b", vec![Trigger::ins("s")], "insert(r, {(1)})").non_triggering(),
         ];
         let report = ValidationReport::validate(&rules);
         assert!(!report.has_cycles(), "{report}");
@@ -287,7 +288,11 @@ mod tests {
     #[test]
     fn diamond_without_cycle() {
         let rules = vec![
-            compensating_rule("top", vec![Trigger::ins("a")], "insert(b, {(1)}); insert(c, {(1)})"),
+            compensating_rule(
+                "top",
+                vec![Trigger::ins("a")],
+                "insert(b, {(1)}); insert(c, {(1)})",
+            ),
             compensating_rule("left", vec![Trigger::ins("b")], "insert(d, {(1)})"),
             compensating_rule("right", vec![Trigger::ins("c")], "insert(d, {(1)})"),
             abort_rule("bottom", vec![Trigger::ins("d")]),

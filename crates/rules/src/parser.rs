@@ -85,7 +85,9 @@ fn parse_trigger_list(src: &str) -> Result<TriggerSet, RuleParseError> {
             .rfind(')')
             .ok_or_else(|| RuleParseError::Trigger(format!("missing `)` in `{part}`")))?;
         if close < open {
-            return Err(RuleParseError::Trigger(format!("malformed trigger `{part}`")));
+            return Err(RuleParseError::Trigger(format!(
+                "malformed trigger `{part}`"
+            )));
         }
         let update = match part[..open].trim().to_ascii_uppercase().as_str() {
             "INS" => UpdateType::Ins,
@@ -138,9 +140,7 @@ pub fn parse_rule(src: &str, default_name: &str) -> Result<IntegrityRule, RulePa
         && src[4..].starts_with(|c: char| c.is_whitespace())
     {
         let rest = src[4..].trim_start();
-        let name_len = rest
-            .find(|c: char| c.is_whitespace())
-            .unwrap_or(rest.len());
+        let name_len = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
         let name = rest[..name_len].to_owned();
         if name.is_empty() {
             return Err(RuleParseError::Structure("empty rule name".into()));

@@ -186,10 +186,7 @@ mod tests {
 
     #[test]
     fn deterministic_display() {
-        let ts = TriggerSet::from_triggers(vec![
-            Trigger::ins("beer"),
-            Trigger::del("brewery"),
-        ]);
+        let ts = TriggerSet::from_triggers(vec![Trigger::ins("beer"), Trigger::del("brewery")]);
         // DEL < INS by enum order? No: Ins < Del in declaration order.
         assert_eq!(ts.to_string(), "INS(beer), DEL(brewery)");
     }

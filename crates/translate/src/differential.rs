@@ -80,9 +80,11 @@ pub(crate) fn classify(formula: &Formula, schema: &DatabaseSchema) -> Shape {
         return Shape::Other;
     }
     // Try domain: rest is quantifier-free.
-    if let Ok(Some(pred)) =
-        predicate_over(schema, &[(x.clone(), rel.clone())], &Formula::not(rest.clone()))
-    {
+    if let Ok(Some(pred)) = predicate_over(
+        schema,
+        &[(x.clone(), rel.clone())],
+        &Formula::not(rest.clone()),
+    ) {
         return Shape::Domain {
             rel,
             violation_pred: pred,
@@ -160,11 +162,15 @@ pub fn differential_programs(
     let mut out = Vec::new();
     for t in rule.triggers().iter() {
         let specialized = match (&shape, t.update) {
-            (Shape::Domain { rel, violation_pred }, UpdateType::Ins) if *rel == t.relation => {
-                Some(alarm(
-                    RelExpr::relation(auxiliary::ins_name(rel)).select(violation_pred.clone()),
-                ))
-            }
+            (
+                Shape::Domain {
+                    rel,
+                    violation_pred,
+                },
+                UpdateType::Ins,
+            ) if *rel == t.relation => Some(alarm(
+                RelExpr::relation(auxiliary::ins_name(rel)).select(violation_pred.clone()),
+            )),
             (
                 Shape::Referential {
                     rel_r,
@@ -248,7 +254,10 @@ mod tests {
     fn referential_rule_specializes_both_triggers() {
         let ps = differential_programs(&r2(), &beer_schema()).unwrap();
         assert_eq!(ps.len(), 2);
-        let ins = ps.iter().find(|p| p.trigger == Trigger::ins("beer")).unwrap();
+        let ins = ps
+            .iter()
+            .find(|p| p.trigger == Trigger::ins("beer"))
+            .unwrap();
         assert!(ins.specialized);
         assert_eq!(
             ins.program.to_string().trim(),

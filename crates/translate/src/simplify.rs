@@ -68,9 +68,7 @@ pub fn simplify_scalar(e: ScalarExpr) -> ScalarExpr {
             }
             ScalarExpr::IsNull(Box::new(inner))
         }
-        ScalarExpr::Agg(f, rel, col) => {
-            ScalarExpr::Agg(f, Box::new(simplify_rel(*rel)), col)
-        }
+        ScalarExpr::Agg(f, rel, col) => ScalarExpr::Agg(f, Box::new(simplify_rel(*rel)), col),
         ScalarExpr::Cnt(rel) => ScalarExpr::Cnt(Box::new(simplify_rel(*rel))),
         leaf @ (ScalarExpr::Const(_) | ScalarExpr::Col(_)) => leaf,
     }
@@ -86,10 +84,9 @@ pub fn simplify_rel(e: RelExpr) -> RelExpr {
                 // σ_true(E) ⇒ E
                 (input, ScalarExpr::Const(Value::Bool(true))) => input,
                 // σ_p1(σ_p2(E)) ⇒ σ_{p2 ∧ p1}(E)
-                (RelExpr::Select(inner, p2), p1) => RelExpr::Select(
-                    inner,
-                    simplify_scalar(ScalarExpr::and(p2, p1)),
-                ),
+                (RelExpr::Select(inner, p2), p1) => {
+                    RelExpr::Select(inner, simplify_scalar(ScalarExpr::and(p2, p1)))
+                }
                 (input, pred) => RelExpr::Select(Box::new(input), pred),
             }
         }
@@ -216,9 +213,7 @@ mod tests {
 
     #[test]
     fn simplification_recurses_into_aggregates() {
-        let e = ScalarExpr::Cnt(Box::new(
-            RelExpr::relation("r").select(ScalarExpr::true_()),
-        ));
+        let e = ScalarExpr::Cnt(Box::new(RelExpr::relation("r").select(ScalarExpr::true_())));
         assert_eq!(
             simplify_scalar(e),
             ScalarExpr::Cnt(Box::new(RelExpr::relation("r")))

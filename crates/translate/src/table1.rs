@@ -83,12 +83,7 @@ pub fn table1_rows() -> Result<Vec<Table1Row>> {
             "SUM(r, 1) <= 1000",
             "alarm(σ_{¬c'}(AGGR(R, i)))",
         ),
-        (
-            7,
-            "c(CNT(R))",
-            "CNT(r) < 100",
-            "alarm(σ_{¬c'}(CNT(R)))",
-        ),
+        (7, "c(CNT(R))", "CNT(r) < 100", "alarm(σ_{¬c'}(CNT(R)))"),
     ];
     let mut rows = Vec::with_capacity(specs.len());
     for (id, construct, instance, paper_translation) in specs {

@@ -145,9 +145,9 @@ fn strip_guard(x: &str, w: &Formula) -> Option<(String, Formula)> {
         Formula::Implies(l, r) => {
             let mut conj = Vec::new();
             flatten_and(l, &mut conj);
-            let idx = conj.iter().position(
-                |c| matches!(c, Formula::Atom(Atom::Member { var, .. }) if var == x),
-            )?;
+            let idx = conj
+                .iter()
+                .position(|c| matches!(c, Formula::Atom(Atom::Member { var, .. }) if var == x))?;
             let rel = match &conj[idx] {
                 Formula::Atom(Atom::Member { rel, .. }) => rel.clone(),
                 _ => unreachable!("position matched a member atom"),
@@ -331,17 +331,19 @@ fn predicate(ctx: &Ctx<'_>, w: &Formula) -> Result<Option<ScalarExpr>> {
             let mut pred = ScalarExpr::true_();
             for i in 0..ca.arity.min(cb.arity) {
                 let eq = ScalarExpr::col_eq(ca.offset + i, cb.offset + i);
-                pred = if i == 0 { eq } else { ScalarExpr::and(pred, eq) };
+                pred = if i == 0 {
+                    eq
+                } else {
+                    ScalarExpr::and(pred, eq)
+                };
             }
             Ok(Some(pred))
         }
         Formula::Not(x) => Ok(predicate(ctx, x)?.map(ScalarExpr::not)),
-        Formula::And(l, r) => {
-            match (predicate(ctx, l)?, predicate(ctx, r)?) {
-                (Some(a), Some(b)) => Ok(Some(ScalarExpr::and(a, b))),
-                _ => Ok(None),
-            }
-        }
+        Formula::And(l, r) => match (predicate(ctx, l)?, predicate(ctx, r)?) {
+            (Some(a), Some(b)) => Ok(Some(ScalarExpr::and(a, b))),
+            _ => Ok(None),
+        },
         Formula::Or(l, r) => match (predicate(ctx, l)?, predicate(ctx, r)?) {
             (Some(a), Some(b)) => Ok(Some(ScalarExpr::or(a, b))),
             _ => Ok(None),
@@ -365,8 +367,8 @@ fn viol(ctx: &Ctx<'_>, w: &Formula) -> Result<Viol> {
     }
     match w {
         Formula::Quant(Quantifier::Forall, x, body) => {
-            let (rel, rest) = strip_guard(x, body)
-                .ok_or_else(|| TranslateError::MissingGuard(x.clone()))?;
+            let (rel, rest) =
+                strip_guard(x, body).ok_or_else(|| TranslateError::MissingGuard(x.clone()))?;
             let ctx2 = ctx.extended(x, &rel)?;
             viol(&ctx2, &rest)
         }
@@ -399,9 +401,7 @@ fn viol(ctx: &Ctx<'_>, w: &Formula) -> Result<Viol> {
                 right = right.product(RelExpr::relation(rel.clone()));
             }
             Ok(Viol {
-                expr: ctx
-                    .rel_expr()
-                    .anti_join(right, simplify_scalar(matrix)),
+                expr: ctx.rel_expr().anti_join(right, simplify_scalar(matrix)),
                 arity: ctx.arity(),
             })
         }
@@ -451,7 +451,11 @@ fn viol(ctx: &Ctx<'_>, w: &Formula) -> Result<Viol> {
             let mut pred = ScalarExpr::true_();
             for i in 0..cv.arity.min(right_arity) {
                 let eq = ScalarExpr::col_eq(cv.offset + i, ctx.arity() + i);
-                pred = if i == 0 { eq } else { ScalarExpr::and(pred, eq) };
+                pred = if i == 0 {
+                    eq
+                } else {
+                    ScalarExpr::and(pred, eq)
+                };
             }
             Ok(Viol {
                 expr: ctx
@@ -621,9 +625,7 @@ mod tests {
     fn per_group_aggregate_style() {
         // Aggregates may appear under quantifiers (closed over their own
         // relation): every beer is weaker than the global average + 2.
-        let p = translate(
-            "forall x (x in beer implies x.alcohol <= AVG(beer, alcohol) + 2.0)",
-        );
+        let p = translate("forall x (x in beer implies x.alcohol <= AVG(beer, alcohol) + 2.0)");
         let db = beer_db();
         assert!(check(&p, &db));
     }
@@ -650,7 +652,8 @@ mod tests {
         db.insert("beer", Tuple::of(("b2", "x", "guinness", 1.0_f64)))
             .unwrap();
         assert!(check(&p, &db)); // breweries=2 ✓ (second holds)
-        db.insert("brewery", Tuple::of(("third", "c", "d"))).unwrap();
+        db.insert("brewery", Tuple::of(("third", "c", "d")))
+            .unwrap();
         assert!(!check(&p, &db)); // both violated
     }
 
@@ -669,9 +672,7 @@ mod tests {
 
     #[test]
     fn transition_constraint_translates_with_pre() {
-        let p = translate(
-            "forall x (x in beer@pre implies exists y (y in beer and x == y))",
-        );
+        let p = translate("forall x (x in beer@pre implies exists y (y in beer and x == y))");
         let rendered = p.to_string();
         assert!(rendered.contains("beer@pre"), "{rendered}");
         assert!(rendered.contains("antijoin"), "{rendered}");
@@ -686,7 +687,10 @@ mod tests {
             .unwrap(),
             &beer_schema(),
         );
-        assert!(matches!(r, Err(TranslateError::Unsupported { .. })), "{r:?}");
+        assert!(
+            matches!(r, Err(TranslateError::Unsupported { .. })),
+            "{r:?}"
+        );
     }
 
     #[test]
@@ -737,10 +741,7 @@ mod tests {
                 let truth = eval_constraint(&info, &StateSource(db)).unwrap();
                 let program = trans_c(&f, db.schema()).unwrap();
                 let translated = check(&program, db);
-                assert_eq!(
-                    truth, translated,
-                    "mismatch for `{src}` (truth={truth})"
-                );
+                assert_eq!(truth, translated, "mismatch for `{src}` (truth={truth})");
             }
         }
     }

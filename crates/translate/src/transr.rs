@@ -64,7 +64,10 @@ mod tests {
         .unwrap();
         let t = trans_r(&rule, &beer_schema()).unwrap();
         assert_eq!(t.name, "r1");
-        assert_eq!(t.program.to_string().trim(), "alarm(select[(#3 < 0)](beer));");
+        assert_eq!(
+            t.program.to_string().trim(),
+            "alarm(select[(#3 < 0)](beer));"
+        );
         assert_eq!(t.triggers.to_string(), "INS(beer)");
         assert!(!t.non_triggering);
     }

@@ -58,9 +58,8 @@ fn join_cond() -> impl Strategy<Value = Formula> {
 /// Constraints from the supported translation class, generated at random:
 /// domain, referential, exclusion, existence, count, and conjunctions.
 fn constraint() -> impl Strategy<Value = Formula> {
-    let domain = simple_cond("x").prop_map(|c| {
-        Formula::forall("x", Formula::implies(Formula::member("x", "r"), c))
-    });
+    let domain = simple_cond("x")
+        .prop_map(|c| Formula::forall("x", Formula::implies(Formula::member("x", "r"), c)));
     let referential = join_cond().prop_map(|c| {
         Formula::forall(
             "x",
@@ -79,9 +78,8 @@ fn constraint() -> impl Strategy<Value = Formula> {
             ),
         )
     });
-    let existence = simple_cond("x").prop_map(|c| {
-        Formula::exists("x", Formula::and(Formula::member("x", "r"), c))
-    });
+    let existence = simple_cond("x")
+        .prop_map(|c| Formula::exists("x", Formula::and(Formula::member("x", "r"), c)));
     let count = (cmp_op(), 0..6i64).prop_map(|(op, k)| {
         Formula::Atom(Atom::Cmp(op, Term::Cnt { rel: "r".into() }, Term::int(k)))
     });

@@ -72,14 +72,14 @@ fn main() {
     let open = TransactionBuilder::new()
         .insert_tuples(
             "account",
-            vec![
-                Tuple::of((1, "ada", 1000)),
-                Tuple::of((2, "brian", 2000)),
-            ],
+            vec![Tuple::of((1, "ada", 1000)), Tuple::of((2, "brian", 2000))],
         )
         .build();
     assert!(engine.execute(&open).expect("runs").committed());
-    println!("opened accounts; audit entries: {}", engine.relation("audit").unwrap().len());
+    println!(
+        "opened accounts; audit entries: {}",
+        engine.relation("audit").unwrap().len()
+    );
 
     // Transfer 500 from brian to ada via update statements.
     let transfer = TransactionBuilder::new()

@@ -75,7 +75,10 @@ fn main() {
 
     // And a violating insert still aborts via R1.
     let bad = TransactionBuilder::new()
-        .insert_tuple("beer", Tuple::of(("overproof", "rum?", "guineken", -1.0_f64)))
+        .insert_tuple(
+            "beer",
+            Tuple::of(("overproof", "rum?", "guineken", -1.0_f64)),
+        )
         .build();
     let outcome = engine.execute(&bad).expect("executes");
     println!("violating transaction: {outcome}");

@@ -93,7 +93,11 @@ fn main() {
     // A delta batch with 3 orphans and 2 negative amounts.
     let delta: Vec<Tuple> = (0..INSERTS)
         .map(|i| {
-            let fk = if i < 3 { PARENTS + 100 + i } else { i % PARENTS };
+            let fk = if i < 3 {
+                PARENTS + 100 + i
+            } else {
+                i % PARENTS
+            };
             let amount = if (3..5).contains(&i) { -1 } else { 10 };
             Tuple::of((CHILDREN + i, fk, amount))
         })

@@ -56,7 +56,10 @@ fn main() {
     assert!(!outcome.committed());
 
     // 6. Inspect what the subsystem actually executed.
-    println!("\nthe violating transaction was rewritten to:\n{}", outcome.modified);
+    println!(
+        "\nthe violating transaction was rewritten to:\n{}",
+        outcome.modified
+    );
 
     // 7. The database holds exactly the one good beer.
     let beers = engine.relation("beer").expect("beer exists");

@@ -78,7 +78,10 @@ fn main() {
     println!("initial orders: {outcome}");
     assert!(outcome.committed());
 
-    println!("\nbig_orders view:\n{}", engine.relation("big_orders").unwrap());
+    println!(
+        "\nbig_orders view:\n{}",
+        engine.relation("big_orders").unwrap()
+    );
     println!("customers view:\n{}", engine.relation("customers").unwrap());
     assert_eq!(engine.relation("big_orders").unwrap().len(), 2);
     assert_eq!(engine.relation("customers").unwrap().len(), 2);

@@ -18,11 +18,7 @@ use tm_algebra::{Executor, RelExpr};
 use tm_relational::{Database, DatabaseSchema, RelationSchema, Tuple, ValueType};
 
 fn schema() -> DatabaseSchema {
-    DatabaseSchema::from_relations(vec![RelationSchema::of(
-        "r",
-        &[("a", ValueType::Int)],
-    )])
-    .unwrap()
+    DatabaseSchema::from_relations(vec![RelationSchema::of("r", &[("a", ValueType::Int)])]).unwrap()
 }
 
 #[derive(Debug, Clone)]

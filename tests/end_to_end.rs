@@ -8,7 +8,7 @@ use tm_calculus::{analyze, eval_constraint, parse_formula, StateSource};
 use tm_relational::schema::beer_schema;
 use tm_relational::{Database, DatabaseSchema, RelationSchema, Tuple, ValueType};
 use tm_translate::trans_c;
-use txmod::{Engine, EngineConfig, EnforcementMode};
+use txmod::{EnforcementMode, Engine, EngineConfig};
 
 /// Translation and direct evaluation must agree on a zoo of constraints
 /// across a family of database states.
@@ -34,26 +34,39 @@ fn translation_agrees_with_ground_truth_on_constraint_zoo() {
     let empty = Database::new(beer_schema().into_shared());
     states.push(empty.clone());
     let mut ok = empty.clone();
-    ok.insert("brewery", Tuple::of(("heineken", "amsterdam", "nl"))).unwrap();
-    ok.insert("brewery", Tuple::of(("guinness", "dublin", "ie"))).unwrap();
-    ok.insert("beer", Tuple::of(("pils", "lager", "heineken", 5.0_f64))).unwrap();
-    ok.insert("beer", Tuple::of(("stout", "stout", "guinness", 4.0_f64))).unwrap();
+    ok.insert("brewery", Tuple::of(("heineken", "amsterdam", "nl")))
+        .unwrap();
+    ok.insert("brewery", Tuple::of(("guinness", "dublin", "ie")))
+        .unwrap();
+    ok.insert("beer", Tuple::of(("pils", "lager", "heineken", 5.0_f64)))
+        .unwrap();
+    ok.insert("beer", Tuple::of(("stout", "stout", "guinness", 4.0_f64)))
+        .unwrap();
     states.push(ok.clone());
     let mut negative = ok.clone();
-    negative.insert("beer", Tuple::of(("anti", "x", "heineken", -2.0_f64))).unwrap();
+    negative
+        .insert("beer", Tuple::of(("anti", "x", "heineken", -2.0_f64)))
+        .unwrap();
     states.push(negative);
     let mut orphan = ok.clone();
-    orphan.insert("beer", Tuple::of(("lost", "x", "ghost", 6.0_f64))).unwrap();
+    orphan
+        .insert("beer", Tuple::of(("lost", "x", "ghost", 6.0_f64)))
+        .unwrap();
     states.push(orphan);
     let mut crowded = ok.clone();
     for i in 0..5 {
         crowded
-            .insert("beer", Tuple::of((format!("b{i}"), "x", "heineken", 7.0_f64)))
+            .insert(
+                "beer",
+                Tuple::of((format!("b{i}"), "x", "heineken", 7.0_f64)),
+            )
             .unwrap();
     }
     states.push(crowded);
     let mut name_clash = ok.clone();
-    name_clash.insert("beer", Tuple::of(("pils", "other", "heineken", 9.0_f64))).unwrap();
+    name_clash
+        .insert("beer", Tuple::of(("pils", "other", "heineken", 9.0_f64)))
+        .unwrap();
     states.push(name_clash);
 
     for (si, db) in states.iter().enumerate() {
@@ -190,10 +203,7 @@ fn multiset_extension_round_trip() {
 fn differential_mode_mixed_updates() {
     let schema = DatabaseSchema::from_relations(vec![
         RelationSchema::of("parent", &[("key", ValueType::Int)]),
-        RelationSchema::of(
-            "child",
-            &[("id", ValueType::Int), ("fk", ValueType::Int)],
-        ),
+        RelationSchema::of("child", &[("id", ValueType::Int), ("fk", ValueType::Int)]),
     ])
     .unwrap();
     for mode in [EnforcementMode::Static, EnforcementMode::Differential] {

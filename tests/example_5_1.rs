@@ -5,7 +5,7 @@
 use tm_algebra::builder::TransactionBuilder;
 use tm_relational::schema::beer_schema;
 use tm_relational::{Tuple, Value};
-use txmod::{Engine, EngineConfig, EnforcementMode};
+use txmod::{EnforcementMode, Engine, EngineConfig};
 
 fn engine(mode: EnforcementMode) -> Engine {
     let mut e = Engine::with_config(

@@ -14,7 +14,10 @@ fn parent_schema() -> RelationSchema {
 }
 
 fn child_schema() -> RelationSchema {
-    RelationSchema::of("child", &[("fk", ValueType::Int), ("amount", ValueType::Int)])
+    RelationSchema::of(
+        "child",
+        &[("fk", ValueType::Int), ("amount", ValueType::Int)],
+    )
 }
 
 fn build_db(nodes: usize, parents: &[i64], children: &[(i64, i64)]) -> ParallelDb {

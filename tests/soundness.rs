@@ -15,7 +15,7 @@ use tm_algebra::builder::TransactionBuilder;
 use tm_algebra::{Executor, Transaction};
 use tm_calculus::{analyze, eval_constraint, parse_formula, TransitionSource};
 use tm_relational::{Database, DatabaseSchema, RelationSchema, Tuple, ValueType};
-use txmod::{Engine, EngineConfig, EnforcementMode};
+use txmod::{EnforcementMode, Engine, EngineConfig};
 
 fn schema() -> DatabaseSchema {
     DatabaseSchema::from_relations(vec![
@@ -25,7 +25,11 @@ fn schema() -> DatabaseSchema {
         ),
         RelationSchema::of(
             "child",
-            &[("id", ValueType::Int), ("fk", ValueType::Int), ("amount", ValueType::Int)],
+            &[
+                ("id", ValueType::Int),
+                ("fk", ValueType::Int),
+                ("amount", ValueType::Int),
+            ],
         ),
     ])
     .unwrap()
@@ -99,7 +103,12 @@ fn build_tx(ops: &[Op]) -> Transaction {
 
 /// Seed database: parents 0..n_parents, children with valid FKs and
 /// non-negative amounts (so all constraints initially hold).
-fn seed_engine(mode: EnforcementMode, constraints: &[usize], n_parents: usize, n_children: usize) -> Engine {
+fn seed_engine(
+    mode: EnforcementMode,
+    constraints: &[usize],
+    n_parents: usize,
+    n_children: usize,
+) -> Engine {
     let mut e = Engine::with_config(
         schema(),
         EngineConfig {

@@ -1,0 +1,66 @@
+//! Self-tests of the proptest stand-in: strategy behavior, the `proptest!`
+//! macro, and the failure-reporting path.
+
+use proptest::prelude::*;
+
+#[test]
+fn generation_is_deterministic() {
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::TestRng;
+    let strat = prop::collection::vec((0..100i64, "[a-z]{1,4}"), 1..10);
+    let a = strat.generate(&mut TestRng::from_case(7));
+    let b = strat.generate(&mut TestRng::from_case(7));
+    assert_eq!(a, b);
+    let c = strat.generate(&mut TestRng::from_case(8));
+    assert_ne!(a, c, "different cases should (almost surely) differ");
+}
+
+#[test]
+fn regex_lite_patterns() {
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::TestRng;
+    let mut rng = TestRng::from_case(0);
+    for _ in 0..200 {
+        let s = "[a-c]{2,5}".generate(&mut rng);
+        assert!((2..=5).contains(&s.len()), "bad length: {s:?}");
+        assert!(
+            s.chars().all(|c| ('a'..='c').contains(&c)),
+            "bad char: {s:?}"
+        );
+        let t = "x[yz]".generate(&mut rng);
+        assert!(t == "xy" || t == "xz", "bad literal+class: {t:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranges_stay_in_bounds(v in -5..5i64, n in 1usize..4) {
+        assert!((-5..5).contains(&v));
+        assert!((1..4).contains(&n));
+    }
+
+    #[test]
+    fn oneof_and_option_compose(
+        x in prop_oneof![Just(1i64), 10..20i64],
+        o in prop::option::of(0..3i64),
+    ) {
+        assert!(x == 1 || (10..20).contains(&x));
+        if let Some(v) = o {
+            assert!((0..3).contains(&v));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The failure path must re-raise the panic (after printing the case
+    /// index and inputs to stderr).
+    #[test]
+    #[should_panic]
+    fn failing_property_panics(v in 0..10i64) {
+        assert!(v < 0, "deliberately impossible: {v}");
+    }
+}

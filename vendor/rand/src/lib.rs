@@ -1,0 +1,117 @@
+//! Offline stand-in for the subset of the `rand` crate API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal, deterministic implementation of exactly the surface the
+//! benchmark workload generators need: [`rngs::StdRng`], [`SeedableRng`], and
+//! [`Rng::gen_range`] over integer ranges. The generator is SplitMix64 —
+//! statistically fine for workload synthesis, and fully reproducible from a
+//! `u64` seed, which is all `tm-bench` requires.
+//!
+//! If the real `rand` crate ever becomes available, deleting this vendored
+//! crate and switching the manifest to a registry dependency is a drop-in
+//! change: the call sites compile unmodified against `rand 0.8`.
+
+use std::ops::Range;
+
+/// A source of random 64-bit words. Mirror of `rand_core::RngCore`, reduced
+/// to the one method the workspace uses.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled uniformly from a range by an [`Rng`].
+/// Mirror of `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from `self` using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is negligible for the span sizes benchmarks use
+                // (far below 2^64) and irrelevant for workload synthesis.
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// User-facing random value generation, mirror of `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Returns a value uniformly sampled from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Rngs constructible from a small seed, mirror of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000_i64), b.gen_range(0..1_000_000_i64));
+        }
+    }
+
+    #[test]
+    fn stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-3..60_i64);
+            assert!((-3..60).contains(&v));
+        }
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0..1_usize);
+            assert_eq!(v, 0);
+        }
+    }
+}
