@@ -9,11 +9,31 @@
 use std::cmp::Ordering;
 use std::sync::Arc;
 
+use tm_relational::util::{fx_map_with_capacity, FxHashMap};
 use tm_relational::{Attribute, Database, Relation, RelationSchema, Tuple, Value, ValueType};
 
 use crate::error::{AlgebraError, Result};
 use crate::expr::{AggFunc, ArithOp, ScalarExpr};
+use crate::keys::{extract_equi_keys, hash_key_values, key_values_match, JoinKeys};
 use crate::rel_expr::RelExpr;
+
+/// How join-shaped operators (`Join`, `SemiJoin`, `AntiJoin`) execute.
+///
+/// [`JoinStrategy::Hash`] — the default — analyses the join predicate with
+/// [`crate::keys::extract_equi_keys`]; when equality key pairs exist it
+/// builds a hash table on the smaller input and probes with the other,
+/// evaluating only the residual predicate per candidate (`O(|L| + |R| +
+/// matches)`). Predicates without extractable keys fall back to nested
+/// loops, as does [`JoinStrategy::NestedLoop`] unconditionally (kept as
+/// the obviously-correct baseline for property tests and benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Hash-based execution where an equi-join key exists (default).
+    #[default]
+    Hash,
+    /// Always use the O(|L|·|R|) nested-loop baseline.
+    NestedLoop,
+}
 
 /// Read access to relation schemas by name (used at translation and
 /// validation time, before any data exists).
@@ -42,8 +62,22 @@ impl EvalContext for Database {
     }
 }
 
-/// Evaluate a scalar expression against an input tuple.
+/// Evaluate a scalar expression against an input tuple (relation
+/// subexpressions inside aggregates use the default [`JoinStrategy::Hash`]).
 pub fn eval_scalar(expr: &ScalarExpr, tuple: &Tuple, ctx: &impl EvalContext) -> Result<Value> {
+    eval_scalar_with(expr, tuple, ctx, JoinStrategy::Hash)
+}
+
+/// Evaluate a scalar expression with an explicit [`JoinStrategy`] for the
+/// relation subexpressions of aggregate terms — so a `NestedLoop`
+/// evaluation is nested-loop *all the way down*, including `CNT(R ⋈ S)`
+/// style predicates.
+pub fn eval_scalar_with(
+    expr: &ScalarExpr,
+    tuple: &Tuple,
+    ctx: &impl EvalContext,
+    strategy: JoinStrategy,
+) -> Result<Value> {
     match expr {
         ScalarExpr::Const(v) => Ok(v.clone()),
         ScalarExpr::Col(i) => tuple
@@ -54,39 +88,50 @@ pub fn eval_scalar(expr: &ScalarExpr, tuple: &Tuple, ctx: &impl EvalContext) -> 
                 arity: tuple.arity(),
             }),
         ScalarExpr::Arith(op, l, r) => {
-            let lv = eval_scalar(l, tuple, ctx)?;
-            let rv = eval_scalar(r, tuple, ctx)?;
+            let lv = eval_scalar_with(l, tuple, ctx, strategy)?;
+            let rv = eval_scalar_with(r, tuple, ctx, strategy)?;
             eval_arith(*op, &lv, &rv)
         }
         ScalarExpr::Cmp(op, l, r) => {
-            let lv = eval_scalar(l, tuple, ctx)?;
-            let rv = eval_scalar(r, tuple, ctx)?;
+            let lv = eval_scalar_with(l, tuple, ctx, strategy)?;
+            let rv = eval_scalar_with(r, tuple, ctx, strategy)?;
             Ok(Value::Bool(op.test(lv.compare(&rv))))
         }
         ScalarExpr::And(l, r) => {
             // Short-circuit: the right operand is skipped when the left is
             // false, which also skips its runtime errors (two-valued logic).
-            if as_bool(&eval_scalar(l, tuple, ctx)?, l)? {
-                Ok(Value::Bool(as_bool(&eval_scalar(r, tuple, ctx)?, r)?))
+            if as_bool(&eval_scalar_with(l, tuple, ctx, strategy)?, l)? {
+                Ok(Value::Bool(as_bool(
+                    &eval_scalar_with(r, tuple, ctx, strategy)?,
+                    r,
+                )?))
             } else {
                 Ok(Value::Bool(false))
             }
         }
         ScalarExpr::Or(l, r) => {
-            if as_bool(&eval_scalar(l, tuple, ctx)?, l)? {
+            if as_bool(&eval_scalar_with(l, tuple, ctx, strategy)?, l)? {
                 Ok(Value::Bool(true))
             } else {
-                Ok(Value::Bool(as_bool(&eval_scalar(r, tuple, ctx)?, r)?))
+                Ok(Value::Bool(as_bool(
+                    &eval_scalar_with(r, tuple, ctx, strategy)?,
+                    r,
+                )?))
             }
         }
-        ScalarExpr::Not(e) => Ok(Value::Bool(!as_bool(&eval_scalar(e, tuple, ctx)?, e)?)),
-        ScalarExpr::IsNull(e) => Ok(Value::Bool(eval_scalar(e, tuple, ctx)?.is_null())),
+        ScalarExpr::Not(e) => Ok(Value::Bool(!as_bool(
+            &eval_scalar_with(e, tuple, ctx, strategy)?,
+            e,
+        )?)),
+        ScalarExpr::IsNull(e) => Ok(Value::Bool(
+            eval_scalar_with(e, tuple, ctx, strategy)?.is_null(),
+        )),
         ScalarExpr::Agg(func, rel, col) => {
-            let input = evaluate(rel, ctx)?;
+            let input = evaluate_with(rel, ctx, strategy)?;
             eval_aggregate(*func, &input, *col)
         }
         ScalarExpr::Cnt(rel) => {
-            let input = evaluate(rel, ctx)?;
+            let input = evaluate_with(rel, ctx, strategy)?;
             Ok(Value::Int(input.len() as i64))
         }
     }
@@ -216,8 +261,18 @@ pub fn eval_aggregate(func: AggFunc, input: &Relation, col: usize) -> Result<Val
     }
 }
 
-/// Evaluate a relational expression to a relation state.
+/// Evaluate a relational expression to a relation state with the default
+/// [`JoinStrategy::Hash`] execution.
 pub fn evaluate(expr: &RelExpr, ctx: &impl EvalContext) -> Result<Relation> {
+    evaluate_with(expr, ctx, JoinStrategy::Hash)
+}
+
+/// Evaluate a relational expression with an explicit [`JoinStrategy`].
+pub fn evaluate_with(
+    expr: &RelExpr,
+    ctx: &impl EvalContext,
+    strategy: JoinStrategy,
+) -> Result<Relation> {
     match expr {
         RelExpr::Rel(name) => Ok(ctx.relation_state(name)?.clone()),
         RelExpr::Literal(tuples) => {
@@ -232,7 +287,7 @@ pub fn evaluate(expr: &RelExpr, ctx: &impl EvalContext) -> Result<Relation> {
             let empty = Tuple::empty();
             let mut values = Vec::with_capacity(exprs.len());
             for e in exprs {
-                values.push(eval_scalar(e, &empty, ctx)?);
+                values.push(eval_scalar_with(e, &empty, ctx, strategy)?);
             }
             let schema = {
                 let attrs: Vec<Attribute> = values
@@ -252,17 +307,17 @@ pub fn evaluate(expr: &RelExpr, ctx: &impl EvalContext) -> Result<Relation> {
             Ok(rel)
         }
         RelExpr::Select(input, pred) => {
-            let input = evaluate(input, ctx)?;
+            let input = evaluate_with(input, ctx, strategy)?;
             let mut out = Relation::with_capacity(input.schema().clone(), input.len());
             for t in input.iter() {
-                if as_bool(&eval_scalar(pred, t, ctx)?, pred)? {
+                if as_bool(&eval_scalar_with(pred, t, ctx, strategy)?, pred)? {
                     out.insert_unchecked(t.clone());
                 }
             }
             Ok(out)
         }
         RelExpr::Project(input, exprs) => {
-            let input = evaluate(input, ctx)?;
+            let input = evaluate_with(input, ctx, strategy)?;
             let in_types: Vec<ValueType> = input.schema().domain();
             let schema = Arc::new(
                 RelationSchema::new(
@@ -279,21 +334,27 @@ pub fn evaluate(expr: &RelExpr, ctx: &impl EvalContext) -> Result<Relation> {
             for t in input.iter() {
                 let mut values = Vec::with_capacity(exprs.len());
                 for e in exprs {
-                    values.push(eval_scalar(e, t, ctx)?);
+                    values.push(eval_scalar_with(e, t, ctx, strategy)?);
                 }
                 out.insert_unchecked(Tuple::from_values(values));
             }
             Ok(out)
         }
         RelExpr::Join(l, r, pred) => {
-            let left = evaluate(l, ctx)?;
-            let right = evaluate(r, ctx)?;
+            let left = evaluate_with(l, ctx, strategy)?;
+            let right = evaluate_with(r, ctx, strategy)?;
             let schema = concat_schema(left.schema(), right.schema());
+            if strategy == JoinStrategy::Hash {
+                let total = left.schema().arity() + right.schema().arity();
+                if let Some(keys) = extract_equi_keys(pred, left.schema().arity(), total) {
+                    return hash_join(&left, &right, &keys, schema, ctx);
+                }
+            }
             let mut out = Relation::with_capacity(schema, left.len());
             for lt in left.iter() {
                 for rt in right.iter() {
                     let joined = lt.concat(rt);
-                    if as_bool(&eval_scalar(pred, &joined, ctx)?, pred)? {
+                    if as_bool(&eval_scalar_with(pred, &joined, ctx, strategy)?, pred)? {
                         out.insert_unchecked(joined);
                     }
                 }
@@ -301,30 +362,42 @@ pub fn evaluate(expr: &RelExpr, ctx: &impl EvalContext) -> Result<Relation> {
             Ok(out)
         }
         RelExpr::SemiJoin(l, r, pred) => {
-            let left = evaluate(l, ctx)?;
-            let right = evaluate(r, ctx)?;
+            let left = evaluate_with(l, ctx, strategy)?;
+            let right = evaluate_with(r, ctx, strategy)?;
+            if strategy == JoinStrategy::Hash {
+                let total = left.schema().arity() + right.schema().arity();
+                if let Some(keys) = extract_equi_keys(pred, left.schema().arity(), total) {
+                    return hash_semi_anti(&left, &right, &keys, ctx, true);
+                }
+            }
             let mut out = Relation::with_capacity(left.schema().clone(), left.len());
             for lt in left.iter() {
-                if matches_any(lt, &right, pred, ctx)? {
+                if matches_any(lt, &right, pred, ctx, strategy)? {
                     out.insert_unchecked(lt.clone());
                 }
             }
             Ok(out)
         }
         RelExpr::AntiJoin(l, r, pred) => {
-            let left = evaluate(l, ctx)?;
-            let right = evaluate(r, ctx)?;
+            let left = evaluate_with(l, ctx, strategy)?;
+            let right = evaluate_with(r, ctx, strategy)?;
+            if strategy == JoinStrategy::Hash {
+                let total = left.schema().arity() + right.schema().arity();
+                if let Some(keys) = extract_equi_keys(pred, left.schema().arity(), total) {
+                    return hash_semi_anti(&left, &right, &keys, ctx, false);
+                }
+            }
             let mut out = Relation::with_capacity(left.schema().clone(), left.len());
             for lt in left.iter() {
-                if !matches_any(lt, &right, pred, ctx)? {
+                if !matches_any(lt, &right, pred, ctx, strategy)? {
                     out.insert_unchecked(lt.clone());
                 }
             }
             Ok(out)
         }
         RelExpr::Union(l, r) => {
-            let left = evaluate(l, ctx)?;
-            let right = evaluate(r, ctx)?;
+            let left = evaluate_with(l, ctx, strategy)?;
+            let right = evaluate_with(r, ctx, strategy)?;
             check_union_compatible(&left, &right)?;
             let mut out = left;
             for t in right.iter() {
@@ -333,8 +406,11 @@ pub fn evaluate(expr: &RelExpr, ctx: &impl EvalContext) -> Result<Relation> {
             Ok(out)
         }
         RelExpr::Difference(l, r) => {
-            let left = evaluate(l, ctx)?;
-            let right = evaluate(r, ctx)?;
+            // Whole-tuple set lookups: `contains` probes the right side's
+            // tuple hash set, so this is already a hash "join" on the full
+            // key — O(|L| + |R|).
+            let left = evaluate_with(l, ctx, strategy)?;
+            let right = evaluate_with(r, ctx, strategy)?;
             check_union_compatible(&left, &right)?;
             let mut out = Relation::with_capacity(left.schema().clone(), left.len());
             for t in left.iter() {
@@ -345,8 +421,8 @@ pub fn evaluate(expr: &RelExpr, ctx: &impl EvalContext) -> Result<Relation> {
             Ok(out)
         }
         RelExpr::Intersect(l, r) => {
-            let left = evaluate(l, ctx)?;
-            let right = evaluate(r, ctx)?;
+            let left = evaluate_with(l, ctx, strategy)?;
+            let right = evaluate_with(r, ctx, strategy)?;
             check_union_compatible(&left, &right)?;
             let (small, large) = if left.len() <= right.len() {
                 (&left, &right)
@@ -362,8 +438,8 @@ pub fn evaluate(expr: &RelExpr, ctx: &impl EvalContext) -> Result<Relation> {
             Ok(out)
         }
         RelExpr::Product(l, r) => {
-            let left = evaluate(l, ctx)?;
-            let right = evaluate(r, ctx)?;
+            let left = evaluate_with(l, ctx, strategy)?;
+            let right = evaluate_with(r, ctx, strategy)?;
             let schema = concat_schema(left.schema(), right.schema());
             let mut out = Relation::with_capacity(schema, left.len() * right.len());
             for lt in left.iter() {
@@ -381,14 +457,157 @@ fn matches_any(
     right: &Relation,
     pred: &ScalarExpr,
     ctx: &impl EvalContext,
+    strategy: JoinStrategy,
 ) -> Result<bool> {
     for rt in right.iter() {
         let joined = lt.concat(rt);
-        if as_bool(&eval_scalar(pred, &joined, ctx)?, pred)? {
+        if as_bool(&eval_scalar_with(pred, &joined, ctx, strategy)?, pred)? {
             return Ok(true);
         }
     }
     Ok(false)
+}
+
+/// Verify one bucket candidate: the paired key columns compare equal and
+/// the residual predicate (if any) accepts the concatenated tuple.
+fn candidate_matches(
+    lt: &Tuple,
+    rt: &Tuple,
+    keys: &JoinKeys,
+    ctx: &impl EvalContext,
+) -> Result<bool> {
+    if !key_values_match(lt, rt, &keys.pairs) {
+        return Ok(false);
+    }
+    if let Some(res) = &keys.residual {
+        let joined = lt.concat(rt);
+        return as_bool(
+            &eval_scalar_with(res, &joined, ctx, JoinStrategy::Hash)?,
+            res,
+        );
+    }
+    Ok(true)
+}
+
+/// Hash theta-join: build on the smaller input, probe with the larger,
+/// verify bucket candidates with the compare-based key test and the
+/// residual predicate. The output is identical to the nested-loop join for
+/// error-free predicates (see [`crate::keys::extract_equi_keys`]).
+fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    keys: &JoinKeys,
+    schema: Arc<RelationSchema>,
+    ctx: &impl EvalContext,
+) -> Result<Relation> {
+    let build_left = left.len() <= right.len();
+    let (build, probe) = if build_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let (build_cols, probe_cols) = if build_left {
+        (keys.left_cols(), keys.right_cols())
+    } else {
+        (keys.right_cols(), keys.left_cols())
+    };
+    let mut table: FxHashMap<u64, Vec<&Tuple>> = fx_map_with_capacity(build.len());
+    for t in build.iter() {
+        table
+            .entry(hash_key_values(t, &build_cols))
+            .or_default()
+            .push(t);
+    }
+    let mut out = Relation::with_capacity(schema, probe.len());
+    for pt in probe.iter() {
+        let Some(bucket) = table.get(&hash_key_values(pt, &probe_cols)) else {
+            continue;
+        };
+        for bt in bucket {
+            let (lt, rt) = if build_left { (*bt, pt) } else { (pt, *bt) };
+            if candidate_matches(lt, rt, keys, ctx)? {
+                out.insert_unchecked(lt.concat(rt));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Hash semi-join (`keep = true`) / anti-join (`keep = false`): emit left
+/// tuples with (without) at least one right match. Builds the hash table
+/// on the smaller input either way — probing left tuples against a right
+/// table, or scanning the right input against a left table and marking
+/// matched left tuples (with early exit once every left tuple matched).
+fn hash_semi_anti(
+    left: &Relation,
+    right: &Relation,
+    keys: &JoinKeys,
+    ctx: &impl EvalContext,
+    keep: bool,
+) -> Result<Relation> {
+    let mut out = Relation::with_capacity(left.schema().clone(), left.len());
+    let (left_cols, right_cols) = (keys.left_cols(), keys.right_cols());
+    if right.len() <= left.len() {
+        // Build on right, probe each left tuple for a match.
+        let mut table: FxHashMap<u64, Vec<&Tuple>> = fx_map_with_capacity(right.len());
+        for t in right.iter() {
+            table
+                .entry(hash_key_values(t, &right_cols))
+                .or_default()
+                .push(t);
+        }
+        for lt in left.iter() {
+            let mut matched = false;
+            if let Some(bucket) = table.get(&hash_key_values(lt, &left_cols)) {
+                for rt in bucket {
+                    if candidate_matches(lt, rt, keys, ctx)? {
+                        matched = true;
+                        break;
+                    }
+                }
+            }
+            if matched == keep {
+                out.insert_unchecked(lt.clone());
+            }
+        }
+    } else {
+        // Build on left, scan right once and mark matched left tuples.
+        let left_tuples: Vec<&Tuple> = left.iter().collect();
+        let mut table: FxHashMap<u64, Vec<u32>> = fx_map_with_capacity(left_tuples.len());
+        for (i, t) in left_tuples.iter().enumerate() {
+            table
+                .entry(hash_key_values(t, &left_cols))
+                .or_default()
+                .push(i as u32);
+        }
+        let mut matched = vec![false; left_tuples.len()];
+        let mut unmatched = left_tuples.len();
+        'scan: for rt in right.iter() {
+            let Some(bucket) = table.get(&hash_key_values(rt, &right_cols)) else {
+                continue;
+            };
+            for &i in bucket {
+                let i = i as usize;
+                if matched[i] {
+                    continue;
+                }
+                if !candidate_matches(left_tuples[i], rt, keys, ctx)? {
+                    continue;
+                }
+                matched[i] = true;
+                unmatched -= 1;
+                if unmatched == 0 {
+                    break 'scan;
+                }
+            }
+        }
+        for (i, lt) in left_tuples.iter().enumerate() {
+            if matched[i] == keep {
+                out.insert_unchecked((*lt).clone());
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn check_union_compatible(left: &Relation, right: &Relation) -> Result<()> {
@@ -648,6 +867,75 @@ mod tests {
             eval_scalar(&e, &Tuple::empty(), &db).unwrap(),
             Value::Bool(true)
         );
+    }
+
+    #[test]
+    fn hash_and_nested_join_agree() {
+        let db = test_db();
+        let pred = ScalarExpr::and(
+            ScalarExpr::col_eq(0, 2),
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(2), ScalarExpr::int(2)),
+        );
+        let e = RelExpr::relation("r").join(RelExpr::relation("s"), pred);
+        let hash = evaluate_with(&e, &db, JoinStrategy::Hash).unwrap();
+        let nested = evaluate_with(&e, &db, JoinStrategy::NestedLoop).unwrap();
+        assert_eq!(hash.sorted_tuples(), nested.sorted_tuples());
+        assert_eq!(hash.len(), 1);
+        assert!(hash.contains(&Tuple::of((3, "three", 3))));
+    }
+
+    #[test]
+    fn hash_semi_anti_agree_with_nested() {
+        let db = test_db();
+        for (mk, len) in [
+            (
+                RelExpr::relation("r").semi_join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 2)),
+                2,
+            ),
+            (
+                RelExpr::relation("r").anti_join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 2)),
+                1,
+            ),
+        ] {
+            let hash = evaluate_with(&mk, &db, JoinStrategy::Hash).unwrap();
+            let nested = evaluate_with(&mk, &db, JoinStrategy::NestedLoop).unwrap();
+            assert_eq!(hash.sorted_tuples(), nested.sorted_tuples());
+            assert_eq!(hash.len(), len);
+        }
+    }
+
+    #[test]
+    fn hash_join_matches_int_against_double() {
+        // `compare` equates Int(2) with Double(2.0); the hash path must
+        // produce the same matches as the nested loop would.
+        let schema = DatabaseSchema::from_relations(vec![
+            RelationSchema::of("ints", &[("a", ValueType::Int)]),
+            RelationSchema::of("dbls", &[("x", ValueType::Double)]),
+        ])
+        .unwrap();
+        let mut db = Database::new(schema.into_shared());
+        for a in [1, 2, 3] {
+            db.insert("ints", Tuple::of((a,))).unwrap();
+        }
+        for x in [2.0_f64, 4.0] {
+            db.insert("dbls", Tuple::of((x,))).unwrap();
+        }
+        let e = RelExpr::relation("ints").join(RelExpr::relation("dbls"), ScalarExpr::col_eq(0, 1));
+        let hash = evaluate_with(&e, &db, JoinStrategy::Hash).unwrap();
+        let nested = evaluate_with(&e, &db, JoinStrategy::NestedLoop).unwrap();
+        assert_eq!(hash.sorted_tuples(), nested.sorted_tuples());
+        assert_eq!(hash.len(), 1);
+        assert!(hash.contains(&Tuple::of((2, 2.0_f64))));
+    }
+
+    #[test]
+    fn hash_join_empty_build_side() {
+        let db = test_db();
+        let empty = RelExpr::relation("s").select(ScalarExpr::false_());
+        let e = RelExpr::relation("r").join(empty.clone(), ScalarExpr::col_eq(0, 2));
+        assert_eq!(evaluate(&e, &db).unwrap().len(), 0);
+        let anti = RelExpr::relation("r").anti_join(empty, ScalarExpr::col_eq(0, 2));
+        assert_eq!(evaluate(&anti, &db).unwrap().len(), 3);
     }
 
     #[test]

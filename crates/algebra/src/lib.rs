@@ -23,7 +23,11 @@
 //!   atomicity: intermediate states `D^{t,i}` may contain temporary
 //!   relations, the end bracket installs `[D^{t,n}]` on commit or restores
 //!   `D^t` on abort, and the engine automatically maintains the auxiliary
-//!   relations of Section 4.1 (`R@pre`, `R@ins`, `R@del`).
+//!   relations of Section 4.1 (`R@pre`, `R@ins`, `R@del`),
+//! * [`keys`] — equi-join key extraction from join predicates; join-shaped
+//!   operators execute **hash-based** by default ([`JoinStrategy`]) with a
+//!   nested-loop fallback, and `tm-parallel` reuses the same extractor for
+//!   co-partition detection and shuffle routing.
 //!
 //! The executor is deliberately an *interpreter* over the algebra AST; the
 //! paper's declarative algorithms (`ModT`, `TransC`, …) all manipulate this
@@ -35,14 +39,19 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod expr;
+pub mod keys;
 pub mod parser;
 pub mod program;
 pub mod rel_expr;
 
 pub use error::{AlgebraError, Result};
-pub use eval::{eval_aggregate, eval_scalar, evaluate, EvalContext, SchemaView};
+pub use eval::{
+    eval_aggregate, eval_scalar, eval_scalar_with, evaluate, evaluate_with, EvalContext,
+    JoinStrategy, SchemaView,
+};
 pub use exec::{ExecStats, Executor, TxContext, TxOutcome};
 pub use expr::{AggFunc, ArithOp, CmpOp, ScalarExpr};
+pub use keys::{extract_equi_keys, JoinKeys};
 pub use parser::{parse_program, parse_relexpr};
 pub use program::{Program, Statement, Transaction, UpdateAssignment};
 pub use rel_expr::RelExpr;

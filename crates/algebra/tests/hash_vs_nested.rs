@@ -1,0 +1,183 @@
+//! Property tests: hash-based and nested-loop join execution produce
+//! identical relations for randomized predicates mixing equality and
+//! non-equality conjuncts — including `Null` join keys (which match each
+//! other under the engine's two-valued logic) and empty build sides.
+//!
+//! The nested-loop path is the obviously-correct baseline; the hash path
+//! (key extraction + bucket-and-verify probing) must be observationally
+//! equivalent on every operator that takes a join predicate.
+
+use proptest::prelude::*;
+
+use tm_algebra::{evaluate_with, CmpOp, JoinStrategy, RelExpr, ScalarExpr};
+use tm_relational::{Database, DatabaseSchema, RelationSchema, Tuple, Value, ValueType};
+
+/// A generated attribute value: `None` becomes `Null`.
+type Cell = Option<i64>;
+
+fn schema() -> DatabaseSchema {
+    DatabaseSchema::from_relations(vec![
+        RelationSchema::of("r", &[("a", ValueType::Int), ("b", ValueType::Int)]),
+        RelationSchema::of("s", &[("x", ValueType::Int), ("y", ValueType::Int)]),
+    ])
+    .unwrap()
+}
+
+fn value(c: Cell) -> Value {
+    match c {
+        None => Value::Null,
+        Some(i) => Value::Int(i),
+    }
+}
+
+fn db(r: &[(Cell, Cell)], s: &[(Cell, Cell)]) -> Database {
+    let mut db = Database::new(schema().into_shared());
+    for &(a, b) in r {
+        db.insert("r", Tuple::from_values(vec![value(a), value(b)]))
+            .unwrap();
+    }
+    for &(x, y) in s {
+        db.insert("s", Tuple::from_values(vec![value(x), value(y)]))
+            .unwrap();
+    }
+    db
+}
+
+/// Tuples over a small value range (plus Null) so joins actually match.
+fn rel_strategy() -> impl Strategy<Value = Vec<(Cell, Cell)>> {
+    prop::collection::vec(
+        (prop::option::of(-2..4i64), prop::option::of(-2..4i64)),
+        0..10,
+    )
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Gt),
+    ]
+}
+
+/// One conjunct of a join predicate over the concatenated 4-column tuple:
+/// an extractable equi-join key, a cross-side non-equality, a constant
+/// comparison, a same-side equality (residual), or a constant boolean.
+fn conjunct() -> impl Strategy<Value = ScalarExpr> {
+    prop_oneof![
+        // Equi-join key pair: left col 0..2, right col 2..4.
+        (0usize..2, 2usize..4).prop_map(|(l, r)| ScalarExpr::col_eq(l, r)),
+        // Cross-side non-equality.
+        (cmp_op(), 0usize..2, 2usize..4).prop_map(|(op, l, r)| ScalarExpr::cmp(
+            op,
+            ScalarExpr::col(l),
+            ScalarExpr::col(r)
+        )),
+        // Column vs constant.
+        (cmp_op(), 0usize..4, -2..4i64).prop_map(|(op, c, k)| ScalarExpr::cmp(
+            op,
+            ScalarExpr::col(c),
+            ScalarExpr::int(k)
+        )),
+        // Same-side equality: classified as residual, not a key.
+        Just(ScalarExpr::col_eq(0, 1)),
+        Just(ScalarExpr::col_eq(2, 3)),
+        Just(ScalarExpr::true_()),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = ScalarExpr> {
+    prop::collection::vec(conjunct(), 1..4).prop_map(|cs| {
+        cs.into_iter()
+            .reduce(ScalarExpr::and)
+            .expect("at least one conjunct")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn join_strategies_agree(r in rel_strategy(), s in rel_strategy(), pred in predicate()) {
+        let db = db(&r, &s);
+        let e = RelExpr::relation("r").join(RelExpr::relation("s"), pred);
+        let hash = evaluate_with(&e, &db, JoinStrategy::Hash).unwrap();
+        let nested = evaluate_with(&e, &db, JoinStrategy::NestedLoop).unwrap();
+        prop_assert_eq!(hash.sorted_tuples(), nested.sorted_tuples());
+    }
+
+    #[test]
+    fn semi_join_strategies_agree(r in rel_strategy(), s in rel_strategy(), pred in predicate()) {
+        let db = db(&r, &s);
+        let e = RelExpr::relation("r").semi_join(RelExpr::relation("s"), pred);
+        let hash = evaluate_with(&e, &db, JoinStrategy::Hash).unwrap();
+        let nested = evaluate_with(&e, &db, JoinStrategy::NestedLoop).unwrap();
+        prop_assert_eq!(hash.sorted_tuples(), nested.sorted_tuples());
+    }
+
+    #[test]
+    fn anti_join_strategies_agree(r in rel_strategy(), s in rel_strategy(), pred in predicate()) {
+        let db = db(&r, &s);
+        let e = RelExpr::relation("r").anti_join(RelExpr::relation("s"), pred);
+        let hash = evaluate_with(&e, &db, JoinStrategy::Hash).unwrap();
+        let nested = evaluate_with(&e, &db, JoinStrategy::NestedLoop).unwrap();
+        prop_assert_eq!(hash.sorted_tuples(), nested.sorted_tuples());
+    }
+
+    /// Semi ⊎ anti must partition the left input under both strategies.
+    #[test]
+    fn semi_anti_partition_left(r in rel_strategy(), s in rel_strategy(), pred in predicate()) {
+        let db = db(&r, &s);
+        for strategy in [JoinStrategy::Hash, JoinStrategy::NestedLoop] {
+            let semi = evaluate_with(
+                &RelExpr::relation("r").semi_join(RelExpr::relation("s"), pred.clone()),
+                &db,
+                strategy,
+            )
+            .unwrap();
+            let anti = evaluate_with(
+                &RelExpr::relation("r").anti_join(RelExpr::relation("s"), pred.clone()),
+                &db,
+                strategy,
+            )
+            .unwrap();
+            let left = db.relation("r").unwrap();
+            prop_assert_eq!(semi.len() + anti.len(), left.len());
+            for t in semi.iter() {
+                prop_assert!(left.contains(t) && !anti.contains(t));
+            }
+        }
+    }
+}
+
+#[test]
+fn null_keys_join_each_other() {
+    // Two-valued logic: `Null = Null` is true, so Null keys pair up under
+    // both strategies — pinned here explicitly, not just probabilistically.
+    let r = [(None, Some(1))];
+    let s = [(None, Some(2))];
+    let db = db(&r, &s);
+    let e = RelExpr::relation("r").join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 2));
+    let hash = evaluate_with(&e, &db, JoinStrategy::Hash).unwrap();
+    let nested = evaluate_with(&e, &db, JoinStrategy::NestedLoop).unwrap();
+    assert_eq!(hash.sorted_tuples(), nested.sorted_tuples());
+    assert_eq!(hash.len(), 1);
+}
+
+#[test]
+fn empty_build_sides_agree() {
+    let r = [(Some(1), Some(2)), (Some(3), Some(4))];
+    let db = db(&r, &[]);
+    for e in [
+        RelExpr::relation("r").join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 2)),
+        RelExpr::relation("r").semi_join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 2)),
+        RelExpr::relation("r").anti_join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 2)),
+        RelExpr::relation("s").join(RelExpr::relation("r"), ScalarExpr::col_eq(0, 2)),
+        RelExpr::relation("s").anti_join(RelExpr::relation("r"), ScalarExpr::col_eq(0, 2)),
+    ] {
+        let hash = evaluate_with(&e, &db, JoinStrategy::Hash).unwrap();
+        let nested = evaluate_with(&e, &db, JoinStrategy::NestedLoop).unwrap();
+        assert_eq!(hash.sorted_tuples(), nested.sorted_tuples(), "{e}");
+    }
+}

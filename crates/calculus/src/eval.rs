@@ -6,11 +6,36 @@
 //! with quantifiers ranging over the tuples of the relation each variable
 //! is bound to (safety guarantees such a relation exists).
 //!
-//! The evaluator is intentionally naive — O(∏ |R_i|) nested loops — because
-//! its role is to be *obviously correct*: the whole transaction
-//! modification machinery is property-tested against it.
+//! ## Execution strategies
+//!
+//! The baseline recursion is O(∏ |R_i|) nested loops, kept available as
+//! [`eval_formula_naive`] because its role is to be *obviously correct*:
+//! the whole transaction modification machinery is property-tested against
+//! it. The default entry points ([`eval_formula`], [`eval_constraint`])
+//! additionally apply a **hash probe fast path** to existential
+//! quantifiers: for a body shaped like `exists y (y in S and … x.i = y.j
+//! …)` — the inner quantifier of every referential constraint — the
+//! relation `S` is indexed **once** on the pinned attributes `j` (values
+//! hashed with [`Value::hash_for_join`], the same compare-consistent hash
+//! the algebra's hash joins use), and each entry from the enclosing
+//! quantifier probes the index instead of scanning `S`. That turns
+//! `forall x (x in R implies exists y (y in S and x.i = y.j))` from
+//! O(|R|·|S|) into O(|R| + |S|). Bucket candidates are verified with
+//! [`Value::compare`] and then evaluated through the ordinary recursion,
+//! so the fast path only *restricts which tuples are visited* — any tuple
+//! it skips has a false key conjunct and hence a false body. Formulas
+//! whose *probe* terms fail to evaluate fall back to the full scan.
+//!
+//! One caveat on error-raising bodies (mirroring the algebra's hash
+//! paths, see `tm_algebra::keys::extract_equi_keys`): the naive recursion
+//! evaluates a skipped tuple's conjuncts left-to-right until the false
+//! key conjunct short-circuits, so a runtime error (division by zero) in
+//! a conjunct *before* the key surfaces under the naive evaluator but not
+//! under the fast path, which never visits that tuple. For error-free
+//! bodies — everything the analyser's type checks and the property suite
+//! cover — the two evaluators agree exactly.
 
-use tm_relational::util::FxHashMap;
+use tm_relational::util::{hash_join_key, FxHashMap};
 use tm_relational::{auxiliary, AuxKind, Database, Relation, Transition, Tuple, Value};
 
 use crate::analysis::ConstraintInfo;
@@ -237,32 +262,236 @@ fn eval_atom(a: &Atom, env: &Env, src: &impl ConstraintSource) -> Result<bool> {
     }
 }
 
+/// One pinned attribute of an existentially quantified variable: the
+/// quantified side's 1-based position and the outer term it is equated to.
+struct ProbeKey<'f> {
+    inner_pos: usize,
+    outer: &'f Term,
+}
+
+/// A hash index of one relation on the pinned attributes of an `exists`
+/// body, built lazily on the first entry into that quantifier node and
+/// reused for every subsequent entry (the relation cannot change during
+/// one evaluation).
+struct RelIndex {
+    tuples: Vec<Tuple>,
+    buckets: FxHashMap<u64, Vec<u32>>,
+}
+
+/// The cached probe plan of one `exists` node: the pinned 1-based
+/// positions of the quantified variable, the (owned) outer terms they are
+/// equated to, and the relation index. Detection and index construction
+/// are pure functions of the body node, so both are cached together.
+struct ProbePlan {
+    inner_pos: Vec<usize>,
+    outer: Vec<Term>,
+    index: RelIndex,
+}
+
+/// Per-evaluation state: lazily built probe plans keyed by the address of
+/// the quantifier body (stable while the formula is borrowed). `None`
+/// records that the node has no usable plan (no keys, or the index was
+/// abandoned).
+struct EvalCache {
+    enabled: bool,
+    plans: FxHashMap<usize, Option<ProbePlan>>,
+}
+
+impl EvalCache {
+    fn new(enabled: bool) -> EvalCache {
+        EvalCache {
+            enabled,
+            plans: FxHashMap::default(),
+        }
+    }
+}
+
+/// Flatten an `And` tree into its conjuncts, in evaluation order.
+fn flatten_conjuncts<'f>(f: &'f Formula, out: &mut Vec<&'f Formula>) {
+    match f {
+        Formula::And(l, r) => {
+            flatten_conjuncts(l, out);
+            flatten_conjuncts(r, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn term_mentions(t: &Term, v: &VarName) -> bool {
+    match t {
+        Term::Attr { var, .. } => var == v,
+        Term::Arith(_, l, r) => term_mentions(l, v) || term_mentions(r, v),
+        // Aggregates and counts are closed over their own relation.
+        Term::Const(_) | Term::Agg { .. } | Term::Cnt { .. } => false,
+    }
+}
+
+/// Collect the top-level equality conjuncts of `body` that pin an
+/// attribute of `v` to a term not mentioning `v` — the probe keys of a
+/// referential-shaped existential body.
+fn probe_keys<'f>(v: &VarName, body: &'f Formula) -> Vec<ProbeKey<'f>> {
+    let mut conjuncts = Vec::new();
+    flatten_conjuncts(body, &mut conjuncts);
+    let mut out = Vec::new();
+    for c in conjuncts {
+        if let Formula::Atom(Atom::Cmp(CmpOp::Eq, l, r)) = c {
+            for (a, b) in [(l, r), (r, l)] {
+                if let Term::Attr {
+                    var,
+                    sel: AttrSel::Position(p),
+                } = a
+                {
+                    if var == v && !term_mentions(b, v) {
+                        out.push(ProbeKey {
+                            inner_pos: *p,
+                            outer: b,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the index of `rel_name` on the pinned positions. `Ok(None)` means
+/// the relation's tuples are too short for a pinned position (the scan
+/// path will surface the error exactly as the naive evaluator does).
+fn build_index(
+    src: &impl ConstraintSource,
+    rel_name: &str,
+    keys: &[ProbeKey<'_>],
+) -> Result<Option<RelIndex>> {
+    let rel = src.relation(rel_name)?;
+    let mut tuples = Vec::with_capacity(rel.len());
+    let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    let mut key_vals = Vec::with_capacity(keys.len());
+    for t in rel.iter() {
+        key_vals.clear();
+        for k in keys {
+            match t.get(k.inner_pos - 1) {
+                Some(val) => key_vals.push(val),
+                None => return Ok(None),
+            }
+        }
+        buckets
+            .entry(hash_join_key(key_vals.iter().copied()))
+            .or_default()
+            .push(tuples.len() as u32);
+        tuples.push(t.clone());
+    }
+    Ok(Some(RelIndex { tuples, buckets }))
+}
+
+/// The fast path for `exists v (v in S and … key equalities …)`: probe the
+/// (lazily built) index of `S` with the outer key values instead of
+/// scanning. `Ok(None)` means "not applicable — use the generic scan";
+/// any skipped tuple has a false key conjunct, so its body is false and
+/// skipping is sound for `exists`.
+fn try_indexed_exists(
+    v: &VarName,
+    body: &Formula,
+    env: &mut Env,
+    src: &impl ConstraintSource,
+    ranges: &FxHashMap<VarName, String>,
+    cache: &mut EvalCache,
+    rel_name: &str,
+) -> Result<Option<bool>> {
+    let node = body as *const Formula as usize;
+    if !cache.plans.contains_key(&node) {
+        let keys = probe_keys(v, body);
+        let plan = if keys.is_empty() {
+            None
+        } else {
+            build_index(src, rel_name, &keys)?.map(|index| ProbePlan {
+                inner_pos: keys.iter().map(|k| k.inner_pos).collect(),
+                outer: keys.iter().map(|k| k.outer.clone()).collect(),
+                index,
+            })
+        };
+        cache.plans.insert(node, plan);
+    }
+    let Some(plan) = cache.plans.get(&node).and_then(Option::as_ref) else {
+        return Ok(None);
+    };
+    // Outer key terms must evaluate; if they do not (unbound sibling-scope
+    // variable, arithmetic error), fall back to the scan so errors surface
+    // — or stay hidden behind a short-circuit — exactly as in the naive
+    // evaluator.
+    let mut probe_vals = Vec::with_capacity(plan.outer.len());
+    for term in &plan.outer {
+        match eval_term(term, env, src) {
+            Ok(val) => probe_vals.push(val),
+            Err(_) => return Ok(None),
+        }
+    }
+    let probe_hash = hash_join_key(probe_vals.iter());
+    // Materialise the verified candidates so the borrow on the cache ends
+    // before the recursion below needs it again for nested quantifiers.
+    let candidates: Vec<Tuple> = match plan.index.buckets.get(&probe_hash) {
+        None => Vec::new(),
+        Some(ids) => {
+            ids.iter()
+                .filter_map(|&i| {
+                    let t = &plan.index.tuples[i as usize];
+                    let key_match =
+                        plan.inner_pos.iter().zip(&probe_vals).all(|(&pos, pv)| {
+                            t.get(pos - 1).is_some_and(|tv| tv.compare(pv).is_eq())
+                        });
+                    key_match.then(|| t.clone())
+                })
+                .collect()
+        }
+    };
+    for t in candidates {
+        env.insert(v.clone(), t);
+        let ok = eval_rec(body, env, src, ranges, cache)?;
+        env.remove(v);
+        if ok {
+            return Ok(Some(true));
+        }
+    }
+    Ok(Some(false))
+}
+
 fn eval_rec(
     f: &Formula,
     env: &mut Env,
     src: &impl ConstraintSource,
     ranges: &FxHashMap<VarName, String>,
+    cache: &mut EvalCache,
 ) -> Result<bool> {
     match f {
         Formula::Atom(a) => eval_atom(a, env, src),
-        Formula::Not(x) => Ok(!eval_rec(x, env, src, ranges)?),
-        Formula::And(l, r) => Ok(eval_rec(l, env, src, ranges)? && eval_rec(r, env, src, ranges)?),
-        Formula::Or(l, r) => Ok(eval_rec(l, env, src, ranges)? || eval_rec(r, env, src, ranges)?),
+        Formula::Not(x) => Ok(!eval_rec(x, env, src, ranges, cache)?),
+        Formula::And(l, r) => {
+            Ok(eval_rec(l, env, src, ranges, cache)? && eval_rec(r, env, src, ranges, cache)?)
+        }
+        Formula::Or(l, r) => {
+            Ok(eval_rec(l, env, src, ranges, cache)? || eval_rec(r, env, src, ranges, cache)?)
+        }
         Formula::Implies(l, r) => {
-            Ok(!eval_rec(l, env, src, ranges)? || eval_rec(r, env, src, ranges)?)
+            Ok(!eval_rec(l, env, src, ranges, cache)? || eval_rec(r, env, src, ranges, cache)?)
         }
         Formula::Quant(q, v, body) => {
             let rel_name = ranges
                 .get(v)
                 .ok_or_else(|| CalculusError::UnsafeVariable(v.clone()))?;
-            // Clone the tuple list to release the borrow on `src` before
-            // recursing (the relation cannot change during evaluation).
-            let tuples: Vec<Tuple> = src.relation(rel_name)?.iter().cloned().collect();
+            if cache.enabled && *q == Quantifier::Exists {
+                if let Some(result) =
+                    try_indexed_exists(v, body, env, src, ranges, cache, rel_name)?
+                {
+                    return Ok(result);
+                }
+            }
+            // Generic scan: iterate the relation directly — only the tuple
+            // entering the environment is cloned, never the tuple list.
             match q {
                 Quantifier::Forall => {
-                    for t in tuples {
-                        env.insert(v.clone(), t);
-                        let ok = eval_rec(body, env, src, ranges)?;
+                    for t in src.relation(rel_name)?.iter() {
+                        env.insert(v.clone(), t.clone());
+                        let ok = eval_rec(body, env, src, ranges, cache)?;
                         env.remove(v);
                         if !ok {
                             return Ok(false);
@@ -271,9 +500,9 @@ fn eval_rec(
                     Ok(true)
                 }
                 Quantifier::Exists => {
-                    for t in tuples {
-                        env.insert(v.clone(), t);
-                        let ok = eval_rec(body, env, src, ranges)?;
+                    for t in src.relation(rel_name)?.iter() {
+                        env.insert(v.clone(), t.clone());
+                        let ok = eval_rec(body, env, src, ranges, cache)?;
                         env.remove(v);
                         if ok {
                             return Ok(true);
@@ -286,19 +515,48 @@ fn eval_rec(
     }
 }
 
-/// Evaluate an analysed formula against a source.
+/// Evaluate an analysed formula against a source (with the indexed
+/// quantifier fast path).
 pub fn eval_formula(
     formula: &Formula,
     ranges: &FxHashMap<VarName, String>,
     src: &impl ConstraintSource,
 ) -> Result<bool> {
-    eval_rec(formula, &mut Env::default(), src, ranges)
+    eval_rec(
+        formula,
+        &mut Env::default(),
+        src,
+        ranges,
+        &mut EvalCache::new(true),
+    )
+}
+
+/// Evaluate an analysed formula with the naive nested-loop recursion only
+/// — the obviously-correct baseline the fast path is property-tested
+/// against, and the slow side of the `hash_vs_nested` benchmark.
+pub fn eval_formula_naive(
+    formula: &Formula,
+    ranges: &FxHashMap<VarName, String>,
+    src: &impl ConstraintSource,
+) -> Result<bool> {
+    eval_rec(
+        formula,
+        &mut Env::default(),
+        src,
+        ranges,
+        &mut EvalCache::new(false),
+    )
 }
 
 /// Evaluate an analysed constraint (output of
 /// [`crate::analysis::analyze`]) against a source.
 pub fn eval_constraint(info: &ConstraintInfo, src: &impl ConstraintSource) -> Result<bool> {
     eval_formula(&info.formula, &info.ranges, src)
+}
+
+/// Naive-recursion variant of [`eval_constraint`].
+pub fn eval_constraint_naive(info: &ConstraintInfo, src: &impl ConstraintSource) -> Result<bool> {
+    eval_formula_naive(&info.formula, &info.ranges, src)
 }
 
 #[cfg(test)]
@@ -437,6 +695,47 @@ mod tests {
         let db = Database::new(beer_schema().into_shared());
         let r = check("MIN(beer, alcohol) > 0", &db);
         assert!(matches!(r, Err(CalculusError::Eval(_))));
+    }
+
+    #[test]
+    fn indexed_and_naive_agree_on_zoo() {
+        let mut db = beer_db();
+        db.insert("beer", Tuple::of(("orphan", "ale", "nowhere", 5.0_f64)))
+            .unwrap();
+        let zoo = [
+            // Referential shape — the indexed Exists path.
+            "forall x (x in beer implies exists y (y in brewery and x.brewery = y.name))",
+            // Negated referential.
+            "not exists x (x in beer and exists y (y in brewery and x.brewery = y.name))",
+            // Constant-pinned existentials.
+            "exists x (x in brewery and x.country = 'nl')",
+            "exists x (x in brewery and x.country = 'atlantis')",
+            // Multi-key pinning.
+            "forall x (x in brewery implies \
+             exists y (y in brewery and x.name = y.name and x.city = y.city))",
+            // Exists without keys (scan path).
+            "exists x (x in beer and x.alcohol > 4.0)",
+            // Key term with arithmetic on the outer side.
+            "forall x (x in beer implies \
+             not exists y (y in beer and y.alcohol = x.alcohol + 100))",
+        ];
+        for c in zoo {
+            let info = analyze(&parse_formula(c).unwrap(), db.schema()).unwrap();
+            let fast = eval_constraint(&info, &StateSource(&db));
+            let naive = eval_constraint_naive(&info, &StateSource(&db));
+            assert_eq!(fast, naive, "{c}");
+        }
+    }
+
+    #[test]
+    fn indexed_path_finds_cross_type_numeric_matches() {
+        // alcohol is a double column; pin it with an integer constant. The
+        // index must bucket Int(5) with Double(5.0).
+        let db = beer_db();
+        let c = "exists x (x in beer and x.alcohol = 5)";
+        assert_eq!(check(c, &db), Ok(true));
+        let c = "exists x (x in beer and x.alcohol = 7)";
+        assert_eq!(check(c, &db), Ok(false));
     }
 
     #[test]

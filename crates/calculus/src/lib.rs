@@ -33,5 +33,8 @@ pub mod parser;
 pub use analysis::{analyze, free_variables, ConstraintInfo};
 pub use ast::{AggFn, Atom, CmpOp, Constraint, ConstraintKind, Formula, Quantifier, Term, VarName};
 pub use error::{CalculusError, Result};
-pub use eval::{eval_constraint, eval_formula, ConstraintSource, StateSource, TransitionSource};
+pub use eval::{
+    eval_constraint, eval_constraint_naive, eval_formula, eval_formula_naive, ConstraintSource,
+    StateSource, TransitionSource,
+};
 pub use parser::parse_formula;

@@ -3,19 +3,23 @@
 use std::fmt;
 use std::sync::Arc;
 
+use tm_calculus::{analyze, ConstraintInfo};
 use tm_relational::DatabaseSchema;
 use tm_rules::{IntegrityRule, TriggeringGraph, ValidationReport};
 
 use crate::error::{EngineError, Result};
 use crate::programs::{get_int_p, IntegrityProgram};
 
-/// The integrity catalog of a database: the declared rules and their
-/// compiled forms (Definition 6.3's set `K`).
+/// The integrity catalog of a database: the declared rules, their
+/// compiled forms (Definition 6.3's set `K`), and the analysed condition
+/// of each rule — cached once at definition time so ground-truth checks
+/// do not re-run the parse-level analysis on every call.
 #[derive(Debug, Clone)]
 pub struct Catalog {
     schema: Arc<DatabaseSchema>,
     rules: Vec<IntegrityRule>,
     programs: Vec<IntegrityProgram>,
+    infos: Vec<ConstraintInfo>,
     differential: bool,
 }
 
@@ -27,6 +31,7 @@ impl Catalog {
             schema,
             rules: Vec::new(),
             programs: Vec::new(),
+            infos: Vec::new(),
             differential,
         }
     }
@@ -51,15 +56,34 @@ impl Catalog {
         self.rules.iter().find(|r| r.name == name)
     }
 
+    /// The cached analysed condition of a rule, by name.
+    pub fn constraint_info(&self, name: &str) -> Option<&ConstraintInfo> {
+        self.rules
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| &self.infos[i])
+    }
+
+    /// Iterate over the rules together with their cached analysed
+    /// conditions (in declaration order).
+    pub fn rules_with_infos(&self) -> impl Iterator<Item = (&IntegrityRule, &ConstraintInfo)> {
+        self.rules.iter().zip(self.infos.iter())
+    }
+
     /// Add a rule: rejects duplicates, compiles it eagerly (`GetIntP`,
-    /// Algorithm 6.1) so translation errors surface at definition time.
+    /// Algorithm 6.1) and analyses its condition once, so translation and
+    /// analysis errors surface at definition time and later ground-truth
+    /// checks reuse the cached [`ConstraintInfo`].
     pub fn add_rule(&mut self, rule: IntegrityRule) -> Result<()> {
         if self.rule(&rule.name).is_some() {
             return Err(EngineError::DuplicateRule(rule.name));
         }
         let program = get_int_p(&rule, &self.schema, self.differential)?;
+        let info = analyze(rule.condition(), &self.schema)
+            .map_err(|e| EngineError::RuleParse(e.to_string()))?;
         self.rules.push(rule);
         self.programs.push(program);
+        self.infos.push(info);
         Ok(())
     }
 
@@ -69,6 +93,7 @@ impl Catalog {
             Some(i) => {
                 self.rules.remove(i);
                 self.programs.remove(i);
+                self.infos.remove(i);
                 true
             }
             None => false,

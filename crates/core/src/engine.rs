@@ -9,7 +9,7 @@
 use std::fmt;
 
 use tm_algebra::{ExecStats, Executor, Transaction, TxOutcome};
-use tm_calculus::{analyze, eval_constraint, parse_formula, StateSource, TransitionSource};
+use tm_calculus::{eval_constraint, parse_formula, StateSource, TransitionSource};
 use tm_relational::{Database, DatabaseSchema, RelationSchema, Tuple};
 use tm_rules::{parse_rule, IntegrityRule, RuleAction, ValidationReport};
 
@@ -210,16 +210,27 @@ impl Engine {
 
     /// Define a materialized view maintained by transaction modification
     /// (the paper's second application, §7). See [`crate::views`].
+    ///
+    /// The definition is atomic: when the initial materialization aborts,
+    /// the already-registered maintenance rule is removed again, so a
+    /// failed definition leaves neither a rule that poisons later
+    /// transactions nor a half-registered view behind.
     pub fn define_view(&mut self, view: ViewDef) -> Result<()> {
         let rule = view.maintenance_rule(self.catalog.schema())?;
+        let rule_name = rule.name.clone();
         // Materialize the initial contents.
         let init = view.refresh_program();
         self.add_rule(rule)?;
-        self.views.push(view);
         let outcome = self.executor.execute(&mut self.db, &init.bracket());
         match outcome {
-            TxOutcome::Committed(_) => Ok(()),
-            TxOutcome::Aborted { reason, .. } => Err(EngineError::View(reason.to_string())),
+            TxOutcome::Committed(_) => {
+                self.views.push(view);
+                Ok(())
+            }
+            TxOutcome::Aborted { reason, .. } => {
+                self.catalog.remove_rule(&rule_name);
+                Err(EngineError::View(reason.to_string()))
+            }
         }
     }
 
@@ -264,13 +275,13 @@ impl Engine {
     /// maintained by construction, not checked.
     pub fn check_state(&self) -> Result<Vec<String>> {
         let mut violated = Vec::new();
-        for rule in self.catalog.rules() {
+        for (rule, info) in self.catalog.rules_with_infos() {
             if !rule.action().is_abort() {
                 continue;
             }
-            let info = analyze(rule.condition(), self.catalog.schema())
-                .map_err(|e| EngineError::RuleParse(e.to_string()))?;
-            let ok = eval_constraint(&info, &StateSource(&self.db))
+            // The analysed condition was cached by `Catalog::add_rule`; no
+            // per-check re-analysis.
+            let ok = eval_constraint(info, &StateSource(&self.db))
                 .map_err(|e| EngineError::RuleParse(e.to_string()))?;
             if !ok {
                 violated.push(rule.name.clone());
@@ -282,13 +293,11 @@ impl Engine {
     /// Ground-truth check of a transition (for transition constraints).
     pub fn check_transition(&self, tr: &tm_relational::Transition) -> Result<Vec<String>> {
         let mut violated = Vec::new();
-        for rule in self.catalog.rules() {
+        for (rule, info) in self.catalog.rules_with_infos() {
             if !rule.action().is_abort() {
                 continue;
             }
-            let info = analyze(rule.condition(), self.catalog.schema())
-                .map_err(|e| EngineError::RuleParse(e.to_string()))?;
-            let ok = eval_constraint(&info, &TransitionSource(tr))
+            let ok = eval_constraint(info, &TransitionSource(tr))
                 .map_err(|e| EngineError::RuleParse(e.to_string()))?;
             if !ok {
                 violated.push(rule.name.clone());

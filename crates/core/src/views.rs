@@ -270,6 +270,43 @@ mod tests {
     }
 
     #[test]
+    fn failed_view_definition_rolls_back_rule_and_view() {
+        // The initial materialization divides by the id column; a zero id
+        // makes it abort with a runtime error. The maintenance rule and
+        // the view registration must both be rolled back — before the
+        // fix, the leftover rule poisoned every later transaction that
+        // touched `orders`.
+        let mut e = Engine::new(schema());
+        e.load("orders", vec![Tuple::of((0, 10))]).unwrap();
+        let bad = ViewDef::new(
+            "order_ids",
+            RelExpr::relation("orders").project(vec![ScalarExpr::arith(
+                tm_algebra::ArithOp::Div,
+                ScalarExpr::col(1),
+                ScalarExpr::col(0),
+            )]),
+        );
+        let err = e.define_view(bad).unwrap_err();
+        assert!(matches!(err, EngineError::View(_)));
+        assert!(
+            e.catalog().rule("view$order_ids").is_none(),
+            "maintenance rule must be rolled back"
+        );
+        // Later transactions on the source relation are unaffected.
+        let tx = TransactionBuilder::new()
+            .insert_tuple("orders", Tuple::of((1, 20)))
+            .build();
+        assert!(e.execute(&tx).unwrap().committed());
+        // And the view relation can still be defined correctly afterwards.
+        e.define_view(ViewDef::new(
+            "order_ids",
+            RelExpr::relation("orders").project_cols(&[0]),
+        ))
+        .unwrap();
+        assert_eq!(e.relation("order_ids").unwrap().len(), 2);
+    }
+
+    #[test]
     fn view_interacts_with_constraints() {
         // A constraint on the *view* is enforced through the maintenance
         // chain: INS(orders) → view refresh → INS(big_orders) → check.

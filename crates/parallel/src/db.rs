@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use tm_algebra::{eval_scalar, ScalarExpr};
+use tm_algebra::{eval_scalar, extract_equi_keys, ScalarExpr};
 use tm_relational::util::{fx_set_with_capacity, FxHashMap, FxHashSet};
 use tm_relational::{Database, DatabaseSchema, Relation, RelationSchema, Tuple, Value};
 
@@ -196,11 +196,125 @@ impl ParallelDb {
         parent: &str,
         parent_col: usize,
     ) -> CheckReport {
+        self.check_referential_keys(child, parent, &[(child_col, parent_col)])
+    }
+
+    /// Parallel referential check driven by a **join predicate** instead of
+    /// explicit column numbers — the predicate over the concatenated
+    /// `child ++ parent` tuple that a `child ▷ parent` anti-join would
+    /// carry. The equi-join keys are extracted with the same
+    /// [`tm_algebra::extract_equi_keys`] analyzer the hash execution paths
+    /// use, so co-partition detection and shuffle routing share one code
+    /// path with the sequential engine.
+    ///
+    /// Returns `None` when the check cannot reproduce what the anti-join
+    /// would compute — the predicate has no extractable key, leaves a
+    /// residual conjunct (key-set probing cannot evaluate residuals), or
+    /// pairs key columns of different declared types (the key sets match
+    /// with typed [`Value`] equality, which would miss `compare`'s
+    /// `Int`/`Double` cross-type matches) — and when either relation is
+    /// unknown. Callers then gather the fragments and use the algebra
+    /// evaluator instead.
+    pub fn check_referential_join(
+        &self,
+        child: &str,
+        parent: &str,
+        pred: &ScalarExpr,
+    ) -> Option<CheckReport> {
+        let (cf, pf) = (self.relations.get(child)?, self.relations.get(parent)?);
+        let child_arity = cf.schema().arity();
+        let total = child_arity + pf.schema().arity();
+        let keys = extract_equi_keys(pred, child_arity, total)?;
+        if keys.residual.is_some() {
+            return None;
+        }
+        for &(c, p) in &keys.pairs {
+            if cf.schema().attributes()[c].value_type() != pf.schema().attributes()[p].value_type()
+            {
+                return None;
+            }
+        }
+        Some(self.check_referential_keys(child, parent, &keys.pairs))
+    }
+
+    /// Multi-column referential check: count child tuples whose key vector
+    /// over the paired child columns has no match among the parent key
+    /// vectors. Routing (and co-partition detection) uses the *first*
+    /// pair, matching uses all of them. Matching is the typed set equality
+    /// of [`Value`] (`Int(1)` and `Double(1.0)` are distinct), consistent
+    /// with the other fragment-local checks in this module.
+    ///
+    /// `pairs` must be non-empty: with no key pairs there is nothing to
+    /// check, and the degenerate call returns the default (zero-violation)
+    /// report rather than scanning anything — debug builds assert.
+    pub fn check_referential_keys(
+        &self,
+        child: &str,
+        parent: &str,
+        pairs: &[(usize, usize)],
+    ) -> CheckReport {
+        debug_assert!(!pairs.is_empty(), "referential check with no key pairs");
         let (Some(cf), Some(pf)) = (self.relations.get(child), self.relations.get(parent)) else {
             return CheckReport::default();
         };
+        let Some(&(route_child_col, route_parent_col)) = pairs.first() else {
+            return CheckReport::default();
+        };
+        // Single-column checks (the §7 hot path) probe bare `Value` sets —
+        // no per-tuple key-vector allocation.
+        if let [(child_col, parent_col)] = *pairs {
+            return self.check_referential_single(cf, child_col, pf, parent_col);
+        }
+        let child_cols: Vec<usize> = pairs.iter().map(|&(c, _)| c).collect();
+        let parent_cols: Vec<usize> = pairs.iter().map(|&(_, p)| p).collect();
+        let co_partitioned = cf.key_col() == route_child_col && pf.key_col() == route_parent_col;
+        let (parent_keys, shuffled) = self.parent_key_vecs(pf, &parent_cols, co_partitioned);
+        let violations: usize = std::thread::scope(|scope| {
+            let keys = &parent_keys;
+            let child_cols = &child_cols;
+            let handles: Vec<_> = (0..self.nodes)
+                .map(|i| {
+                    let frag = cf.fragment(i);
+                    let nodes = self.nodes;
+                    scope.spawn(move || {
+                        frag.iter()
+                            .filter(|t| match key_vec(t, child_cols) {
+                                Some(kv) => {
+                                    let set = if co_partitioned {
+                                        &keys[i]
+                                    } else {
+                                        &keys[route_value(&kv[0], nodes)]
+                                    };
+                                    !set.contains(&kv)
+                                }
+                                None => true,
+                            })
+                            .count()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node panicked"))
+                .sum()
+        });
+        CheckReport {
+            violations,
+            tuples_shuffled: shuffled,
+            nodes: self.nodes,
+        }
+    }
+
+    /// Single-column referential check over bare `Value` key sets — the
+    /// allocation-free hot path the §7 experiments and benches measure.
+    fn check_referential_single(
+        &self,
+        cf: &FragmentedRelation,
+        child_col: usize,
+        pf: &FragmentedRelation,
+        parent_col: usize,
+    ) -> CheckReport {
         let co_partitioned = cf.key_col() == child_col && pf.key_col() == parent_col;
-        // Build per-node parent key sets.
         let (parent_keys, shuffled) = self.parent_key_sets(pf, parent_col, co_partitioned);
         // Each node scans its own child fragment directly — no coordinator
         // materialisation step, so the scan parallelises fully.
@@ -236,6 +350,58 @@ impl ParallelDb {
             violations,
             tuples_shuffled: shuffled,
             nodes: self.nodes,
+        }
+    }
+
+    /// Build per-node hash sets of parent key *vectors* over `parent_cols`
+    /// (the multi-column analogue of [`ParallelDb::parent_key_sets`]).
+    /// Routing uses the first key column's value.
+    fn parent_key_vecs(
+        &self,
+        parent: &FragmentedRelation,
+        parent_cols: &[usize],
+        co_partitioned: bool,
+    ) -> (Vec<FxHashSet<Vec<Value>>>, usize) {
+        if co_partitioned {
+            let sets = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.nodes)
+                    .map(|i| {
+                        let frag = parent.fragment(i);
+                        scope.spawn(move || {
+                            let mut set = fx_set_with_capacity(frag.len());
+                            for t in frag.iter() {
+                                if let Some(kv) = key_vec(t, parent_cols) {
+                                    set.insert(kv);
+                                }
+                            }
+                            set
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("node panicked"))
+                    .collect::<Vec<_>>()
+            });
+            (sets, 0)
+        } else {
+            // Shuffle: every parent key vector goes to the hash-home node
+            // of its routing (first) column.
+            let mut sets: Vec<FxHashSet<Vec<Value>>> =
+                (0..self.nodes).map(|_| FxHashSet::default()).collect();
+            let mut shuffled = 0;
+            for (i, frag) in parent.fragments().iter().enumerate() {
+                for t in frag.iter() {
+                    if let Some(kv) = key_vec(t, parent_cols) {
+                        let dest = route_value(&kv[0], self.nodes);
+                        if dest != i {
+                            shuffled += 1;
+                        }
+                        sets[dest].insert(kv);
+                    }
+                }
+            }
+            (sets, shuffled)
         }
     }
 
@@ -375,6 +541,15 @@ impl ParallelDb {
     }
 }
 
+/// The key vector of a tuple over `cols`, or `None` when a column is out
+/// of range (counted as a violation by referential checks, like the
+/// single-column probes).
+fn key_vec(t: &Tuple, cols: &[usize]) -> Option<Vec<Value>> {
+    cols.iter()
+        .map(|&c| t.get(c).cloned())
+        .collect::<Option<Vec<Value>>>()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +659,87 @@ mod tests {
             }
         }
         assert_eq!(expected, Some(7));
+    }
+
+    #[test]
+    fn predicate_driven_check_matches_explicit_columns() {
+        let mut db = loaded_db(8, 100, 1000);
+        db.relation_mut("child")
+            .unwrap()
+            .insert(Tuple::of((5000, 777)))
+            .unwrap();
+        // child(c, fk) ▷ parent(k, p): #1 = #2 over the concatenated tuple.
+        let pred = ScalarExpr::col_eq(1, 2);
+        let by_pred = db.check_referential_join("child", "parent", &pred).unwrap();
+        let by_cols = db.check_referential("child", 1, "parent", 0);
+        assert_eq!(by_pred, by_cols);
+        assert_eq!(by_pred.violations, 1);
+        assert_eq!(by_pred.tuples_shuffled, 0, "co-partitioned via extractor");
+    }
+
+    #[test]
+    fn predicate_without_keys_or_with_residual_rejected() {
+        let db = loaded_db(4, 10, 100);
+        // No equality between the two sides.
+        let pred = ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(1), ScalarExpr::col(2));
+        assert!(db
+            .check_referential_join("child", "parent", &pred)
+            .is_none());
+        // Key plus residual: key-set probing cannot evaluate the residual.
+        let pred = ScalarExpr::and(
+            ScalarExpr::col_eq(1, 2),
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(0), ScalarExpr::int(0)),
+        );
+        assert!(db
+            .check_referential_join("child", "parent", &pred)
+            .is_none());
+        // Unknown relations.
+        assert!(db
+            .check_referential_join("ghost", "parent", &ScalarExpr::col_eq(1, 2))
+            .is_none());
+    }
+
+    #[test]
+    fn mixed_type_key_pair_rejected() {
+        // Int FK against a Double parent key: typed key sets would miss
+        // `compare`'s cross-type matches, so the predicate entry point
+        // must decline rather than diverge from the algebra anti-join.
+        let mut db = ParallelDb::new(2);
+        db.create_relation(RelationSchema::of("parent", &[("k", ValueType::Double)]), 0);
+        db.create_relation(fk_schema(), 1);
+        db.load("parent", (0..10).map(|i| Tuple::of((f64::from(i),))))
+            .unwrap();
+        db.load("child", (0..10i64).map(|i| Tuple::of((i, i % 10))))
+            .unwrap();
+        assert!(db
+            .check_referential_join("child", "parent", &ScalarExpr::col_eq(1, 2))
+            .is_none());
+    }
+
+    #[test]
+    fn multi_key_referential_check() {
+        // parent fragmented on k, child on fk; match on (fk, c) = (k, p).
+        let mut db = ParallelDb::new(4);
+        db.create_relation(key_schema(), 0);
+        db.create_relation(fk_schema(), 1);
+        db.load("parent", (0..50).map(|i| Tuple::of((i, i % 7))))
+            .unwrap();
+        db.load("child", (0..50).map(|i| Tuple::of((i % 7, i))))
+            .unwrap();
+        let full = db.check_referential_keys("child", "parent", &[(1, 0), (0, 1)]);
+        // Ground truth via sequential sets.
+        let parent = db.gather("parent").unwrap();
+        let expected = db
+            .gather("child")
+            .unwrap()
+            .iter()
+            .filter(|c| {
+                !parent
+                    .iter()
+                    .any(|p| c.get(1) == p.get(0) && c.get(0) == p.get(1))
+            })
+            .count();
+        assert_eq!(full.violations, expected);
     }
 
     #[test]

@@ -123,8 +123,22 @@ impl Relation {
         self.tuples.retain(f);
     }
 
-    /// Replace this state's contents with `other`'s (same schema family).
+    /// Replace this state with `other`'s — tuples **and** schema. The
+    /// schemas must be union-compatible: adopting the source schema keeps
+    /// the invariant that a relation's tuples validated against the schema
+    /// it carries (keeping `self`'s schema would silently pair it with
+    /// tuples that never validated against it).
+    ///
+    /// # Panics
+    /// Debug builds panic when the schemas are not union-compatible.
     pub fn assign_from(&mut self, other: &Relation) {
+        debug_assert!(
+            self.schema.union_compatible(other.schema()),
+            "assign_from between incompatible schemas `{}` and `{}`",
+            self.schema,
+            other.schema()
+        );
+        self.schema = other.schema.clone();
         self.tuples = other.tuples.clone();
     }
 
@@ -235,5 +249,29 @@ mod tests {
         a.assign_from(&b);
         assert!(a.contains(&Tuple::of((2, "y"))));
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn assign_from_adopts_source_schema() {
+        // Union-compatible but differently named schema: the tuples only
+        // validated against the *source* schema, so it must come along.
+        let mut a = Relation::from_tuples(schema(), vec![Tuple::of((1, "x"))]).unwrap();
+        let other = Arc::new(RelationSchema::of(
+            "s",
+            &[("c", ValueType::Int), ("d", ValueType::Str)],
+        ));
+        let b = Relation::from_tuples(other.clone(), vec![Tuple::of((2, "y"))]).unwrap();
+        a.assign_from(&b);
+        assert_eq!(a.schema(), &other);
+        assert!(a.insert(Tuple::of((3, "z"))).is_ok());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "incompatible schemas")]
+    fn assign_from_incompatible_schema_asserts() {
+        let mut a = Relation::empty(schema());
+        let b = Relation::empty(Arc::new(RelationSchema::of("q", &[("n", ValueType::Int)])));
+        a.assign_from(&b);
     }
 }

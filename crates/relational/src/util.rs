@@ -79,6 +79,41 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Finalize a 64-bit hash by spreading entropy into the low bits
+/// (xor-shift-multiply, the SplitMix64 finalizer). [`FxHasher`] mixes only
+/// upward — the low `b` bits of its state depend only on the low `b` bits
+/// of the inputs — so hashing values whose low bits are constant (e.g. the
+/// IEEE-754 bit patterns of small integers, which have dozens of trailing
+/// mantissa zeros) yields hashes that collide in every power-of-two bucket
+/// index. Precomputed keys that are themselves stored in a hash table
+/// (join-key hashes) must pass through this finalizer.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hash a sequence of join-key values, consistently with
+/// [`Value::compare`](crate::Value::compare): compare-equal key sequences
+/// always produce equal hashes (via
+/// [`Value::hash_for_join`](crate::Value::hash_for_join)), and the result
+/// is [`mix64`]-finalized so it can itself be stored in a hash table.
+/// This is the one authoritative implementation of the join-key hash —
+/// `tm-algebra`'s hash joins and `tm-calculus`'s quantifier indexes both
+/// build on it. Candidates sharing a hash must still be verified with
+/// `Value::compare` (compare-equality is not transitive; see
+/// `hash_for_join`).
+pub fn hash_join_key<'a>(values: impl IntoIterator<Item = &'a crate::Value>) -> u64 {
+    let mut h = FxHasher::default();
+    for v in values {
+        v.hash_for_join(&mut h);
+    }
+    mix64(std::hash::Hasher::finish(&h))
+}
+
 /// `HashMap` keyed with [`FxHasher`].
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// `HashSet` keyed with [`FxHasher`].

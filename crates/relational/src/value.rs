@@ -157,6 +157,40 @@ impl Value {
             Value::Str(_) => 4,
         }
     }
+
+    /// Feed this value into a hasher such that values equal under
+    /// [`Value::compare`] always hash equally — the hash contract of the
+    /// engine's *join keys*, as opposed to the derived [`Hash`] impl whose
+    /// contract is the typed set equality of relations.
+    ///
+    /// `compare` equates `Int(i)` with the `Double` it widens to, so both
+    /// numeric variants hash under one shared tag as the `f64` bit
+    /// pattern. Because two distinct large integers can both compare equal
+    /// to the double they round to, compare-equality is not transitive and
+    /// has no exact canonical key: hash consumers must bucket by this hash
+    /// and re-verify candidates with [`Value::compare`] (false bucket
+    /// collisions are possible; false negatives are not).
+    pub fn hash_for_join<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                state.write_u8(u8::from(*b));
+            }
+            Value::Int(i) => {
+                state.write_u8(3);
+                state.write_u64((*i as f64).to_bits());
+            }
+            Value::Double(d) => {
+                state.write_u8(3);
+                state.write_u64(d.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                state.write(s.as_bytes());
+            }
+        }
+    }
 }
 
 impl PartialEq for Value {
