@@ -45,6 +45,10 @@ pub enum AlgebraError {
     /// Recursion/complexity guard tripped (defensive; not expected in
     /// normal operation).
     LimitExceeded(String),
+    /// An executor invariant was violated — a bug, surfaced as an
+    /// abortable error so the running transaction rolls back cleanly
+    /// instead of panicking with the database mid-mutation.
+    Internal(String),
 }
 
 impl fmt::Display for AlgebraError {
@@ -72,6 +76,7 @@ impl fmt::Display for AlgebraError {
                 write!(f, "assignment target `{name}` is a base relation")
             }
             AlgebraError::LimitExceeded(what) => write!(f, "limit exceeded: {what}"),
+            AlgebraError::Internal(msg) => write!(f, "internal executor error: {msg}"),
         }
     }
 }

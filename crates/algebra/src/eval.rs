@@ -399,6 +399,12 @@ pub fn evaluate_with(
             let left = evaluate_with(l, ctx, strategy)?;
             let right = evaluate_with(r, ctx, strategy)?;
             check_union_compatible(&left, &right)?;
+            // Empty or identical-storage right side: the result *is* the
+            // left operand — return it without unsharing its COW storage
+            // (differential checks union empty deltas constantly).
+            if right.is_empty() || left.shares_storage(&right) {
+                return Ok(left);
+            }
             let mut out = left;
             for t in right.iter() {
                 out.insert_unchecked(t.clone());
@@ -412,6 +418,13 @@ pub fn evaluate_with(
             let left = evaluate_with(l, ctx, strategy)?;
             let right = evaluate_with(r, ctx, strategy)?;
             check_union_compatible(&left, &right)?;
+            if right.is_empty() {
+                return Ok(left); // R − ∅ = R, storage shared
+            }
+            if left.shares_storage(&right) {
+                // R − R = ∅ without scanning (e.g. `alarm(R@pre − R@pre)`).
+                return Ok(Relation::empty(left.schema().clone()));
+            }
             let mut out = Relation::with_capacity(left.schema().clone(), left.len());
             for t in left.iter() {
                 if !right.contains(t) {
@@ -424,6 +437,12 @@ pub fn evaluate_with(
             let left = evaluate_with(l, ctx, strategy)?;
             let right = evaluate_with(r, ctx, strategy)?;
             check_union_compatible(&left, &right)?;
+            if left.shares_storage(&right) {
+                return Ok(left); // R ∩ R = R, storage shared
+            }
+            if left.is_empty() || right.is_empty() {
+                return Ok(Relation::empty(left.schema().clone()));
+            }
             let (small, large) = if left.len() <= right.len() {
                 (&left, &right)
             } else {

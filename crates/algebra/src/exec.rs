@@ -1,4 +1,4 @@
-//! Transaction execution with full atomicity (Definition 2.5).
+//! Transaction execution with full atomicity (Definition 2.5) in **O(Δ)**.
 //!
 //! A transaction `T = ⟨a1; …; an⟩` executes against a database state `D^t`.
 //! During execution the database passes through intermediate states
@@ -20,6 +20,33 @@
 //! otherwise it records `t` in `R@ins` (symmetrically for deletions), so
 //! the invariants `R@ins = R − R@pre` and `R@del = R@pre − R` hold after
 //! every statement — property-tested in `tests/`.
+//!
+//! ## The logical snapshot
+//!
+//! Atomicity does **not** copy the database. The executor mutates the
+//! caller's state in place and relies on the differentials doubling as an
+//! exact change record (every actual base-relation mutation flows through
+//! `note_insert`/`note_delete`):
+//!
+//! * **commit** keeps the mutated state and drops the records — O(1);
+//! * **abort** applies the inverse delta (remove `R@ins`, re-insert
+//!   `R@del`) — O(Δ), restoring a state set-identical to `D^t`;
+//! * **`R@pre`** is *reconstructed* on first reference as
+//!   `(R − R@ins) ∪ R@del` and cached for the rest of the transaction —
+//!   free for untouched relations (the reconstruction is a copy-on-write
+//!   clone of the live state), one set copy for relations the transaction
+//!   already modified.
+//!
+//! This is the "logical update view" realization of snapshots — sharing
+//! plus change records instead of physical copies — so the cost of a
+//! transaction is proportional to its delta and the data its checks
+//! actually read, never to the size of the database. Expression results
+//! are copy-on-write clones, so a statement reading the relation it
+//! updates still sees a consistent input (the first write unshares the
+//! live set from the evaluated copy). Every *error* path rolls back
+//! exactly; a Rust panic mid-transaction, however, leaves the in-place
+//! state mid-flight — unwinding recovery is out of scope for this
+//! main-memory engine.
 
 use std::fmt;
 use std::sync::Arc;
@@ -109,55 +136,75 @@ impl fmt::Display for AbortReason {
 }
 
 /// The evaluation context of a running transaction: the working database
-/// state, the temporaries of the intermediate states `D^{t,i}`, and the
-/// auxiliary relations.
-pub struct TxContext {
-    working: Database,
-    /// Immutable pre-transaction snapshot (backs `R@pre`).
-    snapshot: Database,
+/// state (the caller's state, mutated in place), the temporaries of the
+/// intermediate states `D^{t,i}`, and the auxiliary relations.
+///
+/// Opening the context is O(1): nothing is cloned. The differential maps
+/// start **empty** — an absent entry *is* the empty differential — and the
+/// `R@pre` cache starts empty too. Entries are allocated only when the
+/// transaction first touches them: on the first recorded change to `R`, or
+/// when a statement's expressions mention the auxiliary by name (they are
+/// materialized just before the statement runs, so reads of untouched
+/// differentials resolve to a freshly shared empty relation and `R@pre`
+/// of an untouched relation is a copy-on-write clone of `R` itself).
+pub struct TxContext<'db> {
+    working: &'db mut Database,
+    /// Lazily reconstructed pre-transaction states, `(R − R@ins) ∪ R@del`
+    /// at first reference (backs `R@pre`; immutable once cached).
+    pre: FxHashMap<String, Relation>,
     temps: FxHashMap<String, Relation>,
     ins: FxHashMap<String, Relation>,
     del: FxHashMap<String, Relation>,
     stats: ExecStats,
 }
 
-impl TxContext {
-    /// Open a transaction context over the current database state.
-    ///
-    /// Differential relations start out empty for *every* base relation, so
-    /// `R@ins`/`R@del` reads always resolve, even for untouched relations.
-    pub fn begin(db: &Database) -> TxContext {
-        let mut ins = FxHashMap::default();
-        let mut del = FxHashMap::default();
-        for (name, rel) in db.iter() {
-            let schema = rel.schema().clone();
-            ins.insert(
-                name.to_owned(),
-                Relation::empty(Arc::new(schema.renamed(auxiliary::ins_name(name)))),
-            );
-            del.insert(
-                name.to_owned(),
-                Relation::empty(Arc::new(schema.renamed(auxiliary::del_name(name)))),
-            );
-        }
+impl<'db> TxContext<'db> {
+    /// Open a transaction context over the current database state —
+    /// no copies at all; the state is mutated in place and
+    /// [`TxContext::rollback`] undoes every recorded change on abort.
+    pub fn begin(db: &'db mut Database) -> TxContext<'db> {
         TxContext {
-            working: db.clone(),
-            snapshot: db.clone(),
+            working: db,
+            pre: FxHashMap::default(),
             temps: FxHashMap::default(),
-            ins,
-            del,
+            ins: FxHashMap::default(),
+            del: FxHashMap::default(),
             stats: ExecStats::default(),
         }
     }
 
     /// The working state (the current intermediate state `D^{t,i}`).
     pub fn working(&self) -> &Database {
-        &self.working
+        self.working
     }
 
     /// Statistics gathered so far.
     pub fn stats(&self) -> &ExecStats {
         &self.stats
+    }
+
+    /// Undo every change this transaction made to the working state by
+    /// applying the inverse of the net differentials — O(Δ). After the
+    /// call the working state is set-identical to the state at
+    /// [`TxContext::begin`] and the differentials are empty.
+    pub fn rollback(&mut self) {
+        let mut bases: Vec<&String> = self.ins.keys().chain(self.del.keys()).collect();
+        bases.sort();
+        bases.dedup();
+        for base in bases {
+            let rel = self
+                .working
+                .relation_mut(base)
+                .expect("differential tracks an existing base relation");
+            apply_inverse_delta(
+                rel,
+                self.ins.get(base.as_str()),
+                self.del.get(base.as_str()),
+            );
+        }
+        self.ins.clear();
+        self.del.clear();
+        self.pre.clear();
     }
 
     fn delta_relation<'m>(
@@ -171,6 +218,62 @@ impl TxContext {
                 base_schema.renamed(auxiliary::aux_name(base, kind)),
             ))
         })
+    }
+
+    /// Materialize the auxiliary entries a statement's expressions can
+    /// read, so `relation_state` never has to answer for an absent entry.
+    /// Cost is proportional to the statement's size plus the pre-states it
+    /// actually names: only auxiliaries the statement *mentions* are
+    /// allocated, once per transaction. `R@pre` of an untouched relation
+    /// is a copy-on-write clone of `R`; for an already-modified relation
+    /// it is reconstructed as `(R − R@ins) ∪ R@del` (one set copy).
+    fn ensure_differentials(&mut self, stmt: &Statement) {
+        let mut names = match stmt {
+            Statement::Assign { expr, .. } | Statement::Alarm(expr) => expr.referenced_relations(),
+            Statement::Insert { source, .. } | Statement::Delete { source, .. } => {
+                source.referenced_relations()
+            }
+            Statement::Update { pred, set, .. } => {
+                let mut v = pred.referenced_relations();
+                for a in set {
+                    v.extend(a.value.referenced_relations());
+                }
+                v
+            }
+            Statement::Abort => Vec::new(),
+        };
+        for name in names.drain(..) {
+            let Some((base, kind)) = auxiliary::parse_auxiliary(&name) else {
+                continue;
+            };
+            // Unknown bases are left absent everywhere; the read path
+            // reports the error exactly as before.
+            let Ok(rel) = self.working.relation(base) else {
+                continue;
+            };
+            let schema = rel.schema().clone();
+            match kind {
+                AuxKind::Ins => {
+                    Self::delta_relation(&mut self.ins, schema, base, AuxKind::Ins);
+                }
+                AuxKind::Del => {
+                    Self::delta_relation(&mut self.del, schema, base, AuxKind::Del);
+                }
+                AuxKind::Pre => {
+                    if self.pre.contains_key(base) {
+                        continue;
+                    }
+                    // Reconstruct the begin state from the live state and
+                    // the net change records — the same inverse-delta
+                    // application `rollback` performs; valid at any
+                    // statement boundary by the differential invariants,
+                    // and cached because the begin state never changes.
+                    let mut pre = rel.clone();
+                    apply_inverse_delta(&mut pre, self.ins.get(base), self.del.get(base));
+                    self.pre.insert(base.to_owned(), pre);
+                }
+            }
+        }
     }
 
     /// Record the actual insertion of `t` into base relation `base`,
@@ -211,6 +314,7 @@ impl TxContext {
     /// `Err(ControlFlow)` wrapped as `AbortReason` by the caller).
     fn execute_statement(&mut self, stmt: &Statement) -> std::result::Result<(), AbortReason> {
         self.stats.statements += 1;
+        self.ensure_differentials(stmt);
         match stmt {
             Statement::Assign { target, expr } => self.run(|ctx| {
                 if ctx.working.schema().contains(target) {
@@ -282,12 +386,16 @@ impl TxContext {
                     return Err(AlgebraError::AuxiliaryUpdate(relation.clone()));
                 }
                 let target_schema = ctx.working.relation(relation)?.schema().clone();
-                // Materialise the update pairs first (evaluation may read
-                // the relation being updated).
+                // Single scan over the live relation: evaluation only
+                // *reads* the context, so no snapshot of the whole state is
+                // needed, and only the selected (old, new) pairs are ever
+                // materialized — O(Δ) space, not O(|R|). Mutation happens
+                // after the scan (below), so the iterator is never
+                // invalidated. A predicate selecting nothing leaves the
+                // relation's COW storage shared.
                 let mut pairs: Vec<(Tuple, Tuple)> = Vec::new();
-                let current: Vec<Tuple> = ctx.working.relation(relation)?.iter().cloned().collect();
-                for t in current {
-                    let selected = eval_scalar(pred, &t, ctx)?
+                for t in ctx.working.relation(relation)?.iter() {
+                    let selected = eval_scalar(pred, t, ctx)?
                         .as_bool()
                         .ok_or_else(|| AlgebraError::NotABoolean(pred.to_string()))?;
                     if !selected {
@@ -301,11 +409,11 @@ impl TxContext {
                                 arity: values.len(),
                             });
                         }
-                        values[a.position] = eval_scalar(&a.value, &t, ctx)?;
+                        values[a.position] = eval_scalar(&a.value, t, ctx)?;
                     }
                     let new_t = Tuple::from_values(values);
                     target_schema.validate_tuple(&new_t)?;
-                    pairs.push((t, new_t));
+                    pairs.push((t.clone(), new_t));
                 }
                 // Apply as delete-then-insert (Definition 4.5's reading of
                 // an update as a DEL/INS combination).
@@ -353,30 +461,58 @@ impl TxContext {
     }
 }
 
-impl SchemaView for TxContext {
+/// Apply the inverse of a recorded net delta to `rel`: remove the `R@ins`
+/// tuples, re-insert the `R@del` tuples (the two sets are disjoint by the
+/// differential invariants). The one definition behind both
+/// [`TxContext::rollback`] and the `R@pre` reconstruction — they must
+/// never drift apart.
+fn apply_inverse_delta(rel: &mut Relation, ins: Option<&Relation>, del: Option<&Relation>) {
+    if let Some(ins) = ins {
+        for t in ins.iter() {
+            rel.remove(t);
+        }
+    }
+    if let Some(del) = del {
+        for t in del.iter() {
+            rel.insert_unchecked(t.clone());
+        }
+    }
+}
+
+impl SchemaView for TxContext<'_> {
     fn schema_of(&self, name: &str) -> Result<Arc<RelationSchema>> {
         if let Some(t) = self.temps.get(name) {
             return Ok(t.schema().clone());
         }
         if let Some((base, _)) = auxiliary::parse_auxiliary(name) {
-            return Ok(self.snapshot.relation(base)?.schema().clone());
+            return Ok(self.working.relation(base)?.schema().clone());
         }
         Ok(self.working.relation(name)?.schema().clone())
     }
 }
 
-impl EvalContext for TxContext {
+impl EvalContext for TxContext<'_> {
     fn relation_state(&self, name: &str) -> Result<&Relation> {
         if let Some(t) = self.temps.get(name) {
             return Ok(t);
         }
         if let Some((base, kind)) = auxiliary::parse_auxiliary(name) {
-            // Ensure the base actually exists before answering delta reads.
-            let _ = self.snapshot.relation(base)?;
+            // Ensure the base actually exists before answering aux reads.
+            let _ = self.working.relation(base)?;
+            // Auxiliary entries are allocated lazily; every name an
+            // expression can resolve was materialized by
+            // `ensure_differentials` before its statement started (the
+            // same walk `evaluate` performs), so absence here is a bug in
+            // that pre-pass. It surfaces as an abortable error — the
+            // transaction rolls back through the normal path — rather
+            // than a panic with the database mid-mutation.
+            let missing = || {
+                AlgebraError::Internal(format!("auxiliary `{name}` read before materialization"))
+            };
             return match kind {
-                AuxKind::Pre => Ok(self.snapshot.relation(base)?),
-                AuxKind::Ins => Ok(&self.ins[base]),
-                AuxKind::Del => Ok(&self.del[base]),
+                AuxKind::Pre => self.pre.get(base).ok_or_else(missing),
+                AuxKind::Ins => self.ins.get(base).ok_or_else(missing),
+                AuxKind::Del => self.del.get(base).ok_or_else(missing),
             };
         }
         Ok(self.working.relation(name)?)
@@ -389,25 +525,29 @@ impl EvalContext for TxContext {
 pub struct Executor;
 
 impl Executor {
-    /// Execute `tx` against `db`.
+    /// Execute `tx` against `db`, mutating it in place in O(Δ).
     ///
-    /// On commit the working state (minus temporaries) is installed and the
-    /// logical time advances. On abort — alarm fired, explicit `abort`, or
-    /// runtime error — `db` is left exactly as it was (the paper installs
-    /// `D^t` as `D^{t+1}`; we advance the logical clock in both cases).
+    /// On commit the working state (temporaries never enter it) is already
+    /// installed and the logical time advances. On abort — alarm fired,
+    /// explicit `abort`, or runtime error — the recorded changes are
+    /// undone, leaving `db` set-identical to its pre-transaction state
+    /// (the paper installs `D^t` as `D^{t+1}`; we advance the logical
+    /// clock in both cases).
     pub fn execute(&self, db: &mut Database, tx: &Transaction) -> TxOutcome {
         let program = tx.debracket();
         let mut ctx = TxContext::begin(db);
         for stmt in program.statements() {
             if let Err(reason) = ctx.execute_statement(stmt) {
-                let stats = ctx.stats;
-                db.tick(); // abort installs D^t as D^{t+1}
+                ctx.rollback(); // undo the delta: re-install D^t as D^{t+1}
+                let stats = ctx.stats.clone();
+                db.tick();
                 return TxOutcome::Aborted { reason, stats };
             }
         }
-        // End bracket: remove temporaries, install [D^{t,n}] as D^{t+1}.
-        let TxContext { working, stats, .. } = ctx;
-        *db = working;
+        // End bracket: temporaries die with the context, the mutated
+        // working state is [D^{t,n}] — nothing to install, just tick.
+        let stats = ctx.stats.clone();
+        drop(ctx);
         db.tick();
         TxOutcome::Committed(stats)
     }

@@ -220,6 +220,21 @@ impl RelExpr {
     }
 }
 
+impl ScalarExpr {
+    /// All relation names referenced by aggregate/count subexpressions of
+    /// this scalar expression (deterministic order, duplicates removed) —
+    /// the scalar-level counterpart of [`RelExpr::referenced_relations`].
+    /// The executor uses it to discover which differential relations a
+    /// statement's predicates can read.
+    pub fn referenced_relations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        collect_scalar_relations(self, &mut out);
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|n| seen.insert(n.clone()));
+        out
+    }
+}
+
 fn collect_scalar_relations(e: &ScalarExpr, out: &mut Vec<String>) {
     match e {
         ScalarExpr::Agg(_, rel, _) => rel.collect_relations(out),

@@ -6,6 +6,7 @@
 //! [`EnforcementMode`]) before it runs on the main-memory executor of
 //! `tm-algebra`.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use tm_algebra::{ExecStats, Executor, Transaction, TxOutcome};
@@ -79,8 +80,10 @@ pub type ModStats = ModificationTrace;
 pub struct EngineOutcome {
     /// The executor's verdict (committed or aborted, with statistics).
     pub outcome: TxOutcome,
-    /// The transaction as actually executed (after modification).
-    pub modified: Transaction,
+    /// The transaction as actually executed, when `ModT` produced one;
+    /// `None` means the submitted transaction ran verbatim (`Off` mode) —
+    /// the no-op path keeps no copy of it.
+    pub modified: Option<Transaction>,
     /// Modification statistics.
     pub modification: ModStats,
 }
@@ -94,6 +97,12 @@ impl EngineOutcome {
     /// Executor statistics (statements run, alarms evaluated/fired, …).
     pub fn exec_stats(&self) -> &ExecStats {
         self.outcome.stats()
+    }
+
+    /// The modified transaction, or `None` when the submitted transaction
+    /// ran unchanged.
+    pub fn modified_transaction(&self) -> Option<&Transaction> {
+        self.modified.as_ref()
     }
 }
 
@@ -242,9 +251,12 @@ impl Engine {
     /// Run `ModT` on a transaction without executing it — useful for
     /// inspecting modifications (Example 5.1) and for benchmarks that
     /// isolate modification cost.
-    pub fn modify_only(&self, tx: &Transaction) -> Result<(Transaction, ModStats)> {
+    ///
+    /// Returns `Cow::Borrowed` when enforcement is `Off`: the no-op path
+    /// hands the submitted transaction straight back without copying it.
+    pub fn modify_only<'t>(&self, tx: &'t Transaction) -> Result<(Cow<'t, Transaction>, ModStats)> {
         match self.config.mode.selection() {
-            None => Ok((tx.clone(), ModStats::default())),
+            None => Ok((Cow::Borrowed(tx), ModStats::default())),
             Some(mode) => mod_t(
                 tx,
                 mode,
@@ -252,7 +264,8 @@ impl Engine {
                 self.catalog.programs(),
                 self.catalog.schema(),
                 self.config.max_rounds,
-            ),
+            )
+            .map(|(modified, stats)| (Cow::Owned(modified), stats)),
         }
     }
 
@@ -263,7 +276,10 @@ impl Engine {
         let outcome = self.executor.execute(&mut self.db, &modified);
         Ok(EngineOutcome {
             outcome,
-            modified,
+            modified: match modified {
+                Cow::Borrowed(_) => None, // ran verbatim, keep no copy
+                Cow::Owned(t) => Some(t),
+            },
             modification,
         })
     }
@@ -483,10 +499,30 @@ mod tests {
     #[test]
     fn modification_trace_exposed() {
         let e = engine(EnforcementMode::Static);
-        let (modified, stats) = e.modify_only(&good_tx()).unwrap();
+        let tx = good_tx();
+        let (modified, stats) = e.modify_only(&tx).unwrap();
         assert_eq!(stats.rounds, 1);
         assert_eq!(stats.rules_fired.len(), 2);
-        assert!(modified.len() > good_tx().len());
+        assert!(modified.len() > tx.len());
+        assert!(matches!(modified, Cow::Owned(_)));
+    }
+
+    #[test]
+    fn off_mode_modify_only_borrows() {
+        let e = beer_engine(EnforcementMode::Off);
+        let tx = good_tx();
+        let (modified, stats) = e.modify_only(&tx).unwrap();
+        assert!(
+            matches!(modified, Cow::Borrowed(_)),
+            "Off mode must not copy the transaction"
+        );
+        assert_eq!(stats.statements_appended, 0);
+        // And execution keeps no copy either.
+        let mut e = beer_engine(EnforcementMode::Off);
+        let out = e.execute(&tx).unwrap();
+        assert!(out.committed());
+        assert!(out.modified.is_none());
+        assert!(out.modified_transaction().is_none());
     }
 
     #[test]

@@ -127,8 +127,13 @@ impl FragmentedRelation {
     }
 
     /// Gather all fragments into one relation (the "de-fragmentation"
-    /// operator; used for verification, not on hot paths).
+    /// operator; used for verification, not on hot paths). A single-node
+    /// relation gathers as a copy-on-write clone of its one fragment —
+    /// no tuple movement at all.
     pub fn gather(&self) -> Relation {
+        if let [only] = self.fragments.as_slice() {
+            return only.clone();
+        }
         let mut out = Relation::with_capacity(self.schema.clone(), self.len());
         for f in &self.fragments {
             for t in f.iter() {

@@ -12,11 +12,15 @@ use crate::util::FxHashMap;
 /// A database state `D` of schema `𝒟`: one relation state per relation
 /// schema, plus the logical time `t` of Definition 2.3.
 ///
-/// Database states are value-like: cloning produces an independent state
-/// (tuple payloads are shared via [`Tuple`]'s `Arc`, so clones are cheap in
-/// proportion to relation count, not data volume). The transaction executor
-/// in `tm-algebra` relies on this to implement atomicity: it clones the
-/// state, runs the transaction on the clone, and installs or discards it.
+/// Database states are value-like: cloning produces an independent state.
+/// With [`Relation`]'s copy-on-write tuple storage a clone is
+/// O(#relations) reference-count bumps — no tuple set is copied until one
+/// side mutates it, and then only that relation's set. Holders of clones
+/// (engine snapshots, transition reporting, tests) therefore cost the
+/// writer at most one set copy per relation per outstanding clone, while
+/// the transaction executor in `tm-algebra` mutates the live state in
+/// place and restores it from its change records on abort — O(Δ), never a
+/// database copy.
 #[derive(Debug, Clone)]
 pub struct Database {
     schema: Arc<DatabaseSchema>,
@@ -98,6 +102,24 @@ impl Database {
             .relations()
             .iter()
             .map(move |rs| (rs.name(), &self.relations[rs.name()]))
+    }
+
+    /// Produce a state whose relation storage shares nothing with `self` —
+    /// every tuple set is physically copied (tuple payloads still share
+    /// their `Arc<[Value]>`, as tuple handles always do). This is the
+    /// pre-COW cost of one `Database::clone`; the `txn_throughput` bench
+    /// uses it as the retained `clone_snapshot` baseline, and tests use it
+    /// to build reference states that COW aliasing bugs cannot reach.
+    pub fn unshared_copy(&self) -> Database {
+        Database {
+            schema: self.schema.clone(),
+            relations: self
+                .relations
+                .iter()
+                .map(|(name, rel)| (name.clone(), rel.unshared_copy()))
+                .collect(),
+            logical_time: self.logical_time,
+        }
     }
 
     /// State equality disregarding logical time — two states are the same
@@ -211,6 +233,37 @@ mod tests {
         after.tick();
         let t = Transition::new(before, after);
         assert!(t.is_identity());
+    }
+
+    #[test]
+    fn clone_shares_per_relation_cow_storage() {
+        let mut d = db();
+        d.insert("beer", beer_tuple("a")).unwrap();
+        let snapshot = d.clone();
+        for (name, rel) in d.iter() {
+            assert!(rel.shares_storage(snapshot.relation(name).unwrap()));
+        }
+        // Touching one relation unshares only that relation.
+        d.insert("beer", beer_tuple("b")).unwrap();
+        assert!(!d
+            .relation("beer")
+            .unwrap()
+            .shares_storage(snapshot.relation("beer").unwrap()));
+        assert!(d
+            .relation("brewery")
+            .unwrap()
+            .shares_storage(snapshot.relation("brewery").unwrap()));
+    }
+
+    #[test]
+    fn unshared_copy_shares_nothing() {
+        let mut d = db();
+        d.insert("beer", beer_tuple("a")).unwrap();
+        let copy = d.unshared_copy();
+        assert!(d.state_eq(&copy));
+        for (name, rel) in d.iter() {
+            assert!(!rel.shares_storage(copy.relation(name).unwrap()));
+        }
     }
 
     #[test]

@@ -18,10 +18,15 @@ use crate::tuple::Tuple;
 use crate::util::FxHashMap;
 
 /// A bag of tuples: each distinct tuple carries a multiplicity ≥ 1.
+///
+/// Like [`Relation`], the multiplicity map is copy-on-write behind an
+/// [`Arc`]: cloning a bag is a reference-count bump, and the first
+/// mutation of a shared bag pays one map copy. Removals of absent tuples
+/// never unshare.
 #[derive(Debug, Clone)]
 pub struct Multiset {
     schema: Arc<RelationSchema>,
-    counts: FxHashMap<Tuple, u64>,
+    counts: Arc<FxHashMap<Tuple, u64>>,
     total: u64,
 }
 
@@ -30,7 +35,7 @@ impl Multiset {
     pub fn empty(schema: Arc<RelationSchema>) -> Self {
         Multiset {
             schema,
-            counts: FxHashMap::default(),
+            counts: Arc::new(FxHashMap::default()),
             total: 0,
         }
     }
@@ -56,7 +61,7 @@ impl Multiset {
         Multiset {
             schema: rel.schema().clone(),
             total: counts.len() as u64,
-            counts,
+            counts: Arc::new(counts),
         }
     }
 
@@ -89,10 +94,7 @@ impl Multiset {
 
     /// Insert one occurrence of `tuple` after schema validation.
     pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
-        self.schema.validate_tuple(&tuple)?;
-        *self.counts.entry(tuple).or_insert(0) += 1;
-        self.total += 1;
-        Ok(())
+        self.insert_n(tuple, 1)
     }
 
     /// Insert `n` occurrences of `tuple` after schema validation.
@@ -101,31 +103,35 @@ impl Multiset {
             return Ok(());
         }
         self.schema.validate_tuple(&tuple)?;
-        *self.counts.entry(tuple).or_insert(0) += n;
+        *Arc::make_mut(&mut self.counts).entry(tuple).or_insert(0) += n;
         self.total += n;
         Ok(())
     }
 
     /// Remove one occurrence; returns `true` if the tuple was present.
+    /// Removing an absent tuple from a shared bag does not unshare it.
     pub fn remove_one(&mut self, tuple: &Tuple) -> bool {
-        match self.counts.get_mut(tuple) {
-            Some(c) if *c > 1 => {
-                *c -= 1;
-                self.total -= 1;
-                true
-            }
-            Some(_) => {
-                self.counts.remove(tuple);
-                self.total -= 1;
-                true
-            }
-            None => false,
+        if !self.counts.contains_key(tuple) {
+            return false;
         }
+        let counts = Arc::make_mut(&mut self.counts);
+        match counts.get_mut(tuple) {
+            Some(c) if *c > 1 => *c -= 1,
+            _ => {
+                counts.remove(tuple);
+            }
+        }
+        self.total -= 1;
+        true
     }
 
-    /// Remove all occurrences; returns the removed multiplicity.
+    /// Remove all occurrences; returns the removed multiplicity. Removing
+    /// an absent tuple from a shared bag does not unshare it.
     pub fn remove_all(&mut self, tuple: &Tuple) -> u64 {
-        match self.counts.remove(tuple) {
+        if !self.counts.contains_key(tuple) {
+            return 0;
+        }
+        match Arc::make_mut(&mut self.counts).remove(tuple) {
             Some(c) => {
                 self.total -= c;
                 c
@@ -136,9 +142,13 @@ impl Multiset {
 
     /// Bag union: multiplicities add.
     pub fn union(&self, other: &Multiset) -> Multiset {
+        if other.is_empty() {
+            return self.clone(); // shares storage
+        }
         let mut out = self.clone();
-        for (t, &c) in &other.counts {
-            *out.counts.entry(t.clone()).or_insert(0) += c;
+        let counts = Arc::make_mut(&mut out.counts);
+        for (t, &c) in other.counts.iter() {
+            *counts.entry(t.clone()).or_insert(0) += c;
         }
         out.total += other.total;
         out
@@ -146,28 +156,41 @@ impl Multiset {
 
     /// Bag difference: multiplicities subtract, clamped at zero (monus).
     pub fn difference(&self, other: &Multiset) -> Multiset {
-        let mut out = Multiset::empty(self.schema.clone());
-        for (t, &c) in &self.counts {
+        if other.is_empty() {
+            return self.clone(); // shares storage
+        }
+        let mut counts = FxHashMap::default();
+        let mut total = 0;
+        for (t, &c) in self.counts.iter() {
             let oc = other.multiplicity(t);
             if c > oc {
-                out.counts.insert(t.clone(), c - oc);
-                out.total += c - oc;
+                counts.insert(t.clone(), c - oc);
+                total += c - oc;
             }
         }
-        out
+        Multiset {
+            schema: self.schema.clone(),
+            counts: Arc::new(counts),
+            total,
+        }
     }
 
     /// Bag intersection: pointwise minimum of multiplicities.
     pub fn intersect(&self, other: &Multiset) -> Multiset {
-        let mut out = Multiset::empty(self.schema.clone());
-        for (t, &c) in &self.counts {
+        let mut counts = FxHashMap::default();
+        let mut total = 0;
+        for (t, &c) in self.counts.iter() {
             let m = c.min(other.multiplicity(t));
             if m > 0 {
-                out.counts.insert(t.clone(), m);
-                out.total += m;
+                counts.insert(t.clone(), m);
+                total += m;
             }
         }
-        out
+        Multiset {
+            schema: self.schema.clone(),
+            counts: Arc::new(counts),
+            total,
+        }
     }
 
     /// Collapse to set semantics (duplicate elimination).
@@ -193,7 +216,14 @@ impl Multiset {
 
     /// Bag equality: same multiplicities for all tuples.
     pub fn bag_eq(&self, other: &Multiset) -> bool {
-        self.total == other.total && self.counts == other.counts
+        self.total == other.total
+            && (Arc::ptr_eq(&self.counts, &other.counts) || self.counts == other.counts)
+    }
+
+    /// Whether two bags share the same physical multiplicity map (COW
+    /// aliasing probe, mirroring [`Relation::shares_storage`]).
+    pub fn shares_storage(&self, other: &Multiset) -> bool {
+        Arc::ptr_eq(&self.counts, &other.counts)
     }
 }
 
@@ -308,5 +338,28 @@ mod tests {
     fn bag_equality() {
         assert!(bag(&[1, 1, 2]).bag_eq(&bag(&[2, 1, 1])));
         assert!(!bag(&[1, 2]).bag_eq(&bag(&[1, 1, 2])));
+    }
+
+    #[test]
+    fn clone_is_cow() {
+        let mut a = bag(&[1, 1, 2]);
+        let b = a.clone();
+        assert!(a.shares_storage(&b));
+        // Absent removals keep sharing; a real mutation unshares.
+        assert!(!a.remove_one(&Tuple::of((9,))));
+        assert_eq!(a.remove_all(&Tuple::of((9,))), 0);
+        assert!(a.shares_storage(&b));
+        a.insert(Tuple::of((1,))).unwrap();
+        assert!(!a.shares_storage(&b));
+        assert_eq!(b.multiplicity(&Tuple::of((1,))), 2);
+        assert_eq!(a.multiplicity(&Tuple::of((1,))), 3);
+    }
+
+    #[test]
+    fn union_difference_with_empty_share() {
+        let a = bag(&[1, 2]);
+        let empty = Multiset::empty(schema());
+        assert!(a.union(&empty).shares_storage(&a));
+        assert!(a.difference(&empty).shares_storage(&a));
     }
 }

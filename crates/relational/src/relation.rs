@@ -1,12 +1,20 @@
 //! Relation states — sets of tuples (Definition 2.1).
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::error::Result;
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
 use crate::util::{fx_set_with_capacity, FxHashSet};
+
+/// The one empty tuple set every freshly created empty relation points at.
+/// Empty relations are created constantly (differentials, operator
+/// outputs), so they share a single allocation until first mutation.
+fn shared_empty() -> Arc<FxHashSet<Tuple>> {
+    static EMPTY: OnceLock<Arc<FxHashSet<Tuple>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(FxHashSet::default())).clone()
+}
 
 /// A relation state `R`: the name of its schema plus a *set* of tuples in
 /// `dom(R)` (Definition 2.1). Set semantics follow the paper; the bag
@@ -15,10 +23,21 @@ use crate::util::{fx_set_with_capacity, FxHashSet};
 /// The schema is shared behind an [`Arc`] because many relation states of
 /// the same schema coexist (committed state, pre-transaction snapshot,
 /// differentials, intermediate results).
+///
+/// The tuple set is **copy-on-write**: it also lives behind an [`Arc`], so
+/// cloning a relation — and hence cloning a whole [`crate::Database`] for
+/// a snapshot, a transition report, or a pre-state reconstruction — is a
+/// reference-count bump regardless of cardinality. The first genuine
+/// mutation of a shared state unshares it with [`Arc::make_mut`] (one
+/// full set copy, paid once per outstanding clone); mutations that would
+/// not change the set (inserting a present tuple, removing an absent one)
+/// are detected *before* unsharing and never copy anything. Relations no
+/// clone-holder touches share storage forever — [`Relation::shares_storage`]
+/// makes that observable for tests.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Arc<RelationSchema>,
-    tuples: FxHashSet<Tuple>,
+    tuples: Arc<FxHashSet<Tuple>>,
 }
 
 impl Relation {
@@ -26,7 +45,7 @@ impl Relation {
     pub fn empty(schema: Arc<RelationSchema>) -> Self {
         Relation {
             schema,
-            tuples: FxHashSet::default(),
+            tuples: shared_empty(),
         }
     }
 
@@ -34,7 +53,7 @@ impl Relation {
     pub fn with_capacity(schema: Arc<RelationSchema>, cap: usize) -> Self {
         Relation {
             schema,
-            tuples: fx_set_with_capacity(cap),
+            tuples: Arc::new(fx_set_with_capacity(cap)),
         }
     }
 
@@ -79,24 +98,57 @@ impl Relation {
     /// `true` when the tuple was not already present.
     pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
         self.schema.validate_tuple(&tuple)?;
-        Ok(self.tuples.insert(tuple))
+        Ok(self.insert_inner(tuple))
     }
 
     /// Insert a tuple that is already known to satisfy the schema
     /// (operator-internal fast path; debug builds still assert validity).
     pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
         debug_assert!(self.schema.validate_tuple(&tuple).is_ok());
-        self.tuples.insert(tuple)
+        self.insert_inner(tuple)
     }
 
-    /// Remove a tuple; returns `true` when it was present.
+    fn insert_inner(&mut self, tuple: Tuple) -> bool {
+        match Arc::get_mut(&mut self.tuples) {
+            // Uniquely owned: mutate in place, exactly the pre-COW cost.
+            Some(set) => set.insert(tuple),
+            // Shared: a duplicate insert must not pay the unsharing copy.
+            None => {
+                if self.tuples.contains(&tuple) {
+                    false
+                } else {
+                    Arc::make_mut(&mut self.tuples).insert(tuple)
+                }
+            }
+        }
+    }
+
+    /// Remove a tuple; returns `true` when it was present. Removing an
+    /// absent tuple from a shared state does not unshare it.
     pub fn remove(&mut self, tuple: &Tuple) -> bool {
-        self.tuples.remove(tuple)
+        match Arc::get_mut(&mut self.tuples) {
+            Some(set) => set.remove(tuple),
+            None => {
+                if self.tuples.contains(tuple) {
+                    Arc::make_mut(&mut self.tuples).remove(tuple)
+                } else {
+                    false
+                }
+            }
+        }
     }
 
-    /// Remove all tuples.
+    /// Remove all tuples. A shared state is simply repointed at the shared
+    /// empty set — the previous contents are never copied just to be
+    /// discarded.
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        if self.tuples.is_empty() {
+            return;
+        }
+        match Arc::get_mut(&mut self.tuples) {
+            Some(set) => set.clear(), // keep the allocation when private
+            None => self.tuples = shared_empty(),
+        }
     }
 
     /// Iterate over the tuples (arbitrary order).
@@ -115,12 +167,28 @@ impl Relation {
     /// Set equality with another relation state of a union-compatible
     /// schema.
     pub fn set_eq(&self, other: &Relation) -> bool {
-        self.schema.union_compatible(other.schema()) && self.tuples == other.tuples
+        self.schema.union_compatible(other.schema())
+            && (Arc::ptr_eq(&self.tuples, &other.tuples) || self.tuples == other.tuples)
     }
 
-    /// Retain tuples satisfying a predicate (used by delete).
-    pub fn retain(&mut self, f: impl FnMut(&Tuple) -> bool) {
-        self.tuples.retain(f);
+    /// Retain tuples satisfying a predicate (used by delete). When the
+    /// state is shared and nothing would be removed, it stays shared.
+    pub fn retain(&mut self, mut f: impl FnMut(&Tuple) -> bool) {
+        if let Some(set) = Arc::get_mut(&mut self.tuples) {
+            set.retain(f);
+            return;
+        }
+        // Shared: find the doomed tuples first (cheap Arc-handle clones),
+        // unshare only when there is something to remove. The predicate
+        // still runs exactly once per tuple.
+        let doomed: Vec<Tuple> = self.tuples.iter().filter(|t| !f(t)).cloned().collect();
+        if doomed.is_empty() {
+            return;
+        }
+        let set = Arc::make_mut(&mut self.tuples);
+        for t in &doomed {
+            set.remove(t);
+        }
     }
 
     /// Replace this state with `other`'s — tuples **and** schema. The
@@ -139,23 +207,48 @@ impl Relation {
             other.schema()
         );
         self.schema = other.schema.clone();
+        // COW: assignment shares the source's storage (refcount bump).
         self.tuples = other.tuples.clone();
     }
 
-    /// Consume the relation and return its tuple set.
+    /// Consume the relation and return its tuple set (copies only when the
+    /// storage is still shared with another state).
     pub fn into_tuples(self) -> FxHashSet<Tuple> {
-        self.tuples
+        Arc::try_unwrap(self.tuples).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Borrow the underlying tuple set.
     pub fn tuples(&self) -> &FxHashSet<Tuple> {
         &self.tuples
     }
+
+    /// Whether two relation states share the same physical tuple storage —
+    /// the observable guarantee of the copy-on-write layout. True for a
+    /// fresh clone (or any chain of clones none of which was mutated);
+    /// false as soon as either side unshares. Sharing implies set
+    /// equality, never the converse.
+    pub fn shares_storage(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.tuples, &other.tuples)
+    }
+
+    /// Produce a private deep copy whose tuple set shares nothing with
+    /// `self` (the tuples themselves still share their `Arc<[Value]>`
+    /// payloads, as all tuple handles do). This is exactly the per-relation
+    /// cost the executor paid on *every* transaction begin before the COW
+    /// layout — retained as the honest baseline for the `txn_throughput`
+    /// benchmark and for callers that genuinely need unaliased storage.
+    pub fn unshared_copy(&self) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            tuples: Arc::new((*self.tuples).clone()),
+        }
+    }
 }
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.schema == other.schema && self.tuples == other.tuples
+        self.schema == other.schema
+            && (Arc::ptr_eq(&self.tuples, &other.tuples) || self.tuples == other.tuples)
     }
 }
 
@@ -273,5 +366,87 @@ mod tests {
         let mut a = Relation::empty(schema());
         let b = Relation::empty(Arc::new(RelationSchema::of("q", &[("n", ValueType::Int)])));
         a.assign_from(&b);
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutation() {
+        let mut a = Relation::from_tuples(schema(), vec![Tuple::of((1, "x"))]).unwrap();
+        let b = a.clone();
+        assert!(a.shares_storage(&b));
+        a.insert(Tuple::of((2, "y"))).unwrap();
+        assert!(!a.shares_storage(&b), "mutation must unshare");
+        assert_eq!(b.len(), 1, "clone unaffected by mutation");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn noop_mutations_keep_sharing() {
+        let mut a = Relation::from_tuples(schema(), vec![Tuple::of((1, "x"))]).unwrap();
+        let b = a.clone();
+        // Duplicate insert, absent remove, all-true retain: none unshares.
+        assert!(!a.insert(Tuple::of((1, "x"))).unwrap());
+        assert!(!a.remove(&Tuple::of((9, "z"))));
+        a.retain(|_| true);
+        assert!(a.shares_storage(&b));
+    }
+
+    #[test]
+    fn shared_retain_removes_without_touching_clone() {
+        let mut a = Relation::from_tuples(schema(), vec![Tuple::of((1, "x")), Tuple::of((2, "y"))])
+            .unwrap();
+        let b = a.clone();
+        a.retain(|t| t.get(0) == Some(&Value::Int(1)));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert!(!a.shares_storage(&b));
+    }
+
+    #[test]
+    fn clear_on_shared_state_repoints_not_copies() {
+        let mut a = Relation::from_tuples(schema(), vec![Tuple::of((1, "x"))]).unwrap();
+        let b = a.clone();
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(b.len(), 1);
+        // Two independently cleared/created empties share the one global
+        // empty set.
+        assert!(a.shares_storage(&Relation::empty(schema())));
+    }
+
+    #[test]
+    fn empty_relations_share_the_global_empty() {
+        let a = Relation::empty(schema());
+        let b = Relation::empty(Arc::new(RelationSchema::of("q", &[("n", ValueType::Int)])));
+        assert!(a.shares_storage(&b));
+    }
+
+    #[test]
+    fn assign_from_shares_source_storage() {
+        let mut a = Relation::empty(schema());
+        let b = Relation::from_tuples(schema(), vec![Tuple::of((2, "y"))]).unwrap();
+        a.assign_from(&b);
+        assert!(a.shares_storage(&b));
+    }
+
+    #[test]
+    fn unshared_copy_is_deep() {
+        let a = Relation::from_tuples(schema(), vec![Tuple::of((1, "x"))]).unwrap();
+        let b = a.unshared_copy();
+        assert_eq!(a, b);
+        assert!(!a.shares_storage(&b));
+    }
+
+    #[test]
+    fn into_tuples_shared_and_unique() {
+        let a = Relation::from_tuples(schema(), vec![Tuple::of((1, "x"))]).unwrap();
+        let b = a.clone();
+        // Shared: consuming one copies, leaving the other intact.
+        let set = a.into_tuples();
+        assert_eq!(set.len(), 1);
+        assert_eq!(b.len(), 1);
+        // Unique: consuming moves without a copy (observable only as
+        // correctness here).
+        let set = b.into_tuples();
+        assert_eq!(set.len(), 1);
     }
 }

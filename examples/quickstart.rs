@@ -55,11 +55,13 @@ fn main() {
     println!("bad transaction:  {outcome}");
     assert!(!outcome.committed());
 
-    // 6. Inspect what the subsystem actually executed.
-    println!(
-        "\nthe violating transaction was rewritten to:\n{}",
-        outcome.modified
-    );
+    // 6. Inspect what the subsystem actually executed (present whenever
+    //    enforcement is on; `None` only in `Off` mode, which runs the
+    //    transaction verbatim without keeping a copy).
+    let rewritten = outcome
+        .modified_transaction()
+        .expect("enforcement is on, so ModT produced a transaction");
+    println!("\nthe violating transaction was rewritten to:\n{rewritten}");
 
     // 7. The database holds exactly the one good beer.
     let beers = engine.relation("beer").expect("beer exists");

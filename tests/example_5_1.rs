@@ -45,7 +45,8 @@ fn example_tx() -> tm_algebra::Transaction {
 #[test]
 fn modified_transaction_matches_paper() {
     let e = engine(EnforcementMode::Static);
-    let (modified, trace) = e.modify_only(&example_tx()).unwrap();
+    let tx = example_tx();
+    let (modified, trace) = e.modify_only(&tx).unwrap();
     let expected = "\
 begin
   insert(beer, {(\"exportgold\", \"stout\", \"guineken\", 6)});
@@ -83,8 +84,9 @@ fn modified_transaction_is_guaranteed_correct() {
 fn dynamic_and_static_modes_produce_identical_modifications() {
     let d = engine(EnforcementMode::Dynamic);
     let s = engine(EnforcementMode::Static);
-    let (mod_d, _) = d.modify_only(&example_tx()).unwrap();
-    let (mod_s, _) = s.modify_only(&example_tx()).unwrap();
+    let tx = example_tx();
+    let (mod_d, _) = d.modify_only(&tx).unwrap();
+    let (mod_s, _) = s.modify_only(&tx).unwrap();
     assert_eq!(mod_d, mod_s);
 }
 
