@@ -66,6 +66,20 @@ impl TransactionBuilder {
         self.insert(relation, RelExpr::Literal(tuples))
     }
 
+    /// Append an insert of one computed row — the parameterized
+    /// tuple-literal form: `insert(R, row(e0, e1, …))`. Expressions may
+    /// contain parameter placeholders (`ScalarExpr::param`).
+    pub fn insert_row(self, relation: impl Into<String>, exprs: Vec<ScalarExpr>) -> Self {
+        self.insert(relation, RelExpr::Singleton(exprs))
+    }
+
+    /// Append an insert of the fully parameterized row
+    /// `row(?0, …, ?(arity-1))` — the template of a prepared single-row
+    /// insert.
+    pub fn insert_params(self, relation: impl Into<String>, arity: usize) -> Self {
+        self.insert_row(relation, ScalarExpr::params(arity))
+    }
+
     /// Append `delete(relation, source)`.
     pub fn delete(mut self, relation: impl Into<String>, source: RelExpr) -> Self {
         self.statements.push(Statement::Delete {
@@ -78,6 +92,18 @@ impl TransactionBuilder {
     /// Append a delete of a single literal tuple.
     pub fn delete_tuple(self, relation: impl Into<String>, tuple: Tuple) -> Self {
         self.delete(relation, RelExpr::Literal(vec![tuple]))
+    }
+
+    /// Append a delete of one computed row (the parameterized counterpart
+    /// of [`TransactionBuilder::delete_tuple`]).
+    pub fn delete_row(self, relation: impl Into<String>, exprs: Vec<ScalarExpr>) -> Self {
+        self.delete(relation, RelExpr::Singleton(exprs))
+    }
+
+    /// Append a delete of the fully parameterized row
+    /// `row(?0, …, ?(arity-1))`.
+    pub fn delete_params(self, relation: impl Into<String>, arity: usize) -> Self {
+        self.delete_row(relation, ScalarExpr::params(arity))
     }
 
     /// Append `delete(R, σ_pred(R))`.

@@ -38,6 +38,10 @@ pub enum AlgebraError {
         /// Right operand schema rendering.
         right: String,
     },
+    /// A parameter placeholder `?i` was evaluated without a binding for
+    /// it — the transaction is a template that must be bound (or the
+    /// binding is too short) before it can execute.
+    UnboundParam(usize),
     /// A statement targeted an auxiliary relation (they are read-only).
     AuxiliaryUpdate(String),
     /// Assignment target collides with a base relation name.
@@ -68,6 +72,9 @@ impl fmt::Display for AlgebraError {
             }
             AlgebraError::NotUnionCompatible { left, right } => {
                 write!(f, "not union-compatible: {left} vs {right}")
+            }
+            AlgebraError::UnboundParam(i) => {
+                write!(f, "parameter placeholder `?{i}` has no bound value")
             }
             AlgebraError::AuxiliaryUpdate(name) => {
                 write!(f, "auxiliary relation `{name}` is read-only")

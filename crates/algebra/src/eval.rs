@@ -48,6 +48,15 @@ pub trait SchemaView {
 pub trait EvalContext: SchemaView {
     /// The current state of relation `name`.
     fn relation_state(&self, name: &str) -> Result<&Relation>;
+
+    /// The value bound to parameter placeholder `?i`, if any. The default
+    /// is an unbound context: evaluating [`ScalarExpr::Param`] against it
+    /// raises [`AlgebraError::UnboundParam`] — a transaction template
+    /// cannot execute without a binding. The transaction executor
+    /// overrides this with the binding it was given.
+    fn param(&self, _i: usize) -> Option<&Value> {
+        None
+    }
 }
 
 impl SchemaView for Database {
@@ -80,6 +89,7 @@ pub fn eval_scalar_with(
 ) -> Result<Value> {
     match expr {
         ScalarExpr::Const(v) => Ok(v.clone()),
+        ScalarExpr::Param(i) => ctx.param(*i).cloned().ok_or(AlgebraError::UnboundParam(*i)),
         ScalarExpr::Col(i) => tuple
             .get(*i)
             .cloned()
@@ -134,6 +144,32 @@ pub fn eval_scalar_with(
             let input = evaluate_with(rel, ctx, strategy)?;
             Ok(Value::Int(input.len() as i64))
         }
+    }
+}
+
+/// [`ScalarExpr::infer_type`] made binding-aware: a placeholder's type is
+/// that of its bound value (statically it is unknowable and defaults to
+/// `Int`, which would mistype derived schemas under a binding — e.g.
+/// `project[?0]` of a string parameter must yield a `Str` column, exactly
+/// as the substituted-constant form would). Only `Param` and the `Arith`
+/// spine above it need the context; every other node's type is
+/// binding-independent.
+fn infer_type_bound(e: &ScalarExpr, cols: &[ValueType], ctx: &impl EvalContext) -> ValueType {
+    match e {
+        ScalarExpr::Param(i) => ctx
+            .param(*i)
+            .and_then(Value::value_type)
+            .unwrap_or(ValueType::Int),
+        ScalarExpr::Arith(_, l, r) => {
+            if infer_type_bound(l, cols, ctx) == ValueType::Double
+                || infer_type_bound(r, cols, ctx) == ValueType::Double
+            {
+                ValueType::Double
+            } else {
+                ValueType::Int
+            }
+        }
+        _ => e.infer_type(cols),
     }
 }
 
@@ -325,7 +361,9 @@ pub fn evaluate_with(
                     exprs
                         .iter()
                         .enumerate()
-                        .map(|(i, e)| Attribute::new(format!("c{i}"), e.infer_type(&in_types)))
+                        .map(|(i, e)| {
+                            Attribute::new(format!("c{i}"), infer_type_bound(e, &in_types, ctx))
+                        })
                         .collect(),
                 )
                 .expect("generated names are unique"),

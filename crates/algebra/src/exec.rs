@@ -53,7 +53,7 @@ use std::sync::Arc;
 
 use tm_relational::{
     auxiliary::{self, AuxKind},
-    Database, Relation, RelationSchema, Tuple,
+    Database, Relation, RelationSchema, Tuple, Value,
 };
 
 use crate::error::{AlgebraError, Result};
@@ -149,6 +149,11 @@ impl fmt::Display for AbortReason {
 /// of an untouched relation is a copy-on-write clone of `R` itself).
 pub struct TxContext<'db> {
     working: &'db mut Database,
+    /// The parameter binding of this execution; placeholder `?i` resolves
+    /// to `params[i]`. Empty for ground (non-prepared) transactions, in
+    /// which case any remaining placeholder aborts the transaction with
+    /// [`AlgebraError::UnboundParam`].
+    params: &'db [Value],
     /// Lazily reconstructed pre-transaction states, `(R − R@ins) ∪ R@del`
     /// at first reference (backs `R@pre`; immutable once cached).
     pre: FxHashMap<String, Relation>,
@@ -163,8 +168,15 @@ impl<'db> TxContext<'db> {
     /// no copies at all; the state is mutated in place and
     /// [`TxContext::rollback`] undoes every recorded change on abort.
     pub fn begin(db: &'db mut Database) -> TxContext<'db> {
+        TxContext::begin_bound(db, &[])
+    }
+
+    /// Open a transaction context with a parameter binding: placeholder
+    /// `?i` in any evaluated expression resolves to `params[i]`.
+    pub fn begin_bound(db: &'db mut Database, params: &'db [Value]) -> TxContext<'db> {
         TxContext {
             working: db,
+            params,
             pre: FxHashMap::default(),
             temps: FxHashMap::default(),
             ins: FxHashMap::default(),
@@ -220,32 +232,16 @@ impl<'db> TxContext<'db> {
         })
     }
 
-    /// Materialize the auxiliary entries a statement's expressions can
-    /// read, so `relation_state` never has to answer for an absent entry.
-    /// Cost is proportional to the statement's size plus the pre-states it
-    /// actually names: only auxiliaries the statement *mentions* are
-    /// allocated, once per transaction. `R@pre` of an untouched relation
+    /// Materialize the auxiliary entries named by `refs` (computed by
+    /// [`statement_aux_refs`], either just-in-time or once at
+    /// [`ExecPlan::compile`] time), so `relation_state` never has to
+    /// answer for an absent entry. Cost is proportional to the number of
+    /// auxiliaries named plus the pre-states among them: entries are
+    /// allocated once per transaction. `R@pre` of an untouched relation
     /// is a copy-on-write clone of `R`; for an already-modified relation
     /// it is reconstructed as `(R − R@ins) ∪ R@del` (one set copy).
-    fn ensure_differentials(&mut self, stmt: &Statement) {
-        let mut names = match stmt {
-            Statement::Assign { expr, .. } | Statement::Alarm(expr) => expr.referenced_relations(),
-            Statement::Insert { source, .. } | Statement::Delete { source, .. } => {
-                source.referenced_relations()
-            }
-            Statement::Update { pred, set, .. } => {
-                let mut v = pred.referenced_relations();
-                for a in set {
-                    v.extend(a.value.referenced_relations());
-                }
-                v
-            }
-            Statement::Abort => Vec::new(),
-        };
-        for name in names.drain(..) {
-            let Some((base, kind)) = auxiliary::parse_auxiliary(&name) else {
-                continue;
-            };
+    fn ensure_aux(&mut self, refs: &[(String, AuxKind)]) {
+        for (base, kind) in refs {
             // Unknown bases are left absent everywhere; the read path
             // reports the error exactly as before.
             let Ok(rel) = self.working.relation(base) else {
@@ -260,7 +256,7 @@ impl<'db> TxContext<'db> {
                     Self::delta_relation(&mut self.del, schema, base, AuxKind::Del);
                 }
                 AuxKind::Pre => {
-                    if self.pre.contains_key(base) {
+                    if self.pre.contains_key(base.as_str()) {
                         continue;
                     }
                     // Reconstruct the begin state from the live state and
@@ -269,8 +265,12 @@ impl<'db> TxContext<'db> {
                     // statement boundary by the differential invariants,
                     // and cached because the begin state never changes.
                     let mut pre = rel.clone();
-                    apply_inverse_delta(&mut pre, self.ins.get(base), self.del.get(base));
-                    self.pre.insert(base.to_owned(), pre);
+                    apply_inverse_delta(
+                        &mut pre,
+                        self.ins.get(base.as_str()),
+                        self.del.get(base.as_str()),
+                    );
+                    self.pre.insert(base.clone(), pre);
                 }
             }
         }
@@ -309,12 +309,22 @@ impl<'db> TxContext<'db> {
         self.stats.tuples_deleted += 1;
     }
 
-    /// Execute one statement against the working state. `Ok(true)` means
-    /// continue; `Ok(false)` never occurs (aborts are signalled through
-    /// `Err(ControlFlow)` wrapped as `AbortReason` by the caller).
-    fn execute_statement(&mut self, stmt: &Statement) -> std::result::Result<(), AbortReason> {
+    /// Execute one statement against the working state. `aux` is the
+    /// statement's auxiliary-reference analysis when the caller holds a
+    /// compiled [`ExecPlan`]; `None` computes it just in time.
+    fn execute_statement(
+        &mut self,
+        stmt: &Statement,
+        aux: Option<&[(String, AuxKind)]>,
+    ) -> std::result::Result<(), AbortReason> {
         self.stats.statements += 1;
-        self.ensure_differentials(stmt);
+        match aux {
+            Some(refs) => self.ensure_aux(refs),
+            None => {
+                let refs = statement_aux_refs(stmt);
+                self.ensure_aux(&refs);
+            }
+        }
         match stmt {
             Statement::Assign { target, expr } => self.run(|ctx| {
                 if ctx.working.schema().contains(target) {
@@ -333,19 +343,24 @@ impl<'db> TxContext<'db> {
                 }
                 let src = evaluate(source, ctx)?;
                 let target_schema = ctx.working.relation(relation)?.schema().clone();
-                let mut added: Vec<Tuple> = Vec::new();
                 for t in src.iter() {
                     target_schema.validate_tuple(t)?;
-                    added.push(t.clone());
                 }
-                for t in added {
-                    if ctx
-                        .working
-                        .relation_mut(relation)?
-                        .insert_unchecked(t.clone())
-                    {
-                        ctx.note_insert(relation, &t);
+                // Bulk apply: borrow the target once — one name lookup and
+                // at most one COW unshare for the whole statement (this is
+                // the path view refresh materialization takes too) — then
+                // record the net differential changes.
+                let mut inserted: Vec<Tuple> = Vec::new();
+                {
+                    let rel = ctx.working.relation_mut(relation)?;
+                    for t in src.iter() {
+                        if rel.insert_unchecked(t.clone()) {
+                            inserted.push(t.clone());
+                        }
                     }
+                }
+                for t in &inserted {
+                    ctx.note_insert(relation, t);
                 }
                 Ok(())
             }),
@@ -354,26 +369,25 @@ impl<'db> TxContext<'db> {
                     return Err(AlgebraError::AuxiliaryUpdate(relation.clone()));
                 }
                 let src = evaluate(source, ctx)?;
-                let removed: Vec<Tuple> = src
-                    .iter()
-                    .filter(|t| {
-                        ctx.working
-                            .relation(relation)
-                            .map(|r| r.contains(t))
-                            .unwrap_or(false)
-                    })
-                    .cloned()
-                    .collect();
                 // Arity mismatches surface as "tuple not present" under set
                 // semantics; validate explicitly for a better error.
                 let target_schema = ctx.working.relation(relation)?.schema().clone();
                 for t in src.iter() {
                     target_schema.validate_tuple(t)?;
                 }
-                for t in removed {
-                    if ctx.working.relation_mut(relation)?.remove(&t) {
-                        ctx.note_delete(relation, &t);
+                // Bulk apply with a single borrow of the target, as for
+                // insert above.
+                let mut removed: Vec<Tuple> = Vec::new();
+                {
+                    let rel = ctx.working.relation_mut(relation)?;
+                    for t in src.iter() {
+                        if rel.remove(t) {
+                            removed.push(t.clone());
+                        }
                     }
+                }
+                for t in &removed {
+                    ctx.note_delete(relation, t);
                 }
                 Ok(())
             }),
@@ -461,6 +475,81 @@ impl<'db> TxContext<'db> {
     }
 }
 
+/// The auxiliary relations a statement's expressions can read, as
+/// `(base, kind)` pairs. This is the analysis `TxContext` needs before a
+/// statement runs; [`ExecPlan::compile`] precomputes it once per statement
+/// so repeated executions of a prepared transaction skip the expression
+/// walk (and its string allocations) entirely.
+pub fn statement_aux_refs(stmt: &Statement) -> Vec<(String, AuxKind)> {
+    let names = match stmt {
+        Statement::Assign { expr, .. } | Statement::Alarm(expr) => expr.referenced_relations(),
+        Statement::Insert { source, .. } | Statement::Delete { source, .. } => {
+            source.referenced_relations()
+        }
+        Statement::Update { pred, set, .. } => {
+            let mut v = pred.referenced_relations();
+            for a in set {
+                v.extend(a.value.referenced_relations());
+            }
+            v
+        }
+        Statement::Abort => Vec::new(),
+    };
+    names
+        .into_iter()
+        .filter_map(|name| {
+            auxiliary::parse_auxiliary(&name).map(|(base, kind)| (base.to_owned(), kind))
+        })
+        .collect()
+}
+
+/// A compiled execution plan: a transaction template together with the
+/// per-statement auxiliary-reference analysis and its parameter count,
+/// both computed once. Executing through a plan
+/// ([`Executor::execute_plan`]) does no per-execution analysis of the
+/// transaction — the engine's prepared-transaction surface (`txmod`)
+/// builds one `ExecPlan` per prepared statement and reuses it for every
+/// binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPlan {
+    tx: Transaction,
+    aux: Vec<Vec<(String, AuxKind)>>,
+    param_count: usize,
+}
+
+impl ExecPlan {
+    /// Compile a transaction into a plan (one walk over its statements).
+    pub fn compile(tx: Transaction) -> ExecPlan {
+        let aux = tx
+            .debracket()
+            .statements()
+            .iter()
+            .map(statement_aux_refs)
+            .collect();
+        let param_count = tx.param_count();
+        ExecPlan {
+            aux,
+            param_count,
+            tx,
+        }
+    }
+
+    /// The planned transaction template.
+    pub fn transaction(&self) -> &Transaction {
+        &self.tx
+    }
+
+    /// Consume the plan, returning the template.
+    pub fn into_transaction(self) -> Transaction {
+        self.tx
+    }
+
+    /// Number of parameter slots the template requires (0 = ground).
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+}
+
 /// Apply the inverse of a recorded net delta to `rel`: remove the `R@ins`
 /// tuples, re-insert the `R@del` tuples (the two sets are disjoint by the
 /// differential invariants). The one definition behind both
@@ -517,6 +606,10 @@ impl EvalContext for TxContext<'_> {
         }
         Ok(self.working.relation(name)?)
     }
+
+    fn param(&self, i: usize) -> Option<&Value> {
+        self.params.get(i)
+    }
 }
 
 /// The transaction executor: runs bracketed programs against a database
@@ -534,10 +627,41 @@ impl Executor {
     /// (the paper installs `D^t` as `D^{t+1}`; we advance the logical
     /// clock in both cases).
     pub fn execute(&self, db: &mut Database, tx: &Transaction) -> TxOutcome {
+        self.execute_bound(db, tx, &[])
+    }
+
+    /// Execute a transaction template against a parameter binding:
+    /// placeholder `?i` resolves to `params[i]`. A placeholder beyond the
+    /// binding aborts the transaction with
+    /// [`AlgebraError::UnboundParam`] — templates cannot half-execute.
+    pub fn execute_bound(
+        &self,
+        db: &mut Database,
+        tx: &Transaction,
+        params: &[Value],
+    ) -> TxOutcome {
+        self.run(db, tx, params, None)
+    }
+
+    /// Execute a compiled [`ExecPlan`] against a parameter binding. Same
+    /// semantics as [`Executor::execute_bound`] on the plan's template,
+    /// but the per-statement analysis was paid once at compile time.
+    pub fn execute_plan(&self, db: &mut Database, plan: &ExecPlan, params: &[Value]) -> TxOutcome {
+        self.run(db, &plan.tx, params, Some(&plan.aux))
+    }
+
+    fn run(
+        &self,
+        db: &mut Database,
+        tx: &Transaction,
+        params: &[Value],
+        aux: Option<&[Vec<(String, AuxKind)>]>,
+    ) -> TxOutcome {
         let program = tx.debracket();
-        let mut ctx = TxContext::begin(db);
-        for stmt in program.statements() {
-            if let Err(reason) = ctx.execute_statement(stmt) {
+        let mut ctx = TxContext::begin_bound(db, params);
+        for (i, stmt) in program.statements().iter().enumerate() {
+            let stmt_aux = aux.map(|a| a[i].as_slice());
+            if let Err(reason) = ctx.execute_statement(stmt, stmt_aux) {
                 ctx.rollback(); // undo the delta: re-install D^t as D^{t+1}
                 let stats = ctx.stats.clone();
                 db.tick();
@@ -855,6 +979,116 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn unbound_param_aborts_atomically() {
+        let mut d = db();
+        let tx = Program::new(vec![
+            Statement::insert_tuples("r", vec![Tuple::of((2, "two"))]),
+            Statement::insert_params("s", 1),
+        ])
+        .bracket();
+        let out = Executor.execute(&mut d, &tx);
+        assert!(matches!(
+            out,
+            TxOutcome::Aborted {
+                reason: AbortReason::RuntimeError(AlgebraError::UnboundParam(0)),
+                ..
+            }
+        ));
+        assert_eq!(d.relation("r").unwrap().len(), 1, "rolled back");
+    }
+
+    #[test]
+    fn execute_bound_resolves_params() {
+        let mut d = db();
+        let tx = Program::new(vec![Statement::insert_params("r", 2)]).bracket();
+        let out = Executor.execute_bound(
+            &mut d,
+            &tx,
+            &[
+                tm_relational::Value::Int(9),
+                tm_relational::Value::str("nine"),
+            ],
+        );
+        assert!(out.is_committed(), "{out:?}");
+        assert!(d.relation("r").unwrap().contains(&Tuple::of((9, "nine"))));
+    }
+
+    #[test]
+    fn bound_param_types_flow_into_derived_schemas() {
+        // `project[…, ?0]` of a string parameter must produce a Str
+        // column, exactly as the substituted-constant form would —
+        // otherwise the derived schema mistypes the projected value and
+        // insertion into the (Int, Str) base relation misvalidates.
+        let mut d = db();
+        let tx = Program::new(vec![Statement::Insert {
+            relation: "r".into(),
+            source: RelExpr::relation("r").project(vec![
+                ScalarExpr::arith(
+                    crate::expr::ArithOp::Add,
+                    ScalarExpr::col(0),
+                    ScalarExpr::int(1),
+                ),
+                ScalarExpr::param(0),
+            ]),
+        }])
+        .bracket();
+        let params = [tm_relational::Value::str("p")];
+        let out = Executor.execute_bound(&mut d, &tx, &params);
+        assert!(out.is_committed(), "{out:?}");
+        assert!(d.relation("r").unwrap().contains(&Tuple::of((2, "p"))));
+        // And the substituted form agrees.
+        let mut d2 = db();
+        let out2 = Executor.execute(&mut d2, &tx.bind_params(&params));
+        assert!(out2.is_committed(), "{out2:?}");
+        assert!(d.state_eq(&d2));
+    }
+
+    #[test]
+    fn exec_plan_matches_direct_execution() {
+        let tx = Program::new(vec![
+            Statement::insert_params("r", 2),
+            // Mentions auxiliaries, so the plan caches non-trivial refs.
+            Statement::Alarm(RelExpr::relation("r@ins").difference(RelExpr::relation("r@ins"))),
+            Statement::Alarm(RelExpr::relation("r@pre").select(ScalarExpr::cmp(
+                CmpOp::Eq,
+                ScalarExpr::col(0),
+                ScalarExpr::param(0),
+            ))),
+        ])
+        .bracket();
+        let plan = ExecPlan::compile(tx.clone());
+        assert_eq!(plan.param_count(), 2);
+        assert_eq!(plan.transaction(), &tx);
+        let params = [tm_relational::Value::Int(3), tm_relational::Value::str("x")];
+
+        let mut via_plan = db();
+        let out_plan = Executor.execute_plan(&mut via_plan, &plan, &params);
+        let mut direct = db();
+        let out_direct = Executor.execute_bound(&mut direct, &tx, &params);
+        assert_eq!(out_plan, out_direct);
+        assert!(via_plan.state_eq(&direct));
+        assert!(out_plan.is_committed(), "{out_plan:?}");
+    }
+
+    #[test]
+    fn statement_aux_refs_finds_only_auxiliaries() {
+        let stmt = Statement::Alarm(
+            RelExpr::relation("r@pre")
+                .union(RelExpr::relation("r"))
+                .union(RelExpr::relation("s@del")),
+        );
+        let refs = statement_aux_refs(&stmt);
+        assert_eq!(
+            refs,
+            vec![
+                ("r".to_owned(), AuxKind::Pre),
+                ("s".to_owned(), AuxKind::Del)
+            ]
+        );
+        assert!(statement_aux_refs(&Statement::Abort).is_empty());
     }
 
     #[test]

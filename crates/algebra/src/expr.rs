@@ -151,6 +151,12 @@ impl fmt::Display for AggFunc {
 pub enum ScalarExpr {
     /// A constant value.
     Const(Value),
+    /// A parameter placeholder `?n` (zero-based), resolved at execution
+    /// time from the parameter binding of a prepared transaction. A
+    /// placeholder behaves exactly like the constant it is bound to;
+    /// evaluating an unbound placeholder is a runtime error
+    /// ([`crate::error::AlgebraError::UnboundParam`]).
+    Param(usize),
     /// The value at an absolute zero-based offset in the input tuple.
     Col(usize),
     /// Binary arithmetic.
@@ -204,6 +210,18 @@ impl ScalarExpr {
         ScalarExpr::Col(i)
     }
 
+    /// Parameter placeholder `?i`.
+    pub fn param(i: usize) -> ScalarExpr {
+        ScalarExpr::Param(i)
+    }
+
+    /// The placeholder row `?0, ?1, …, ?(n-1)` — the usual source of a
+    /// parameterized single-row insert or delete
+    /// (`RelExpr::Singleton(ScalarExpr::params(n))`).
+    pub fn params(n: usize) -> Vec<ScalarExpr> {
+        (0..n).map(ScalarExpr::Param).collect()
+    }
+
     /// Comparison node.
     pub fn cmp(op: CmpOp, l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
         ScalarExpr::Cmp(op, Box::new(l), Box::new(r))
@@ -240,6 +258,7 @@ impl ScalarExpr {
     pub fn shift_cols(&self, delta: usize) -> ScalarExpr {
         match self {
             ScalarExpr::Const(v) => ScalarExpr::Const(v.clone()),
+            ScalarExpr::Param(i) => ScalarExpr::Param(*i),
             ScalarExpr::Col(i) => ScalarExpr::Col(i + delta),
             ScalarExpr::Arith(op, l, r) => {
                 ScalarExpr::arith(*op, l.shift_cols(delta), r.shift_cols(delta))
@@ -262,7 +281,10 @@ impl ScalarExpr {
     /// is referenced.
     pub fn max_col(&self) -> Option<usize> {
         match self {
-            ScalarExpr::Const(_) | ScalarExpr::Agg(..) | ScalarExpr::Cnt(..) => None,
+            ScalarExpr::Const(_)
+            | ScalarExpr::Param(_)
+            | ScalarExpr::Agg(..)
+            | ScalarExpr::Cnt(..) => None,
             ScalarExpr::Col(i) => Some(*i),
             ScalarExpr::Arith(_, l, r) | ScalarExpr::Cmp(_, l, r) => {
                 max_opt(l.max_col(), r.max_col())
@@ -279,6 +301,10 @@ impl ScalarExpr {
     pub fn infer_type(&self, cols: &[ValueType]) -> ValueType {
         match self {
             ScalarExpr::Const(v) => v.value_type().unwrap_or(ValueType::Int),
+            // The value of a placeholder is unknown until bind time; like a
+            // bare `null` constant it defaults to `Int` — derived schemas
+            // are documentation, base-relation validation is authoritative.
+            ScalarExpr::Param(_) => ValueType::Int,
             ScalarExpr::Col(i) => cols.get(*i).copied().unwrap_or(ValueType::Int),
             ScalarExpr::Arith(_, l, r) => {
                 if l.infer_type(cols) == ValueType::Double
@@ -309,7 +335,7 @@ impl ScalarExpr {
     pub fn has_aggregates(&self) -> bool {
         match self {
             ScalarExpr::Agg(..) | ScalarExpr::Cnt(..) => true,
-            ScalarExpr::Const(_) | ScalarExpr::Col(_) => false,
+            ScalarExpr::Const(_) | ScalarExpr::Param(_) | ScalarExpr::Col(_) => false,
             ScalarExpr::Arith(_, l, r) | ScalarExpr::Cmp(_, l, r) => {
                 l.has_aggregates() || r.has_aggregates()
             }
@@ -321,7 +347,9 @@ impl ScalarExpr {
     }
 }
 
-fn max_opt(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+/// Max of two optional indices (shared by the `max_col`/`max_param`
+/// walks here, in `rel_expr`, and in `program`).
+pub(crate) fn max_opt(a: Option<usize>, b: Option<usize>) -> Option<usize> {
     match (a, b) {
         (Some(x), Some(y)) => Some(x.max(y)),
         (x, None) => x,
@@ -333,6 +361,7 @@ impl fmt::Display for ScalarExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScalarExpr::Const(v) => write!(f, "{v}"),
+            ScalarExpr::Param(i) => write!(f, "?{i}"),
             ScalarExpr::Col(i) => write!(f, "#{i}"),
             ScalarExpr::Arith(op, l, r) => write!(f, "({l} {op} {r})"),
             ScalarExpr::Cmp(op, l, r) => write!(f, "({l} {op} {r})"),

@@ -49,7 +49,9 @@ pub use eval::{
     eval_aggregate, eval_scalar, eval_scalar_with, evaluate, evaluate_with, EvalContext,
     JoinStrategy, SchemaView,
 };
-pub use exec::{ExecStats, Executor, TxContext, TxOutcome};
+pub use exec::{
+    statement_aux_refs, AbortReason, ExecPlan, ExecStats, Executor, TxContext, TxOutcome,
+};
 pub use expr::{AggFunc, ArithOp, CmpOp, ScalarExpr};
 pub use keys::{extract_equi_keys, JoinKeys};
 pub use parser::{parse_program, parse_relexpr};

@@ -26,10 +26,16 @@
 //!          | '{' tuple {',' tuple} '}'              -- literal relation
 //!          | '<' scalar {',' scalar} '>'            -- singleton relation
 //! scalar  := disjunction of conjunctions of comparisons over terms;
-//!            terms: '#N' column refs, literals, arithmetic, 'cnt(relexpr)',
+//!            terms: '#N' column refs, '?N' parameter placeholders,
+//!            literals, arithmetic, 'cnt(relexpr)',
 //!            'sum(relexpr, N)' / 'avg' / 'min' / 'max', 'isnull(scalar)'
 //! tuple   := '(' literal {',' literal} ')'
 //! ```
+//!
+//! Parameter placeholders `?0`, `?1`, … may appear wherever a scalar term
+//! may; the parameterized single-row insert of a prepared transaction is
+//! written `insert(R, row(?0, ?1, …))` (tuple literals inside `{…}` are
+//! ground by definition — `row(…)` is the parameterized form).
 
 use tm_relational::{Tuple, Value};
 
@@ -42,6 +48,7 @@ use crate::rel_expr::RelExpr;
 enum Tok {
     Ident(String),
     Col(usize),
+    Param(usize),
     Int(i64),
     Double(f64),
     Str(String),
@@ -142,6 +149,20 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
                     .parse()
                     .map_err(|_| parse_err(start, "bad column number"))?;
                 out.push((Tok::Col(n), start));
+                i = j;
+            }
+            '?' => {
+                let mut j = i + 1;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(parse_err(start, "expected parameter number after `?`"));
+                }
+                let n: usize = src[i + 1..j]
+                    .parse()
+                    .map_err(|_| parse_err(start, "bad parameter number"))?;
+                out.push((Tok::Param(n), start));
                 i = j;
             }
             ':' => {
@@ -529,6 +550,10 @@ impl P {
                 self.pos += 1;
                 Ok(ScalarExpr::Col(n))
             }
+            Some(Tok::Param(n)) => {
+                self.pos += 1;
+                Ok(ScalarExpr::Param(n))
+            }
             Some(Tok::Int(v)) => {
                 self.pos += 1;
                 Ok(ScalarExpr::int(v))
@@ -708,6 +733,27 @@ mod tests {
     }
 
     #[test]
+    fn parses_parameter_placeholders() {
+        let p = parse_program("insert(account, row(?0, ?1))").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.param_count(), 2);
+        match &p.statements()[0] {
+            Statement::Insert { source, .. } => {
+                assert_eq!(
+                    source,
+                    &RelExpr::Singleton(vec![ScalarExpr::Param(0), ScalarExpr::Param(1)])
+                );
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+        // Placeholders work anywhere a scalar term does.
+        let e = parse_relexpr("select[#1 < ?0 and #0 = ?1](r)").unwrap();
+        assert_eq!(e.max_param(), Some(1));
+        // A bare `?` is rejected.
+        assert!(parse_relexpr("select[#0 = ?](r)").is_err());
+    }
+
+    #[test]
     fn round_trips_display() {
         // Display forms of parsed expressions re-parse to the same AST.
         for src in [
@@ -715,6 +761,8 @@ mod tests {
             "antijoin[(#2 = #4)](beer, brewery)",
             "project[#0, #1](join[(#0 = #2)](r, s))",
             "row(CNT(r), 1)",
+            "row(?0, ?1)",
+            "select[(#0 = ?2)](r)",
         ] {
             let e = parse_relexpr(src).unwrap();
             let printed = e.to_string();

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::expr::ScalarExpr;
+use crate::expr::{max_opt, ScalarExpr};
 use crate::rel_expr::RelExpr;
 
 /// One attribute assignment inside an `update` statement: set the attribute
@@ -88,6 +88,68 @@ impl Statement {
         Statement::Delete {
             source: RelExpr::relation(relation.clone()).select(pred),
             relation,
+        }
+    }
+
+    /// Convenience: `insert(R, row(?0, …, ?(arity-1)))` — the
+    /// parameterized single-row insert of a prepared transaction.
+    pub fn insert_params(relation: impl Into<String>, arity: usize) -> Statement {
+        Statement::Insert {
+            relation: relation.into(),
+            source: RelExpr::Singleton(ScalarExpr::params(arity)),
+        }
+    }
+
+    /// The largest parameter index `?i` referenced by this statement, or
+    /// `None` when it is parameter-free.
+    pub fn max_param(&self) -> Option<usize> {
+        match self {
+            Statement::Assign { expr, .. } => expr.max_param(),
+            Statement::Insert { source, .. } | Statement::Delete { source, .. } => {
+                source.max_param()
+            }
+            Statement::Update { pred, set, .. } => set
+                .iter()
+                .fold(pred.max_param(), |m, a| max_opt(m, a.value.max_param())),
+            Statement::Alarm(expr) => expr.max_param(),
+            Statement::Abort => None,
+        }
+    }
+
+    /// Substitute every placeholder `?i` with the constant `values[i]`
+    /// (see [`ScalarExpr::bind_params`]). Parameter-free statements are
+    /// cloned wholesale.
+    pub fn bind_params(&self, values: &[tm_relational::Value]) -> Statement {
+        if self.max_param().is_none() {
+            return self.clone();
+        }
+        match self {
+            Statement::Assign { target, expr } => Statement::Assign {
+                target: target.clone(),
+                expr: expr.bind_params(values),
+            },
+            Statement::Insert { relation, source } => Statement::Insert {
+                relation: relation.clone(),
+                source: source.bind_params(values),
+            },
+            Statement::Delete { relation, source } => Statement::Delete {
+                relation: relation.clone(),
+                source: source.bind_params(values),
+            },
+            Statement::Update {
+                relation,
+                pred,
+                set,
+            } => Statement::Update {
+                relation: relation.clone(),
+                pred: pred.bind_params(values),
+                set: set
+                    .iter()
+                    .map(|a| UpdateAssignment::new(a.position, a.value.bind_params(values)))
+                    .collect(),
+            },
+            Statement::Alarm(expr) => Statement::Alarm(expr.bind_params(values)),
+            Statement::Abort => Statement::Abort,
         }
     }
 }
@@ -183,6 +245,26 @@ impl Program {
     pub fn bracket(self) -> Transaction {
         Transaction { program: self }
     }
+
+    /// The number of parameter slots this program requires: one more than
+    /// the largest `?i` referenced, or 0 for a parameter-free program.
+    pub fn param_count(&self) -> usize {
+        self.statements
+            .iter()
+            .fold(None, |m, s| max_opt(m, s.max_param()))
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Substitute every placeholder `?i` with the constant `values[i]`.
+    pub fn bind_params(&self, values: &[tm_relational::Value]) -> Program {
+        Program {
+            statements: self
+                .statements
+                .iter()
+                .map(|s| s.bind_params(values))
+                .collect(),
+        }
+    }
 }
 
 impl fmt::Display for Program {
@@ -233,6 +315,25 @@ impl Transaction {
     /// Whether the transaction body is empty.
     pub fn is_empty(&self) -> bool {
         self.program.is_empty()
+    }
+
+    /// The number of parameter slots this transaction requires (see
+    /// [`Program::param_count`]). 0 means the transaction is fully ground
+    /// and can execute without a binding.
+    pub fn param_count(&self) -> usize {
+        self.program.param_count()
+    }
+
+    /// Substitute every placeholder `?i` with the constant `values[i]`,
+    /// producing the ground transaction a binding denotes. The engine's
+    /// prepared-execution path does **not** materialize this — it executes
+    /// the template against the binding directly — but the substituted
+    /// form is the semantic reference (property-tested in
+    /// `tests/prepared_equivalence.rs`) and is useful for inspection.
+    pub fn bind_params(&self, values: &[tm_relational::Value]) -> Transaction {
+        Transaction {
+            program: self.program.bind_params(values),
+        }
     }
 }
 
@@ -320,6 +421,28 @@ mod tests {
             }
             _ => panic!("expected delete"),
         }
+    }
+
+    #[test]
+    fn param_count_and_bind() {
+        use tm_relational::Value;
+        let tx = Program::new(vec![Statement::insert_params("r", 2), Statement::Abort]).bracket();
+        assert_eq!(tx.param_count(), 2);
+        assert_eq!(Transaction::default().param_count(), 0);
+        let ground = tx.bind_params(&[Value::Int(4), Value::str("x")]);
+        assert_eq!(ground.param_count(), 0);
+        assert!(ground.to_string().contains("row(4, \"x\")"));
+        // Update assignments count too.
+        let s = Statement::Update {
+            relation: "r".into(),
+            pred: ScalarExpr::cmp(
+                crate::expr::CmpOp::Eq,
+                ScalarExpr::col(0),
+                ScalarExpr::param(1),
+            ),
+            set: vec![UpdateAssignment::new(1, ScalarExpr::param(4))],
+        };
+        assert_eq!(s.max_param(), Some(4));
     }
 
     #[test]

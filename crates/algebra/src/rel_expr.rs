@@ -2,9 +2,9 @@
 
 use std::fmt;
 
-use tm_relational::Tuple;
+use tm_relational::{Tuple, Value};
 
-use crate::expr::ScalarExpr;
+use crate::expr::{max_opt, ScalarExpr};
 
 /// A relational algebra expression producing a relation state.
 ///
@@ -248,7 +248,7 @@ fn collect_scalar_relations(e: &ScalarExpr, out: &mut Vec<String>) {
             collect_scalar_relations(r, out);
         }
         ScalarExpr::Not(x) | ScalarExpr::IsNull(x) => collect_scalar_relations(x, out),
-        ScalarExpr::Const(_) | ScalarExpr::Col(_) => {}
+        ScalarExpr::Const(_) | ScalarExpr::Param(_) | ScalarExpr::Col(_) => {}
     }
 }
 
@@ -278,7 +278,130 @@ fn substitute_scalar(e: &ScalarExpr, from: &str, to: &str) -> ScalarExpr {
         ),
         ScalarExpr::Not(x) => ScalarExpr::not(substitute_scalar(x, from, to)),
         ScalarExpr::IsNull(x) => ScalarExpr::IsNull(Box::new(substitute_scalar(x, from, to))),
-        ScalarExpr::Const(_) | ScalarExpr::Col(_) => e.clone(),
+        ScalarExpr::Const(_) | ScalarExpr::Param(_) | ScalarExpr::Col(_) => e.clone(),
+    }
+}
+
+impl ScalarExpr {
+    /// The largest parameter index `?i` referenced anywhere in this
+    /// expression, including inside aggregate subexpressions, or `None`
+    /// when the expression is parameter-free.
+    pub fn max_param(&self) -> Option<usize> {
+        match self {
+            ScalarExpr::Param(i) => Some(*i),
+            ScalarExpr::Const(_) | ScalarExpr::Col(_) => None,
+            ScalarExpr::Arith(_, l, r) | ScalarExpr::Cmp(_, l, r) => {
+                max_opt(l.max_param(), r.max_param())
+            }
+            ScalarExpr::And(l, r) | ScalarExpr::Or(l, r) => max_opt(l.max_param(), r.max_param()),
+            ScalarExpr::Not(e) | ScalarExpr::IsNull(e) => e.max_param(),
+            ScalarExpr::Agg(_, rel, _) => rel.max_param(),
+            ScalarExpr::Cnt(rel) => rel.max_param(),
+        }
+    }
+
+    /// Substitute every placeholder `?i` with the constant `values[i]`.
+    /// Placeholders beyond `values.len()` are left in place (callers that
+    /// need an error for them check [`ScalarExpr::max_param`] first).
+    pub fn bind_params(&self, values: &[Value]) -> ScalarExpr {
+        match self {
+            ScalarExpr::Param(i) => match values.get(*i) {
+                Some(v) => ScalarExpr::Const(v.clone()),
+                None => self.clone(),
+            },
+            ScalarExpr::Const(_) | ScalarExpr::Col(_) => self.clone(),
+            ScalarExpr::Arith(op, l, r) => {
+                ScalarExpr::arith(*op, l.bind_params(values), r.bind_params(values))
+            }
+            ScalarExpr::Cmp(op, l, r) => {
+                ScalarExpr::cmp(*op, l.bind_params(values), r.bind_params(values))
+            }
+            ScalarExpr::And(l, r) => ScalarExpr::and(l.bind_params(values), r.bind_params(values)),
+            ScalarExpr::Or(l, r) => ScalarExpr::or(l.bind_params(values), r.bind_params(values)),
+            ScalarExpr::Not(e) => ScalarExpr::not(e.bind_params(values)),
+            ScalarExpr::IsNull(e) => ScalarExpr::IsNull(Box::new(e.bind_params(values))),
+            ScalarExpr::Agg(f, rel, col) => {
+                ScalarExpr::Agg(*f, Box::new(rel.bind_params(values)), *col)
+            }
+            ScalarExpr::Cnt(rel) => ScalarExpr::Cnt(Box::new(rel.bind_params(values))),
+        }
+    }
+}
+
+impl RelExpr {
+    /// The largest parameter index `?i` referenced anywhere in this
+    /// expression, or `None` when it is parameter-free.
+    pub fn max_param(&self) -> Option<usize> {
+        match self {
+            RelExpr::Rel(_) | RelExpr::Literal(_) => None,
+            RelExpr::Singleton(exprs) => exprs.iter().fold(None, |m, e| max_opt(m, e.max_param())),
+            RelExpr::Select(input, pred) => max_opt(input.max_param(), pred.max_param()),
+            RelExpr::Project(input, exprs) => exprs
+                .iter()
+                .fold(input.max_param(), |m, e| max_opt(m, e.max_param())),
+            RelExpr::Join(l, r, p) | RelExpr::SemiJoin(l, r, p) | RelExpr::AntiJoin(l, r, p) => {
+                max_opt(max_opt(l.max_param(), r.max_param()), p.max_param())
+            }
+            RelExpr::Union(l, r)
+            | RelExpr::Difference(l, r)
+            | RelExpr::Intersect(l, r)
+            | RelExpr::Product(l, r) => max_opt(l.max_param(), r.max_param()),
+        }
+    }
+
+    /// Substitute every placeholder `?i` with the constant `values[i]`
+    /// (see [`ScalarExpr::bind_params`]).
+    pub fn bind_params(&self, values: &[Value]) -> RelExpr {
+        if self.max_param().is_none() {
+            // Parameter-free subtrees are cloned wholesale — the common
+            // case for the integrity checks appended by `ModT`.
+            return self.clone();
+        }
+        match self {
+            RelExpr::Rel(_) | RelExpr::Literal(_) => self.clone(),
+            RelExpr::Singleton(exprs) => {
+                RelExpr::Singleton(exprs.iter().map(|e| e.bind_params(values)).collect())
+            }
+            RelExpr::Select(input, pred) => RelExpr::Select(
+                Box::new(input.bind_params(values)),
+                pred.bind_params(values),
+            ),
+            RelExpr::Project(input, exprs) => RelExpr::Project(
+                Box::new(input.bind_params(values)),
+                exprs.iter().map(|e| e.bind_params(values)).collect(),
+            ),
+            RelExpr::Join(l, r, p) => RelExpr::Join(
+                Box::new(l.bind_params(values)),
+                Box::new(r.bind_params(values)),
+                p.bind_params(values),
+            ),
+            RelExpr::SemiJoin(l, r, p) => RelExpr::SemiJoin(
+                Box::new(l.bind_params(values)),
+                Box::new(r.bind_params(values)),
+                p.bind_params(values),
+            ),
+            RelExpr::AntiJoin(l, r, p) => RelExpr::AntiJoin(
+                Box::new(l.bind_params(values)),
+                Box::new(r.bind_params(values)),
+                p.bind_params(values),
+            ),
+            RelExpr::Union(l, r) => RelExpr::Union(
+                Box::new(l.bind_params(values)),
+                Box::new(r.bind_params(values)),
+            ),
+            RelExpr::Difference(l, r) => RelExpr::Difference(
+                Box::new(l.bind_params(values)),
+                Box::new(r.bind_params(values)),
+            ),
+            RelExpr::Intersect(l, r) => RelExpr::Intersect(
+                Box::new(l.bind_params(values)),
+                Box::new(r.bind_params(values)),
+            ),
+            RelExpr::Product(l, r) => RelExpr::Product(
+                Box::new(l.bind_params(values)),
+                Box::new(r.bind_params(values)),
+            ),
+        }
     }
 }
 
@@ -366,6 +489,39 @@ mod tests {
         assert_eq!(s.referenced_relations(), vec!["r@ins"]);
         // Original untouched.
         assert_eq!(e.referenced_relations(), vec!["r"]);
+    }
+
+    #[test]
+    fn max_param_reaches_aggregates() {
+        let e = RelExpr::relation("r")
+            .select(ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::Cnt(Box::new(RelExpr::relation("s").select(ScalarExpr::cmp(
+                    CmpOp::Eq,
+                    ScalarExpr::col(0),
+                    ScalarExpr::param(3),
+                )))),
+                ScalarExpr::param(1),
+            ))
+            .union(RelExpr::Singleton(vec![ScalarExpr::param(0)]));
+        assert_eq!(e.max_param(), Some(3));
+        assert_eq!(RelExpr::relation("r").max_param(), None);
+    }
+
+    #[test]
+    fn bind_params_substitutes_and_preserves_param_free_subtrees() {
+        use tm_relational::Value;
+        let e = RelExpr::Singleton(vec![ScalarExpr::param(0), ScalarExpr::int(7)]);
+        let bound = e.bind_params(&[Value::str("x")]);
+        assert_eq!(
+            bound,
+            RelExpr::Singleton(vec![ScalarExpr::str("x"), ScalarExpr::int(7)])
+        );
+        assert_eq!(bound.max_param(), None);
+        // A short binding leaves later placeholders in place.
+        let e = RelExpr::Singleton(vec![ScalarExpr::param(0), ScalarExpr::param(5)]);
+        let partial = e.bind_params(&[Value::Int(1)]);
+        assert_eq!(partial.max_param(), Some(5));
     }
 
     #[test]

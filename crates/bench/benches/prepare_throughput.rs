@@ -1,0 +1,258 @@
+//! `prepare_throughput` — ad-hoc `Engine::execute` vs prepared
+//! bind+execute (`Session::execute_prepared`) for a hot single-row
+//! transaction, across all four enforcement modes.
+//!
+//! The workload models a wide production application: one hot relation
+//! (`account`, 10k tuples) the measured transaction inserts into, a large
+//! rule catalog spread over many cold relations (the realistic shape —
+//! most rules guard relations the hot transaction never touches), and a
+//! handful of hot rules whose actions are delta checks over
+//! `account@ins` (O(Δ) at execution time, as §5.2.1 recommends).
+//!
+//! Per submission the **ad-hoc** path pays, besides execution: building a
+//! fresh transaction AST, and `ModT` — rule *selection* over the whole
+//! catalog, program cloning and concatenation, trace bookkeeping. All of
+//! that is independent of the one-row delta, and none of it is needed
+//! more than once for a fixed transaction shape. The **prepared** path
+//! pays it exactly once (`Session::prepare`); each execution is then an
+//! O(#params) bind plus the compiled plan run.
+//!
+//! Rules are added with `allow_cycles: true`: alarm-only actions cannot
+//! trigger anything (their trigger *sets* are empty), so the O(n²)
+//! definition-time graph validation is pure setup cost here and skipping
+//! it keeps the catalog build fast.
+//!
+//! Results are printed as a table and written to
+//! `BENCH_prepare_throughput.json` (override with `BENCH_OUT`). Set
+//! `BENCH_SMOKE=1` for the CI configuration: small catalog, 1k tuples,
+//! few iterations.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use tm_algebra::builder::TransactionBuilder;
+use tm_bench::report::{fmt_duration, Table};
+use tm_relational::{DatabaseSchema, RelationSchema, Tuple, Value, ValueType};
+use txmod::{EnforcementMode, Engine, EngineConfig};
+
+struct Shape {
+    tuples: usize,
+    cold_relations: usize,
+    cold_rules_each: usize,
+    hot_rules: usize,
+    iters: usize,
+}
+
+struct Sample {
+    mode: &'static str,
+    path: &'static str,
+    median: Duration,
+}
+
+fn time_median<R>(iters: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn schema(shape: &Shape) -> DatabaseSchema {
+    let mut rels = vec![RelationSchema::of(
+        "account",
+        &[("id", ValueType::Int), ("balance", ValueType::Int)],
+    )];
+    for r in 0..shape.cold_relations {
+        let name = format!("rel{r}");
+        rels.push(RelationSchema::of(
+            &name,
+            &[("id", ValueType::Int), ("v", ValueType::Int)],
+        ));
+    }
+    DatabaseSchema::from_relations(rels).expect("schema is valid")
+}
+
+fn build_engine(mode: EnforcementMode, shape: &Shape) -> Engine {
+    let mut e = Engine::with_config(
+        schema(shape),
+        EngineConfig {
+            mode,
+            allow_cycles: true,
+            ..EngineConfig::default()
+        },
+    );
+    for r in 0..shape.cold_relations {
+        for i in 0..shape.cold_rules_each {
+            e.add_rule_text(
+                &format!(
+                    "WHEN INS(rel{r}) IF NOT 1 = 1 THEN \
+                     alarm(select[#1 < 0 and #0 >= {i}](rel{r}@ins))"
+                ),
+                &format!("cold_{r}_{i}"),
+            )
+            .expect("cold rule is valid");
+        }
+    }
+    for i in 0..shape.hot_rules {
+        e.add_rule_text(
+            &format!(
+                "WHEN INS(account) IF NOT 1 = 1 THEN \
+                 alarm(select[#1 < 0 and #0 >= {i}](account@ins))"
+            ),
+            &format!("hot_{i}"),
+        )
+        .expect("hot rule is valid");
+    }
+    e.load(
+        "account",
+        (0..shape.tuples as i64).map(|i| Tuple::of((i, i % 997))),
+    )
+    .expect("load succeeds");
+    e
+}
+
+fn tx_per_sec(median: Duration) -> f64 {
+    if median.as_nanos() == 0 {
+        f64::INFINITY
+    } else {
+        1e9 / median.as_nanos() as f64
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let shape = if smoke {
+        Shape {
+            tuples: 1_000,
+            cold_relations: 8,
+            cold_rules_each: 4,
+            hot_rules: 8,
+            iters: 50,
+        }
+    } else {
+        Shape {
+            tuples: 10_000,
+            cold_relations: 95,
+            cold_rules_each: 32,
+            hot_rules: 8,
+            iters: 2_000,
+        }
+    };
+    let modes = [
+        ("off", EnforcementMode::Off),
+        ("dynamic", EnforcementMode::Dynamic),
+        ("static", EnforcementMode::Static),
+        ("differential", EnforcementMode::Differential),
+    ];
+    let rules_total = shape.cold_relations * shape.cold_rules_each + shape.hot_rules;
+    println!(
+        "prepare_throughput: {} tuples, {} rules ({} hot), {} iters{}",
+        shape.tuples,
+        rules_total,
+        shape.hot_rules,
+        shape.iters,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for (label, mode) in modes {
+        // Ad hoc: a fresh transaction AST per submission (what an ad-hoc
+        // client does), modified by `ModT` per submission.
+        let mut engine = build_engine(mode, &shape);
+        let mut next = shape.tuples as i64;
+        let adhoc = time_median(shape.iters, || {
+            next += 1;
+            let tx = TransactionBuilder::new()
+                .insert_tuple("account", Tuple::of((next, 5)))
+                .build();
+            let out = engine.execute(&tx).expect("execute succeeds");
+            assert!(out.committed(), "{out}");
+            out
+        });
+        samples.push(Sample {
+            mode: label,
+            path: "adhoc",
+            median: adhoc,
+        });
+
+        // Prepared: `ModT` once at prepare, then bind+execute per
+        // submission against the retained plan.
+        let mut engine = build_engine(mode, &shape);
+        let mut session = engine.session();
+        let id = session
+            .prepare(
+                &TransactionBuilder::new()
+                    .insert_params("account", 2)
+                    .build(),
+            )
+            .expect("prepare succeeds");
+        let mut next = shape.tuples as i64;
+        let prepared = time_median(shape.iters, || {
+            next += 1;
+            let out = session
+                .execute_prepared(id, &[Value::Int(next), Value::Int(5)])
+                .expect("execute_prepared succeeds");
+            assert!(out.committed() && out.reused_plan, "{out}");
+            out
+        });
+        samples.push(Sample {
+            mode: label,
+            path: "prepared",
+            median: prepared,
+        });
+    }
+
+    let mut table = Table::new(
+        "prepare_throughput (1-row insert, median end-to-end)",
+        &["mode", "adhoc", "prepared", "prepared tx/s", "speedup"],
+    );
+    let mut json_rows = String::new();
+    for pair in samples.chunks(2) {
+        let (adhoc, prepared) = (&pair[0], &pair[1]);
+        let speedup = adhoc.median.as_secs_f64() / prepared.median.as_secs_f64().max(1e-12);
+        table.row(&[
+            adhoc.mode.to_string(),
+            fmt_duration(adhoc.median),
+            fmt_duration(prepared.median),
+            format!("{:.0}", tx_per_sec(prepared.median)),
+            format!("{speedup:.1}x"),
+        ]);
+        for s in pair {
+            if !json_rows.is_empty() {
+                json_rows.push_str(",\n");
+            }
+            let _ = write!(
+                json_rows,
+                "    {{\"mode\": \"{}\", \"path\": \"{}\", \"size\": {}, \"rules\": {}, \
+                 \"median_ns\": {}, \"tx_per_sec\": {:.1}, \"speedup\": {:.2}}}",
+                s.mode,
+                s.path,
+                shape.tuples,
+                rules_total,
+                s.median.as_nanos(),
+                tx_per_sec(s.median),
+                speedup
+            );
+        }
+    }
+    println!("{}", table.render());
+
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_prepare_throughput.json"
+        )
+        .to_owned()
+    });
+    let json = format!(
+        "{{\n  \"bench\": \"prepare_throughput\",\n  \"smoke\": {smoke},\n  \"results\": [\n{json_rows}\n  ]\n}}\n"
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

@@ -79,8 +79,10 @@ impl Catalog {
             return Err(EngineError::DuplicateRule(rule.name));
         }
         let program = get_int_p(&rule, &self.schema, self.differential)?;
+        // The rule parsed; what can fail here is the *evaluation-side*
+        // analysis of its condition — not a parse error.
         let info = analyze(rule.condition(), &self.schema)
-            .map_err(|e| EngineError::RuleParse(e.to_string()))?;
+            .map_err(|e| EngineError::Eval(e.to_string()))?;
         self.rules.push(rule);
         self.programs.push(program);
         self.infos.push(info);

@@ -17,6 +17,7 @@ use tm_rules::{parse_rule, IntegrityRule, RuleAction, ValidationReport};
 use crate::catalog::Catalog;
 use crate::error::{EngineError, Result};
 use crate::modify::{mod_t, ModificationTrace, SelectionMode};
+use crate::prepared::{BoundTransaction, Prepared, Session};
 use crate::views::ViewDef;
 
 /// How (and whether) integrity is enforced.
@@ -80,12 +81,22 @@ pub type ModStats = ModificationTrace;
 pub struct EngineOutcome {
     /// The executor's verdict (committed or aborted, with statistics).
     pub outcome: TxOutcome,
-    /// The transaction as actually executed, when `ModT` produced one;
-    /// `None` means the submitted transaction ran verbatim (`Off` mode) —
-    /// the no-op path keeps no copy of it.
+    /// The transaction as actually executed, when `ModT` produced one and
+    /// this execution owns it; `None` means the submitted transaction ran
+    /// verbatim (`Off` mode) **or** the execution went through a retained
+    /// prepared plan (inspect the plan via
+    /// [`crate::prepared::Prepared::transaction`] instead).
     pub modified: Option<Transaction>,
-    /// Modification statistics.
+    /// Modification statistics **of this execution**: executions that
+    /// reused a prepared plan report an empty trace — their modification
+    /// happened once, at prepare time
+    /// ([`crate::prepared::Prepared::modification`]).
     pub modification: ModStats,
+    /// Whether this execution reused a previously prepared plan without
+    /// re-running `ModT`. Always `false` for ad-hoc [`Engine::execute`];
+    /// `true` for a prepared execution unless the plan had gone stale and
+    /// was re-modified for this call.
+    pub reused_plan: bool,
 }
 
 impl EngineOutcome {
@@ -130,6 +141,10 @@ pub struct Engine {
     config: EngineConfig,
     executor: Executor,
     views: Vec<ViewDef>,
+    /// Monotonic stamp of the rule catalog: bumped on every catalog
+    /// change, recorded by [`Engine::prepare`] into each plan, checked at
+    /// prepared execution for stale-plan safety.
+    epoch: u64,
 }
 
 impl Engine {
@@ -147,6 +162,7 @@ impl Engine {
             config,
             executor: Executor,
             views: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -167,19 +183,15 @@ impl Engine {
 
     /// Bulk-load tuples into a relation, bypassing integrity enforcement
     /// (initial database population; the paper's §7 experiments load the
-    /// test database this way before measuring constraint checks).
+    /// test database this way before measuring constraint checks). Loads
+    /// through [`Database::extend`]: one relation lookup and at most one
+    /// COW unshare for the whole batch.
     pub fn load(
         &mut self,
         relation: &str,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize> {
-        let mut n = 0;
-        for t in tuples {
-            if self.db.insert(relation, t)? {
-                n += 1;
-            }
-        }
-        Ok(n)
+        Ok(self.db.extend(relation, tuples)?)
     }
 
     /// Add a parsed integrity rule. The rule is compiled immediately;
@@ -195,6 +207,8 @@ impl Engine {
                 return Err(EngineError::TriggeringCycle(report.cycles));
             }
         }
+        // The catalog changed: plans prepared before this point are stale.
+        self.epoch += 1;
         Ok(())
     }
 
@@ -238,6 +252,7 @@ impl Engine {
             }
             TxOutcome::Aborted { reason, .. } => {
                 self.catalog.remove_rule(&rule_name);
+                self.epoch += 1; // the catalog changed again
                 Err(EngineError::View(reason.to_string()))
             }
         }
@@ -271,7 +286,25 @@ impl Engine {
 
     /// Execute a transaction: modify per the configured mode, then run it
     /// with full atomicity.
+    ///
+    /// This is the ad-hoc path — semantically [`Engine::prepare`] plus an
+    /// empty bind plus [`Engine::execute_bound`], with the throwaway plan
+    /// elided: the empty-bind arity check runs up front, `ModT` runs on
+    /// this call (the `Off`-mode no-op path still executes the borrowed
+    /// transaction without copying it), and nothing is retained. The
+    /// transaction must be ground (no `?i` placeholders); submit templates
+    /// through [`Engine::prepare`] / [`Session::prepare`] instead, where
+    /// `ModT` runs once and bind-execute repeats cheaply.
     pub fn execute(&mut self, tx: &Transaction) -> Result<EngineOutcome> {
+        let params = tx.param_count();
+        if params > 0 {
+            // The empty bind of the prepare/bind/execute contract: ad-hoc
+            // execution is ground.
+            return Err(EngineError::ParamArity {
+                expected: params,
+                got: 0,
+            });
+        }
         let (modified, modification) = self.modify_only(tx)?;
         let outcome = self.executor.execute(&mut self.db, &modified);
         Ok(EngineOutcome {
@@ -281,7 +314,89 @@ impl Engine {
                 Cow::Owned(t) => Some(t),
             },
             modification,
+            reused_plan: false,
         })
+    }
+
+    /// The current catalog epoch — the stamp [`Engine::prepare`] records
+    /// into each plan. Any rule-catalog change bumps it, invalidating
+    /// previously prepared plans (they are transparently re-modified when
+    /// next executed).
+    pub fn plan_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Prepare a transaction template: run `ModT` **once** over it (per
+    /// the configured enforcement mode) and compile the modified result
+    /// into an execution plan. The template's constants may be parameter
+    /// placeholders `?0`, `?1`, … — bind values with
+    /// [`Prepared::bind`] and execute with [`Engine::execute_bound`]
+    /// (or hold the statement in a [`Session`]); each execution then skips
+    /// rule selection, program concatenation, AST construction, and
+    /// per-statement analysis entirely.
+    pub fn prepare(&self, tx: &Transaction) -> Result<Prepared> {
+        let (modified, modification) = self.modify_only(tx)?;
+        let verbatim = matches!(modified, Cow::Borrowed(_));
+        Ok(Prepared::build(
+            tx.clone(),
+            modified.into_owned(),
+            self.catalog.schema(),
+            modification,
+            self.epoch,
+            verbatim,
+        ))
+    }
+
+    /// Execute a bound prepared transaction. When the plan is current,
+    /// this is the whole per-execution cost of integrity enforcement:
+    /// run the compiled plan against the binding (`reused_plan: true`,
+    /// empty per-execution modification trace). When the catalog changed
+    /// since `prepare`, the plan is re-modified from its source for this
+    /// call — stale plans are never executed — and the outcome reports
+    /// `reused_plan: false`; re-prepare (or use [`Session`], which
+    /// refreshes its stored statements in place) to stop paying that per
+    /// call.
+    pub fn execute_bound(&mut self, bound: &BoundTransaction<'_>) -> Result<EngineOutcome> {
+        let prepared = bound.prepared();
+        if prepared.is_stale(self) {
+            let fresh = self.prepare(prepared.source())?;
+            let rebound = fresh.bind(bound.values())?;
+            let outcome = self
+                .executor
+                .execute_plan(&mut self.db, fresh.plan(), rebound.values());
+            drop(rebound);
+            let modification = fresh.modification().clone();
+            return Ok(EngineOutcome {
+                outcome,
+                // The caller's Prepared does NOT hold what ran — hand the
+                // freshly re-modified template over so "the transaction as
+                // actually executed" stays inspectable. (`Off` mode keeps
+                // the usual ran-verbatim `None`.)
+                modified: if fresh.verbatim() {
+                    None
+                } else {
+                    Some(fresh.into_transaction())
+                },
+                modification,
+                reused_plan: false,
+            });
+        }
+        let outcome = self
+            .executor
+            .execute_plan(&mut self.db, prepared.plan(), bound.values());
+        Ok(EngineOutcome {
+            outcome,
+            modified: None,
+            modification: ModStats::default(),
+            reused_plan: true,
+        })
+    }
+
+    /// Open a [`Session`] over this engine: a client handle that owns
+    /// prepared statements, refreshes stale plans in place, and serves
+    /// consistent O(#relations) read snapshots.
+    pub fn session(&mut self) -> Session<'_> {
+        Session::new(self)
     }
 
     /// Ground-truth check: evaluate every *aborting* rule's condition
@@ -296,9 +411,10 @@ impl Engine {
                 continue;
             }
             // The analysed condition was cached by `Catalog::add_rule`; no
-            // per-check re-analysis.
+            // per-check re-analysis. A failure here is an *evaluation*
+            // error (the rule parsed long ago), reported as such.
             let ok = eval_constraint(info, &StateSource(&self.db))
-                .map_err(|e| EngineError::RuleParse(e.to_string()))?;
+                .map_err(|e| EngineError::Eval(e.to_string()))?;
             if !ok {
                 violated.push(rule.name.clone());
             }
@@ -314,7 +430,7 @@ impl Engine {
                 continue;
             }
             let ok = eval_constraint(info, &TransitionSource(tr))
-                .map_err(|e| EngineError::RuleParse(e.to_string()))?;
+                .map_err(|e| EngineError::Eval(e.to_string()))?;
             if !ok {
                 violated.push(rule.name.clone());
             }
@@ -523,6 +639,23 @@ mod tests {
         assert!(out.committed());
         assert!(out.modified.is_none());
         assert!(out.modified_transaction().is_none());
+    }
+
+    #[test]
+    fn evaluation_failures_are_not_parse_errors() {
+        // The rule parses and analyses fine; evaluating its condition on a
+        // non-empty state divides by zero — a ground-truth *evaluation*
+        // failure, which must surface as `Eval`, not `RuleParse`.
+        let mut e = beer_engine(EnforcementMode::Off);
+        e.define_constraint("div", "forall x (x in beer implies 1 / 0 = 1)")
+            .unwrap();
+        e.load(
+            "beer",
+            vec![Tuple::of(("pils", "lager", "guineken", 5.0_f64))],
+        )
+        .unwrap();
+        let err = e.check_state().unwrap_err();
+        assert!(matches!(err, EngineError::Eval(_)), "got {err:?}");
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use tm_relational::ValueType;
+
 /// Convenience alias used throughout `txmod`.
 pub type Result<T> = std::result::Result<T, EngineError>;
 
@@ -10,6 +12,33 @@ pub type Result<T> = std::result::Result<T, EngineError>;
 pub enum EngineError {
     /// A rule failed to parse.
     RuleParse(String),
+    /// A rule's condition failed analysis or ground-truth evaluation —
+    /// distinct from [`EngineError::RuleParse`]: the text was well-formed,
+    /// evaluating it against a state (or analysing it for evaluation) is
+    /// what failed.
+    Eval(String),
+    /// A parameter binding has the wrong number of values for the
+    /// prepared transaction it was offered to.
+    ParamArity {
+        /// Parameter slots the template declares (`?0` … `?(expected-1)`).
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A parameter value does not conform to the attribute domain its
+    /// placeholder feeds (fast definition-time check; the executor's
+    /// base-relation validation remains authoritative).
+    ParamType {
+        /// Zero-based parameter index.
+        index: usize,
+        /// Expected attribute domain.
+        expected: ValueType,
+        /// Rendering of the offending value.
+        value: String,
+    },
+    /// A [`crate::prepared::StatementId`] did not name a prepared
+    /// statement of this session.
+    UnknownStatement(usize),
     /// A rule's condition failed translation.
     Translate(tm_translate::TranslateError),
     /// The rule set has triggering cycles (Definition 6.1) and the engine
@@ -36,6 +65,22 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::RuleParse(m) => write!(f, "rule parse error: {m}"),
+            EngineError::Eval(m) => write!(f, "constraint evaluation error: {m}"),
+            EngineError::ParamArity { expected, got } => write!(
+                f,
+                "parameter arity mismatch: template takes {expected} value(s), {got} given"
+            ),
+            EngineError::ParamType {
+                index,
+                expected,
+                value,
+            } => write!(
+                f,
+                "parameter ?{index} expects a value of type {expected:?}, got `{value}`"
+            ),
+            EngineError::UnknownStatement(id) => {
+                write!(f, "no prepared statement with id {id} in this session")
+            }
             EngineError::Translate(e) => write!(f, "rule translation error: {e}"),
             EngineError::TriggeringCycle(cycles) => {
                 write!(f, "rule set has triggering cycles:")?;

@@ -54,6 +54,12 @@
 //! * [`catalog`] — the rule catalog with triggering-graph validation,
 //! * [`engine`] — the integrated engine: schema + data + rules +
 //!   configurable enforcement,
+//! * [`prepared`] — prepared transactions and the session API: run `ModT`
+//!   once over a parameterized template ([`Engine::prepare`]), bind values
+//!   and execute millions of times
+//!   ([`prepared::Prepared::bind`] / [`prepared::Session::execute_prepared`]),
+//!   with consistent copy-on-write read snapshots
+//!   ([`prepared::Session::snapshot`]),
 //! * [`views`] — materialized view maintenance by transaction
 //!   modification, the second application named in the paper's
 //!   conclusions.
@@ -62,6 +68,7 @@ pub mod catalog;
 pub mod engine;
 pub mod error;
 pub mod modify;
+pub mod prepared;
 pub mod programs;
 pub mod views;
 
@@ -69,5 +76,6 @@ pub use catalog::Catalog;
 pub use engine::{EnforcementMode, Engine, EngineConfig, EngineOutcome, ModStats};
 pub use error::{EngineError, Result};
 pub use modify::mod_t;
+pub use prepared::{BoundTransaction, Prepared, Session, StatementId};
 pub use programs::{get_int_p, IntegrityProgram};
 pub use views::ViewDef;

@@ -91,6 +91,14 @@ impl Database {
         Ok(self.relation_mut(name)?.remove(tuple))
     }
 
+    /// Bulk insert into a base relation; returns how many tuples were new.
+    /// One name lookup and at most one COW unshare for the whole batch
+    /// (see [`Relation::extend`]) — per-tuple [`Database::insert`] pays
+    /// the lookup, the share check, and schema validation on every call.
+    pub fn extend(&mut self, name: &str, tuples: impl IntoIterator<Item = Tuple>) -> Result<usize> {
+        self.relation_mut(name)?.extend(tuples)
+    }
+
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
         self.relations.values().map(Relation::len).sum()
@@ -202,6 +210,22 @@ mod tests {
         assert_eq!(d.total_tuples(), 1);
         assert!(d.delete("beer", &beer_tuple("a")).unwrap());
         assert!(!d.delete("beer", &beer_tuple("a")).unwrap());
+    }
+
+    #[test]
+    fn extend_bulk_loads() {
+        let mut d = db();
+        let snapshot = d.clone();
+        let n = d
+            .extend(
+                "beer",
+                vec![beer_tuple("a"), beer_tuple("b"), beer_tuple("a")],
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(d.relation("beer").unwrap().len(), 2);
+        assert_eq!(snapshot.relation("beer").unwrap().len(), 0);
+        assert!(d.extend("nope", vec![beer_tuple("c")]).is_err());
     }
 
     #[test]

@@ -123,6 +123,37 @@ impl Relation {
         }
     }
 
+    /// Bulk insert: validate and add every tuple, returning how many were
+    /// new. Unlike a loop over [`Relation::insert`], a shared state is
+    /// unshared (and its capacity grown) **once** for the whole batch, not
+    /// re-checked per call — the path for initial loads and view
+    /// materialization. Validation happens up front, so a batch with an
+    /// invalid tuple changes nothing; a batch that would change nothing
+    /// (empty, or every tuple already present) never unshares, keeping
+    /// the no-op-mutations-never-copy invariant of the per-tuple path.
+    pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Result<usize> {
+        let batch: Vec<Tuple> = tuples.into_iter().collect();
+        for t in &batch {
+            self.schema.validate_tuple(t)?;
+        }
+        if batch.is_empty()
+            || (Arc::get_mut(&mut self.tuples).is_none()
+                && batch.iter().all(|t| self.tuples.contains(t)))
+        {
+            return Ok(0);
+        }
+        // One unshare for the whole batch (no-op when already private).
+        let set = Arc::make_mut(&mut self.tuples);
+        set.reserve(batch.len());
+        let mut added = 0;
+        for t in batch {
+            if set.insert(t) {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
     /// Remove a tuple; returns `true` when it was present. Removing an
     /// absent tuple from a shared state does not unshare it.
     pub fn remove(&mut self, tuple: &Tuple) -> bool {
@@ -434,6 +465,48 @@ mod tests {
         let b = a.unshared_copy();
         assert_eq!(a, b);
         assert!(!a.shares_storage(&b));
+    }
+
+    #[test]
+    fn extend_bulk_inserts_and_validates_up_front() {
+        let mut a = Relation::empty(schema());
+        let n = a
+            .extend(vec![
+                Tuple::of((1, "x")),
+                Tuple::of((2, "y")),
+                Tuple::of((1, "x")), // duplicate
+            ])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(a.len(), 2);
+        // An invalid tuple anywhere in the batch rejects the whole batch.
+        let err = a.extend(vec![Tuple::of((3, "z")), Tuple::of(("bad",))]);
+        assert!(err.is_err());
+        assert_eq!(a.len(), 2, "failed batch must change nothing");
+    }
+
+    #[test]
+    fn extend_unshares_once_and_only_from_clones() {
+        let mut a = Relation::from_tuples(schema(), vec![Tuple::of((1, "x"))]).unwrap();
+        let snapshot = a.clone();
+        a.extend((2..100).map(|i| Tuple::of((i, "t")))).unwrap();
+        assert_eq!(a.len(), 99);
+        assert_eq!(snapshot.len(), 1, "clone must not see the batch");
+        assert!(!a.shares_storage(&snapshot));
+        // A private state stays private (no observable resharing).
+        let before = a.clone();
+        a.extend(std::iter::empty()).unwrap();
+        assert!(a.shares_storage(&before), "empty batch must not copy");
+        // An all-duplicate batch on a shared state must not unshare —
+        // the bulk counterpart of `insert`'s duplicate guard.
+        let n = a
+            .extend(vec![Tuple::of((2, "t")), Tuple::of((3, "t"))])
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(
+            a.shares_storage(&before),
+            "no-op batch on a shared state must not copy"
+        );
     }
 
     #[test]

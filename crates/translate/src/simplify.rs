@@ -70,7 +70,11 @@ pub fn simplify_scalar(e: ScalarExpr) -> ScalarExpr {
         }
         ScalarExpr::Agg(f, rel, col) => ScalarExpr::Agg(f, Box::new(simplify_rel(*rel)), col),
         ScalarExpr::Cnt(rel) => ScalarExpr::Cnt(Box::new(simplify_rel(*rel))),
-        leaf @ (ScalarExpr::Const(_) | ScalarExpr::Col(_)) => leaf,
+        // A parameter placeholder is an opaque constant term: its value is
+        // unknown until bind time, so no fold may look through it (the
+        // `Cmp` fold above only fires on two `Const` operands, which keeps
+        // `?i = c` comparisons intact by construction).
+        leaf @ (ScalarExpr::Const(_) | ScalarExpr::Param(_) | ScalarExpr::Col(_)) => leaf,
     }
 }
 

@@ -1,0 +1,367 @@
+//! Equivalence and safety properties of the prepared-transaction surface.
+//!
+//! The contract of `Engine::prepare` / `Prepared::bind` /
+//! `Session::execute_prepared` is that preparation is *purely* an
+//! amortization: for every parameter binding, executing the prepared
+//! template commits or aborts exactly as ad-hoc execution of the
+//! substituted source transaction would, in **all four** enforcement
+//! modes, and leaves the database in the same state. On top of that:
+//!
+//! * stale-plan safety — a rule added *after* `prepare` invalidates the
+//!   plan; the next execution re-modifies it and enforces the new rule,
+//! * session snapshots are consistent copy-on-write reads: later writes
+//!   never reach a snapshot, untouched relations keep sharing storage,
+//! * templates cannot run unbound: the engine refuses them at bind time,
+//!   the executor aborts them with a dedicated error.
+
+use proptest::prelude::*;
+
+use tm_algebra::builder::TransactionBuilder;
+use tm_algebra::{AbortReason, AlgebraError, Executor, Transaction, TxOutcome};
+use tm_relational::{Tuple, Value};
+use txmod::engine::beer_engine;
+use txmod::{EnforcementMode, Engine, EngineError};
+
+const MODES: [EnforcementMode; 4] = [
+    EnforcementMode::Off,
+    EnforcementMode::Dynamic,
+    EnforcementMode::Static,
+    EnforcementMode::Differential,
+];
+
+fn constrained(mode: EnforcementMode) -> Engine {
+    let mut e = beer_engine(mode);
+    e.define_constraint("dom", "forall x (x in beer implies x.alcohol >= 0)")
+        .unwrap();
+    e.define_constraint(
+        "ref",
+        "forall x (x in beer implies exists y (y in brewery and x.brewery = y.name))",
+    )
+    .unwrap();
+    e.load(
+        "brewery",
+        vec![
+            Tuple::of(("heineken", "amsterdam", "nl")),
+            Tuple::of(("guinness", "dublin", "ie")),
+        ],
+    )
+    .unwrap();
+    e
+}
+
+fn insert_template() -> Transaction {
+    TransactionBuilder::new().insert_params("beer", 4).build()
+}
+
+fn delete_template() -> Transaction {
+    TransactionBuilder::new().delete_params("beer", 4).build()
+}
+
+/// One step of the random workload: insert or delete a beer row built
+/// from small pools (collisions and violations on purpose).
+type Step = (bool, usize, usize, i64);
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec((0..4usize, 0..5usize, 0..4usize, -2..8i64), 1..12).prop_map(|v| {
+        v.into_iter()
+            .map(|(op, name, brewery, alc)| (op != 0, name, brewery, alc))
+            .collect()
+    })
+}
+
+fn values_of(step: &Step) -> Vec<Value> {
+    let names = ["pils", "stout", "ale", "bock", "lager"];
+    let breweries = ["heineken", "guinness", "nowhere", "atlantis"];
+    vec![
+        Value::str(names[step.1]),
+        Value::str("style"),
+        Value::str(breweries[step.2]),
+        Value::double(step.3 as f64 / 2.0),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For a random stream of bindings over insert and delete templates,
+    /// `prepare` + `bind` + `execute_prepared` and ad-hoc `execute` of
+    /// the substituted source agree on every verdict and on every
+    /// intermediate state, in all four enforcement modes — and after the
+    /// first call every prepared execution reuses the plan.
+    #[test]
+    fn prepared_equals_adhoc_in_all_modes(workload in steps()) {
+        for mode in MODES {
+            let mut prepared_engine = constrained(mode);
+            let mut adhoc_engine = constrained(mode);
+            let ins_src = insert_template();
+            let del_src = delete_template();
+            let mut session = prepared_engine.session();
+            let ins = session.prepare(&ins_src).unwrap();
+            let del = session.prepare(&del_src).unwrap();
+            for step in &workload {
+                let values = values_of(step);
+                let (id, src) = if step.0 { (ins, &ins_src) } else { (del, &del_src) };
+                let out_p = session.execute_prepared(id, &values).unwrap();
+                prop_assert!(out_p.reused_plan, "{mode:?}: plan must be reused");
+                // The semantic reference: the source template with the
+                // binding substituted, executed ad hoc (ModT runs on it).
+                let ground = src.bind_params(&values);
+                prop_assert_eq!(ground.param_count(), 0);
+                let out_a = adhoc_engine.execute(&ground).unwrap();
+                prop_assert_eq!(
+                    out_p.committed(),
+                    out_a.committed(),
+                    "{:?}: verdicts diverged on {:?}",
+                    mode,
+                    step
+                );
+            }
+            drop(session);
+            for rel in ["beer", "brewery"] {
+                prop_assert_eq!(
+                    prepared_engine.relation(rel).unwrap().sorted_tuples(),
+                    adhoc_engine.relation(rel).unwrap().sorted_tuples(),
+                    "{:?}: state of `{}` diverged",
+                    mode,
+                    rel
+                );
+            }
+            // Both engines end consistent (enforcing modes) — the usual
+            // ground-truth check.
+            if mode != EnforcementMode::Off {
+                prop_assert!(prepared_engine.check_state().unwrap().is_empty());
+            }
+        }
+    }
+
+    /// `BoundTransaction::substituted` denotes the same ground
+    /// transaction the executor runs: the substituted *modified template*
+    /// (appended checks included), executed verbatim on a twin engine in
+    /// `Off` mode (no further modification), gives the same verdict as
+    /// the zero-copy prepared-plan path.
+    #[test]
+    fn substituted_form_is_the_executed_semantics(workload in steps()) {
+        let mut a = constrained(EnforcementMode::Static);
+        let mut b = constrained(EnforcementMode::Off);
+        let prepared = a.prepare(&insert_template()).unwrap();
+        for step in workload.iter().filter(|s| s.0) {
+            let values = values_of(step);
+            let bound = prepared.bind(&values).unwrap();
+            let ground = bound.substituted();
+            let out_a = a.execute_bound(&bound).unwrap();
+            let raw = b.execute(&ground).unwrap();
+            prop_assert_eq!(out_a.committed(), raw.committed());
+        }
+        prop_assert_eq!(
+            a.relation("beer").unwrap().sorted_tuples(),
+            b.relation("beer").unwrap().sorted_tuples()
+        );
+    }
+}
+
+#[test]
+fn rule_added_after_prepare_is_enforced_session_level() {
+    // Only the domain rule exists at prepare time.
+    let mut e = beer_engine(EnforcementMode::Static);
+    e.define_constraint("dom", "forall x (x in beer implies x.alcohol >= 0)")
+        .unwrap();
+    e.load("brewery", vec![Tuple::of(("guinness", "dublin", "ie"))])
+        .unwrap();
+    let mut session = e.session();
+    let id = session.prepare(&insert_template()).unwrap();
+
+    let good = vec![
+        Value::str("pils"),
+        Value::str("lager"),
+        Value::str("guinness"),
+        Value::double(5.0),
+    ];
+    let orphan = vec![
+        Value::str("ghost"),
+        Value::str("ale"),
+        Value::str("atlantis"),
+        Value::double(5.0),
+    ];
+    // Without the referential rule, the orphan would commit.
+    let out = session.execute_prepared(id, &good).unwrap();
+    assert!(out.committed() && out.reused_plan);
+
+    // Mid-session rule definition goes through the session and stales
+    // the plan.
+    session
+        .define_constraint(
+            "ref",
+            "forall x (x in beer implies exists y (y in brewery and x.brewery = y.name))",
+        )
+        .unwrap();
+    let out = session.execute_prepared(id, &orphan).unwrap();
+    assert!(
+        !out.committed(),
+        "stale plan must be re-modified: new rule enforced"
+    );
+    assert!(!out.reused_plan, "the refresh call re-ran ModT");
+    assert!(out.modification.rounds >= 1);
+    // The refreshed plan is stored: the next call reuses it.
+    let out = session
+        .execute_prepared(
+            id,
+            &[
+                Value::str("stout"),
+                Value::str("stout"),
+                Value::str("guinness"),
+                Value::double(4.2),
+            ],
+        )
+        .unwrap();
+    assert!(out.committed() && out.reused_plan);
+    drop(session);
+    assert_eq!(e.relation("beer").unwrap().len(), 2);
+    assert!(e.check_state().unwrap().is_empty());
+}
+
+#[test]
+fn caller_held_stale_plan_is_remodified_per_call() {
+    let mut e = beer_engine(EnforcementMode::Static);
+    e.load("brewery", vec![Tuple::of(("guinness", "dublin", "ie"))])
+        .unwrap();
+    let prepared = e.prepare(&insert_template()).unwrap();
+    assert!(!prepared.is_stale(&e));
+    e.define_constraint("dom", "forall x (x in beer implies x.alcohol >= 0)")
+        .unwrap();
+    assert!(prepared.is_stale(&e), "catalog change must stale the plan");
+
+    let bad = prepared
+        .bind(&[
+            Value::str("bad"),
+            Value::str("ale"),
+            Value::str("guinness"),
+            Value::double(-1.0),
+        ])
+        .unwrap();
+    let out = e.execute_bound(&bad).unwrap();
+    assert!(!out.committed(), "re-modified plan enforces the new rule");
+    assert!(!out.reused_plan);
+    // The caller's Prepared does not hold what ran, so the outcome does.
+    let executed = out.modified.expect("stale path reports the fresh plan");
+    assert!(executed.to_string().contains("alarm"));
+
+    // Re-preparing clears the staleness and reuses thereafter.
+    let prepared = e.prepare(prepared.source()).unwrap();
+    let good = prepared
+        .bind(&[
+            Value::str("good"),
+            Value::str("ale"),
+            Value::str("guinness"),
+            Value::double(2.0),
+        ])
+        .unwrap();
+    let out = e.execute_bound(&good).unwrap();
+    assert!(out.committed() && out.reused_plan);
+}
+
+#[test]
+fn session_snapshots_are_consistent_cow_reads() {
+    let mut e = constrained(EnforcementMode::Static);
+    let mut session = e.session();
+    let id = session.prepare(&insert_template()).unwrap();
+    let before = session.snapshot();
+    assert_eq!(before.relation("beer").unwrap().len(), 0);
+
+    for i in 0..10 {
+        let out = session
+            .execute_prepared(
+                id,
+                &[
+                    Value::str(format!("beer{i}")),
+                    Value::str("lager"),
+                    Value::str("heineken"),
+                    Value::double(5.0),
+                ],
+            )
+            .unwrap();
+        assert!(out.committed());
+    }
+    // The old snapshot never saw the writes.
+    assert_eq!(before.relation("beer").unwrap().len(), 0);
+    let after = session.snapshot();
+    assert_eq!(after.relation("beer").unwrap().len(), 10);
+    // Snapshots are O(#relations) COW clones: the untouched relation
+    // still shares physical storage with the live state; the touched one
+    // shares between two snapshots taken without intervening writes.
+    assert!(after
+        .relation("brewery")
+        .unwrap()
+        .shares_storage(session.engine().relation("brewery").unwrap()));
+    assert!(after
+        .relation("beer")
+        .unwrap()
+        .shares_storage(session.snapshot().relation("beer").unwrap()));
+}
+
+#[test]
+fn templates_cannot_run_unbound() {
+    // Engine level: ad-hoc execution of a template is a bind-arity error.
+    let mut e = constrained(EnforcementMode::Static);
+    let err = e.execute(&insert_template()).unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::ParamArity {
+            expected: 4,
+            got: 0
+        }
+    ));
+
+    // Executor level: a raw template aborts with the dedicated error.
+    let mut db = tm_relational::Database::new(tm_relational::schema::beer_schema().into_shared());
+    let out = Executor.execute(&mut db, &insert_template());
+    match out {
+        TxOutcome::Aborted {
+            reason: AbortReason::RuntimeError(AlgebraError::UnboundParam(0)),
+            ..
+        } => {}
+        other => panic!("expected UnboundParam abort, got {other:?}"),
+    }
+    // And a short binding leaves the later placeholders unbound.
+    let out = Executor.execute_bound(&mut db, &insert_template(), &[Value::str("x")]);
+    match out {
+        TxOutcome::Aborted {
+            reason: AbortReason::RuntimeError(AlgebraError::UnboundParam(1)),
+            ..
+        } => {}
+        other => panic!("expected UnboundParam(1) abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn prepared_execution_reports_prepare_time_trace_once() {
+    let mut e = constrained(EnforcementMode::Static);
+    let mut session = e.session();
+    let id = session.prepare(&insert_template()).unwrap();
+    // The ModT work lives on the prepared statement…
+    assert_eq!(session.prepared(id).unwrap().modification().rounds, 1);
+    assert_eq!(
+        session
+            .prepared(id)
+            .unwrap()
+            .modification()
+            .rules_fired
+            .len(),
+        2
+    );
+    // …and a reusing execution reports an empty per-execution trace.
+    let out = session
+        .execute_prepared(
+            id,
+            &[
+                Value::str("pils"),
+                Value::str("lager"),
+                Value::str("heineken"),
+                Value::double(5.0),
+            ],
+        )
+        .unwrap();
+    assert!(out.committed());
+    assert!(out.reused_plan);
+    assert_eq!(out.modification.rounds, 0);
+    assert!(out.modified.is_none());
+}
