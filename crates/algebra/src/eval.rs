@@ -178,7 +178,7 @@ fn as_bool(v: &Value, expr: &ScalarExpr) -> Result<bool> {
         .ok_or_else(|| AlgebraError::NotABoolean(expr.to_string()))
 }
 
-fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
     match (l, r) {
         (Value::Int(a), Value::Int(b)) => match op {
             ArithOp::Add => Ok(Value::Int(a.wrapping_add(*b))),

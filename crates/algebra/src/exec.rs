@@ -57,8 +57,11 @@ use tm_relational::{
 };
 
 use crate::error::{AlgebraError, Result};
-use crate::eval::{eval_scalar, evaluate, EvalContext, SchemaView};
+use crate::eval::{eval_arith, eval_scalar, evaluate, EvalContext, SchemaView};
+use crate::expr::{ArithOp, CmpOp, ScalarExpr};
+use crate::keys::key_values_match;
 use crate::program::{Statement, Transaction};
+use crate::rel_expr::RelExpr;
 use tm_relational::util::FxHashMap;
 
 /// Execution statistics for a transaction, used by the benchmark harness
@@ -515,6 +518,7 @@ pub struct ExecPlan {
     tx: Transaction,
     aux: Vec<Vec<(String, AuxKind)>>,
     param_count: usize,
+    fast: Option<Vec<FastOp>>,
 }
 
 impl ExecPlan {
@@ -527,9 +531,11 @@ impl ExecPlan {
             .map(statement_aux_refs)
             .collect();
         let param_count = tx.param_count();
+        let fast = recognize_fast(&tx);
         ExecPlan {
             aux,
             param_count,
+            fast,
             tx,
         }
     }
@@ -548,6 +554,533 @@ impl ExecPlan {
     pub fn param_count(&self) -> usize {
         self.param_count
     }
+
+    /// Whether the plan executes on the fast path: every statement was
+    /// recognized as a grounded singleton write or a specialized
+    /// point-probe check, so execution touches only the rows it names —
+    /// no relation clones, no differential bookkeeping, no derived-schema
+    /// allocations. See `recognize_fast` for the recognized shapes.
+    pub fn is_fast(&self) -> bool {
+        self.fast.is_some()
+    }
+}
+
+/// One statement of a fast-path plan — the compiled form of the statement
+/// shapes prepare-time specialization emits (grounded singleton writes and
+/// `alarm` checks over a single candidate row). Recognized once at
+/// [`ExecPlan::compile`]; executed without a [`TxContext`].
+#[derive(Debug, Clone, PartialEq)]
+enum FastOp {
+    /// `insert(R, ⟨e0, …, ek⟩)` of a grounded (column-free, aggregate-free)
+    /// row.
+    Insert {
+        relation: String,
+        row: Vec<ScalarExpr>,
+    },
+    /// `delete(R, ⟨e0, …, ek⟩)` of a grounded row.
+    Delete {
+        relation: String,
+        row: Vec<ScalarExpr>,
+    },
+    /// `alarm(select[p](⟨row⟩))` — a domain check on one candidate row.
+    /// `check` is `p` with every `#i` replaced by `row[i]` (the weakest
+    /// precondition of the alarm over the singleton), so evaluation needs
+    /// no tuple at all; `pred_text`/`alarm_text` preserve the generic
+    /// path's error and abort renderings. `row_params` is `Some(n)` when
+    /// the row is constants and parameters only — then row evaluation
+    /// cannot fail once `n` parameters are bound and is skipped entirely
+    /// (its values are unused; it is evaluated by the generic path only
+    /// for error ordering).
+    /// `flat` is the postfix compilation of `check` when the expression
+    /// is jump-free (see [`compile_flat`]); evaluation then runs a tight
+    /// loop over contiguous instructions instead of chasing `Box`ed AST
+    /// nodes.
+    Check {
+        row: Vec<ScalarExpr>,
+        row_params: Option<usize>,
+        check: ScalarExpr,
+        flat: Option<Vec<Instr>>,
+        pred_text: String,
+        alarm_text: String,
+    },
+    /// `alarm(antijoin[p](⟨row⟩, S))` — a referential check probing the
+    /// live relation `S` for a partner of one candidate row. `pairs` are
+    /// `(row column, S column)` equalities extracted from `p` at compile
+    /// time (S's arity is unknown until execution, so they are validated
+    /// against it per run); `residual` is the rest of `p`, and `pred` the
+    /// original for the no-keys scan fallback. `row_params` is the
+    /// infallible-row witness (see [`FastOp::Check`]); `full_key` records
+    /// that `p` is pure distinct key equalities, so whenever the pairs
+    /// also cover all of S's columns the probe is decided by one borrowed
+    /// set lookup built straight from the bound parameters — no row
+    /// evaluation, no tuple.
+    Probe {
+        row: Vec<ScalarExpr>,
+        row_params: Option<usize>,
+        relation: String,
+        pairs: Vec<(usize, usize)>,
+        full_key: bool,
+        residual: Option<ScalarExpr>,
+        pred: ScalarExpr,
+        alarm_text: String,
+    },
+}
+
+impl FastOp {
+    /// The base relation a write op targets (checks never mutate).
+    fn write_target(&self) -> &str {
+        match self {
+            FastOp::Insert { relation, .. } | FastOp::Delete { relation, .. } => relation,
+            FastOp::Check { .. } | FastOp::Probe { .. } => {
+                unreachable!("checks are not undo-logged")
+            }
+        }
+    }
+}
+
+/// A scalar expression the fast path can evaluate without an input tuple
+/// or relation access: no columns, no aggregates (parameters are fine).
+fn grounded(e: &ScalarExpr) -> bool {
+    e.max_col().is_none() && !e.has_aggregates()
+}
+
+/// One instruction of a flat postfix check program — the compiled form
+/// of a jump-free scalar expression (constants, parameters, arithmetic,
+/// comparisons). Connectives are excluded: their short-circuit semantics
+/// would need jumps, and the specializer's point checks are overwhelmingly
+/// bare comparisons.
+#[derive(Debug, Clone, PartialEq)]
+enum Instr {
+    /// Push a constant.
+    Const(Value),
+    /// Push the value bound to `?i` (error if unbound).
+    Param(usize),
+    /// Pop two operands, push the arithmetic result.
+    Arith(ArithOp),
+    /// Pop two operands, push the boolean comparison result.
+    Cmp(CmpOp),
+    /// Pop one operand `l`, push `l op const` — a [`Instr::Const`]
+    /// followed by [`Instr::Arith`], fused so the constant is never
+    /// cloned onto the stack.
+    ArithConst(ArithOp, Value),
+    /// Pop one operand `l`, push `l op const` — fused comparison.
+    CmpConst(CmpOp, Value),
+}
+
+/// Peephole-fuse a postfix program: a constant push consumed immediately
+/// as the right operand of an arithmetic or comparison instruction folds
+/// into the operator. The specializer's point checks (`?i + c >= d`)
+/// collapse from five instructions and three stack pushes to three
+/// instructions and one push. Evaluation order and errors are unchanged —
+/// constants cannot fail, and the left operand still evaluates first.
+fn fuse_flat(prog: &mut Vec<Instr>) {
+    let mut out = Vec::with_capacity(prog.len());
+    for ins in prog.drain(..) {
+        match ins {
+            Instr::Arith(op) if matches!(out.last(), Some(Instr::Const(_))) => {
+                let Some(Instr::Const(c)) = out.pop() else {
+                    unreachable!("guarded by matches!")
+                };
+                out.push(Instr::ArithConst(op, c));
+            }
+            Instr::Cmp(op) if matches!(out.last(), Some(Instr::Const(_))) => {
+                let Some(Instr::Const(c)) = out.pop() else {
+                    unreachable!("guarded by matches!")
+                };
+                out.push(Instr::CmpConst(op, c));
+            }
+            other => out.push(other),
+        }
+    }
+    *prog = out;
+}
+
+/// Compile `e` into postfix instructions appended to `out`. Returns
+/// `false` (leaving `out` in an unspecified state the caller discards)
+/// if the expression contains anything but constants, parameters,
+/// arithmetic, and comparisons. The instruction order is exactly the
+/// left-to-right evaluation order of [`eval_scalar`], so every runtime
+/// error (unbound parameter, division by zero, type error) surfaces at
+/// the same point with the same rendering.
+fn compile_flat(e: &ScalarExpr, out: &mut Vec<Instr>) -> bool {
+    match e {
+        ScalarExpr::Const(v) => {
+            out.push(Instr::Const(v.clone()));
+            true
+        }
+        ScalarExpr::Param(i) => {
+            out.push(Instr::Param(*i));
+            true
+        }
+        ScalarExpr::Arith(op, l, r) => {
+            compile_flat(l, out) && compile_flat(r, out) && {
+                out.push(Instr::Arith(*op));
+                true
+            }
+        }
+        ScalarExpr::Cmp(op, l, r) => {
+            compile_flat(l, out) && compile_flat(r, out) && {
+                out.push(Instr::Cmp(*op));
+                true
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Run a flat check program against a binding. `stack` is caller-owned
+/// scratch space (cleared here) so repeated checks share one allocation.
+fn eval_flat(prog: &[Instr], params: &[Value], stack: &mut Vec<Value>) -> Result<Value> {
+    stack.clear();
+    for ins in prog {
+        match ins {
+            Instr::Const(v) => stack.push(v.clone()),
+            Instr::Param(i) => match params.get(*i) {
+                Some(v) => stack.push(v.clone()),
+                None => return Err(AlgebraError::UnboundParam(*i)),
+            },
+            Instr::Arith(op) => {
+                let r = stack.pop().expect("flat program is well-formed");
+                let l = stack.pop().expect("flat program is well-formed");
+                stack.push(eval_arith(*op, &l, &r)?);
+            }
+            Instr::Cmp(op) => {
+                let r = stack.pop().expect("flat program is well-formed");
+                let l = stack.pop().expect("flat program is well-formed");
+                stack.push(Value::Bool(op.test(l.compare(&r))));
+            }
+            Instr::ArithConst(op, c) => {
+                let l = stack.pop().expect("flat program is well-formed");
+                stack.push(eval_arith(*op, &l, c)?);
+            }
+            Instr::CmpConst(op, c) => {
+                let l = stack.pop().expect("flat program is well-formed");
+                stack.push(Value::Bool(op.test(l.compare(c))));
+            }
+        }
+    }
+    Ok(stack.pop().expect("flat program is well-formed"))
+}
+
+/// `Some(n)` if every expression in `row` is a bare constant or
+/// parameter — evaluation then cannot fail once `n` parameters are
+/// bound. `None` for any composite expression (arithmetic can divide by
+/// zero, so it must actually run).
+fn infallible_row_params(row: &[ScalarExpr]) -> Option<usize> {
+    let mut need = 0;
+    for e in row {
+        match e {
+            ScalarExpr::Const(_) => {}
+            ScalarExpr::Param(i) => need = need.max(i + 1),
+            _ => return None,
+        }
+    }
+    Some(need)
+}
+
+/// Recognize a transaction as a fast-path plan: every statement must be a
+/// grounded singleton insert/delete into a base relation, or an `alarm`
+/// over `select[p](⟨row⟩)` / `antijoin[p](⟨row⟩, S)` with an
+/// aggregate-free predicate — exactly the shapes ModT's prepare-time
+/// specializer emits. Anything else (temporaries, updates, auxiliary
+/// references, multi-row sources, aggregates) returns `None` and the plan
+/// executes generically. The fast execution is *observably identical* to
+/// the generic one for every recognized plan — same outcome, same
+/// statistics, same abort renderings — which the equivalence tests below
+/// and the specialization-soundness suite pin down.
+fn recognize_fast(tx: &Transaction) -> Option<Vec<FastOp>> {
+    let program = tx.debracket();
+    let mut ops = Vec::with_capacity(program.len());
+    for stmt in program.statements() {
+        let op = match stmt {
+            Statement::Insert {
+                relation,
+                source: RelExpr::Singleton(row),
+            } if !auxiliary::is_auxiliary(relation) && row.iter().all(grounded) => FastOp::Insert {
+                relation: relation.clone(),
+                row: row.clone(),
+            },
+            Statement::Delete {
+                relation,
+                source: RelExpr::Singleton(row),
+            } if !auxiliary::is_auxiliary(relation) && row.iter().all(grounded) => FastOp::Delete {
+                relation: relation.clone(),
+                row: row.clone(),
+            },
+            Statement::Alarm(expr) => recognize_alarm(expr)?,
+            _ => return None,
+        };
+        ops.push(op);
+    }
+    Some(ops)
+}
+
+/// Recognize one `alarm` argument as a point check ([`FastOp::Check`]) or
+/// point probe ([`FastOp::Probe`]).
+fn recognize_alarm(expr: &RelExpr) -> Option<FastOp> {
+    match expr {
+        RelExpr::Select(input, pred) => {
+            let RelExpr::Singleton(row) = input.as_ref() else {
+                return None;
+            };
+            if !row.iter().all(grounded) || pred.has_aggregates() {
+                return None;
+            }
+            // A column past the row would error generically; leave it to
+            // the generic path rather than replicating the error.
+            if pred.max_col().is_some_and(|m| m >= row.len()) {
+                return None;
+            }
+            let check = pred.substitute_cols(row);
+            let flat = {
+                let mut prog = Vec::new();
+                compile_flat(&check, &mut prog).then(|| {
+                    fuse_flat(&mut prog);
+                    prog
+                })
+            };
+            Some(FastOp::Check {
+                row: row.clone(),
+                row_params: infallible_row_params(row),
+                check,
+                flat,
+                pred_text: pred.to_string(),
+                alarm_text: expr.to_string(),
+            })
+        }
+        RelExpr::AntiJoin(l, r, pred) => {
+            let RelExpr::Singleton(row) = l.as_ref() else {
+                return None;
+            };
+            let RelExpr::Rel(name) = r.as_ref() else {
+                return None;
+            };
+            if auxiliary::is_auxiliary(name) || !row.iter().all(grounded) || pred.has_aggregates() {
+                return None;
+            }
+            let (pairs, residual) = probe_keys(pred, row.len());
+            let full_key = residual.is_none() && !pairs.is_empty() && distinct_right(&pairs);
+            Some(FastOp::Probe {
+                row: row.clone(),
+                row_params: infallible_row_params(row),
+                relation: name.clone(),
+                pairs,
+                full_key,
+                residual,
+                pred: pred.clone(),
+                alarm_text: expr.to_string(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Decompose a probe predicate into `(row column, S column)` equality
+/// pairs plus a residual conjunction — [`crate::keys::extract_equi_keys`]
+/// with the right arity open, since S's arity is only known at execution
+/// time. Pairs whose S offset turns out to be out of range force the
+/// whole execution onto the generic path (see [`Executor::execute_plan`]),
+/// which reports the range error exactly as before.
+fn probe_keys(pred: &ScalarExpr, row_arity: usize) -> (Vec<(usize, usize)>, Option<ScalarExpr>) {
+    fn flatten<'e>(e: &'e ScalarExpr, out: &mut Vec<&'e ScalarExpr>) {
+        if let ScalarExpr::And(l, r) = e {
+            flatten(l, out);
+            flatten(r, out);
+        } else {
+            out.push(e);
+        }
+    }
+    let mut conjuncts = Vec::new();
+    flatten(pred, &mut conjuncts);
+    let mut pairs = Vec::new();
+    let mut residual: Option<ScalarExpr> = None;
+    for c in conjuncts {
+        let pair = if let ScalarExpr::Cmp(CmpOp::Eq, l, r) = c {
+            match (l.as_ref(), r.as_ref()) {
+                (ScalarExpr::Col(a), ScalarExpr::Col(b)) if *a < row_arity && *b >= row_arity => {
+                    Some((*a, *b - row_arity))
+                }
+                (ScalarExpr::Col(b), ScalarExpr::Col(a)) if *a < row_arity && *b >= row_arity => {
+                    Some((*a, *b - row_arity))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        match pair {
+            Some(p) => pairs.push(p),
+            None => {
+                residual = Some(match residual {
+                    None => c.clone(),
+                    Some(acc) => ScalarExpr::and(acc, c.clone()),
+                });
+            }
+        }
+    }
+    (pairs, residual)
+}
+
+/// The [`EvalContext`] of the fast path: a parameter binding and nothing
+/// else. Every expression the fast path evaluates is aggregate-free (by
+/// [`recognize_fast`]'s gates), so relation access is unreachable.
+struct ParamsCtx<'a> {
+    params: &'a [Value],
+}
+
+impl SchemaView for ParamsCtx<'_> {
+    fn schema_of(&self, name: &str) -> Result<Arc<RelationSchema>> {
+        Err(AlgebraError::Internal(format!(
+            "fast path evaluated a relation-bearing expression (`{name}`)"
+        )))
+    }
+}
+
+impl EvalContext for ParamsCtx<'_> {
+    fn relation_state(&self, name: &str) -> Result<&Relation> {
+        Err(AlgebraError::Internal(format!(
+            "fast path evaluated a relation-bearing expression (`{name}`)"
+        )))
+    }
+
+    fn param(&self, i: usize) -> Option<&Value> {
+        self.params.get(i)
+    }
+}
+
+/// Check every probe's compile-time key pairs against the live arity of
+/// its relation. `false` sends the execution to the generic path — either
+/// the predicate references columns past the relation (the generic path
+/// owns that error's rendering) or the relation is missing. Relation
+/// arities cannot change mid-transaction (fast plans only move rows), so
+/// one check up front covers the whole run.
+fn fast_probes_valid(db: &Database, ops: &[FastOp]) -> bool {
+    ops.iter().all(|op| match op {
+        FastOp::Probe {
+            relation, pairs, ..
+        } => match db.relation(relation) {
+            Ok(s) => {
+                let arity = s.schema().arity();
+                pairs.iter().all(|&(_, j)| j < arity)
+            }
+            Err(_) => false,
+        },
+        _ => true,
+    })
+}
+
+/// Does `row` have a partner in `s` under the probe's predicate? The
+/// decision procedure mirrors the generic hash anti-join exactly:
+///
+/// * **all of `s`'s columns are keyed, no residual** — one set lookup; a
+///   hit is definitive (tuple equality implies key equality), and a miss
+///   is definitive unless a key value is numeric (`Int(1)` and
+///   `Double(1.0)` compare equal but are distinct set elements), in which
+///   case the scan below re-decides;
+/// * **some key pairs** — scan `s`, matching keys with
+///   [`key_values_match`] (the hash path's verification) and evaluating
+///   only the residual per key match;
+/// * **no key pairs** — scan `s` evaluating the full predicate over the
+///   concatenated tuple, the nested-loop semantics.
+///
+/// The scans are O(|S|) where the generic path is O(|S|) *per execution
+/// anyway* (it clones `S` out of `Rel` before joining); the point-probe
+/// win is the first case, which every translator-emitted foreign-key
+/// check hits.
+fn probe_matches(
+    row: &Tuple,
+    s: &Relation,
+    pairs: &[(usize, usize)],
+    residual: Option<&ScalarExpr>,
+    pred: &ScalarExpr,
+    ctx: &ParamsCtx<'_>,
+) -> Result<bool> {
+    let arity = s.schema().arity();
+    if !pairs.is_empty() {
+        if residual.is_none() && pairs.len() == arity && distinct_right(pairs) {
+            let mut key = vec![Value::Null; arity];
+            for &(i, j) in pairs {
+                key[j] = row.get(i).cloned().expect("pair row offsets in range");
+            }
+            let numeric = key
+                .iter()
+                .any(|v| matches!(v, Value::Int(_) | Value::Double(_)));
+            let key = Tuple::from_values(key);
+            if s.contains(&key) {
+                return Ok(true);
+            }
+            if !numeric {
+                return Ok(false);
+            }
+            // A numeric key can still compare-match a cross-type partner
+            // the typed set lookup misses; fall through to the scan.
+        }
+        for t in s.iter() {
+            if !key_values_match(row, t, pairs) {
+                continue;
+            }
+            match residual {
+                None => return Ok(true),
+                Some(res) => {
+                    let joined = row.concat(t);
+                    let v = eval_scalar(res, &joined, ctx)?;
+                    if v.as_bool()
+                        .ok_or_else(|| AlgebraError::NotABoolean(res.to_string()))?
+                    {
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+        return Ok(false);
+    }
+    for t in s.iter() {
+        let joined = row.concat(t);
+        let v = eval_scalar(pred, &joined, ctx)?;
+        if v.as_bool()
+            .ok_or_else(|| AlgebraError::NotABoolean(pred.to_string()))?
+        {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Build a full-key probe's lookup key in place, straight from the bound
+/// parameters — the direct path of [`FastOp::Probe`], reached only when
+/// the row is infallible (`row_params`), so every keyed row expression is
+/// a constant or a bound parameter. Returns whether any key value is
+/// numeric (the set-lookup miss caveat of [`probe_matches`]); `None`
+/// defers to the generic path.
+fn direct_key(
+    row: &[ScalarExpr],
+    pairs: &[(usize, usize)],
+    params: &[Value],
+    arity: usize,
+    key: &mut Vec<Value>,
+) -> Option<bool> {
+    key.clear();
+    key.resize(arity, Value::Null);
+    let mut numeric = false;
+    for &(i, j) in pairs {
+        let v = match row.get(i)? {
+            ScalarExpr::Const(v) => v.clone(),
+            ScalarExpr::Param(p) => params.get(*p)?.clone(),
+            _ => return None,
+        };
+        numeric |= matches!(v, Value::Int(_) | Value::Double(_));
+        *key.get_mut(j)? = v;
+    }
+    Some(numeric)
+}
+
+/// Whether the S-side offsets of the key pairs are pairwise distinct —
+/// required for the full-key set lookup (duplicate offsets mean two row
+/// columns constrain the same S column; only the scan checks both).
+fn distinct_right(pairs: &[(usize, usize)]) -> bool {
+    pairs
+        .iter()
+        .all(|&(_, j)| pairs.iter().filter(|&&(_, k)| k == j).count() == 1)
 }
 
 /// Apply the inverse of a recorded net delta to `rel`: remove the `R@ins`
@@ -645,9 +1178,205 @@ impl Executor {
 
     /// Execute a compiled [`ExecPlan`] against a parameter binding. Same
     /// semantics as [`Executor::execute_bound`] on the plan's template,
-    /// but the per-statement analysis was paid once at compile time.
+    /// but the per-statement analysis was paid once at compile time, and
+    /// plans recognized by `recognize_fast` skip the [`TxContext`]
+    /// machinery entirely: writes go straight to the live relations under
+    /// a tuple-level undo log, checks evaluate as point probes.
     pub fn execute_plan(&self, db: &mut Database, plan: &ExecPlan, params: &[Value]) -> TxOutcome {
+        if let Some(ops) = &plan.fast {
+            if fast_probes_valid(db, ops) {
+                return self.run_fast(db, ops, params);
+            }
+            // A probe's key columns fall outside its relation (or the
+            // relation is missing): the generic path owns those error
+            // renderings. Nothing has executed yet, so falling back is
+            // observably free.
+        }
         self.run(db, &plan.tx, params, Some(&plan.aux))
+    }
+
+    /// Run a recognized fast plan. Equivalent to the generic path on the
+    /// same template — same outcome, statistics, and abort renderings —
+    /// but O(1) per statement: no differential maps, no `R@pre`, no
+    /// derived singleton schemas. Atomicity comes from a tuple-level undo
+    /// log (the net change record, replayed in reverse on abort), the
+    /// fast-path miniature of the generic inverse-delta rollback.
+    fn run_fast(&self, db: &mut Database, ops: &[FastOp], params: &[Value]) -> TxOutcome {
+        let ctx = ParamsCtx { params };
+        let empty = Tuple::empty();
+        let mut stats = ExecStats::default();
+        // (op index, tuple, was_insert) — reversed on abort.
+        let mut undo: Vec<(usize, Tuple, bool)> = Vec::new();
+        // Operand stack reused across every flat check in the plan.
+        let mut scratch: Vec<Value> = Vec::with_capacity(8);
+
+        let eval_row = |row: &[ScalarExpr]| -> std::result::Result<Vec<Value>, AbortReason> {
+            let mut values = Vec::with_capacity(row.len());
+            for e in row {
+                match eval_scalar(e, &empty, &ctx) {
+                    Ok(v) => values.push(v),
+                    Err(e) => return Err(AbortReason::RuntimeError(e)),
+                }
+            }
+            Ok(values)
+        };
+
+        for (i, op) in ops.iter().enumerate() {
+            stats.statements += 1;
+            let step: std::result::Result<(), AbortReason> = match op {
+                FastOp::Insert { relation, row } => {
+                    eval_row(row).and_then(|values| {
+                        let t = Tuple::from_values(values);
+                        let res: Result<bool> = (|| {
+                            db.relation(relation)?.schema().validate_tuple(&t)?;
+                            Ok(db.relation_mut(relation)?.insert_unchecked(t.clone()))
+                        })();
+                        match res {
+                            Ok(true) => {
+                                stats.tuples_inserted += 1;
+                                undo.push((i, t, true));
+                                Ok(())
+                            }
+                            Ok(false) => Ok(()), // duplicate: no net change
+                            Err(e) => Err(AbortReason::RuntimeError(e)),
+                        }
+                    })
+                }
+                FastOp::Delete { relation, row } => {
+                    eval_row(row).and_then(|values| {
+                        let t = Tuple::from_values(values);
+                        let res: Result<bool> = (|| {
+                            db.relation(relation)?.schema().validate_tuple(&t)?;
+                            Ok(db.relation_mut(relation)?.remove(&t))
+                        })();
+                        match res {
+                            Ok(true) => {
+                                stats.tuples_deleted += 1;
+                                undo.push((i, t, false));
+                                Ok(())
+                            }
+                            Ok(false) => Ok(()), // absent: no net change
+                            Err(e) => Err(AbortReason::RuntimeError(e)),
+                        }
+                    })
+                }
+                FastOp::Check {
+                    row,
+                    row_params,
+                    check,
+                    flat,
+                    pred_text,
+                    alarm_text,
+                } => {
+                    stats.alarms_evaluated += 1;
+                    // The generic path evaluates the singleton's row first;
+                    // keep its error ordering (e.g. an unbound parameter in
+                    // the row surfaces before a predicate error). A row of
+                    // constants and bound parameters cannot fail, so its
+                    // (unused) values are not materialized at all.
+                    let row_ok = match row_params {
+                        Some(n) if params.len() >= *n => Ok(()),
+                        _ => eval_row(row).map(drop),
+                    };
+                    row_ok.and_then(|_| {
+                        let evaluated = match flat {
+                            Some(prog) => eval_flat(prog, params, &mut scratch),
+                            None => eval_scalar(check, &empty, &ctx),
+                        };
+                        let v = match evaluated {
+                            Ok(v) => v,
+                            Err(e) => return Err(AbortReason::RuntimeError(e)),
+                        };
+                        let violated = v.as_bool().ok_or_else(|| {
+                            AbortReason::RuntimeError(AlgebraError::NotABoolean(pred_text.clone()))
+                        })?;
+                        if violated {
+                            stats.alarms_fired += 1;
+                            Err(AbortReason::AlarmFired {
+                                expr: alarm_text.clone(),
+                                violations: 1,
+                            })
+                        } else {
+                            Ok(())
+                        }
+                    })
+                }
+                FastOp::Probe {
+                    row,
+                    row_params,
+                    relation,
+                    pairs,
+                    full_key,
+                    residual,
+                    pred,
+                    alarm_text,
+                } => {
+                    stats.alarms_evaluated += 1;
+                    match db.relation(relation) {
+                        Err(e) => Err(AbortReason::RuntimeError(e.into())),
+                        Ok(s) => {
+                            // Direct path: pure distinct key equalities
+                            // covering all of S's columns, from an
+                            // infallible row — decide by one borrowed set
+                            // lookup. A numeric miss falls through
+                            // (cross-type compare-matches, see
+                            // `probe_matches`); a hit or non-numeric miss
+                            // is definitive.
+                            let direct = if *full_key
+                                && matches!(row_params, Some(n) if params.len() >= *n)
+                                && pairs.len() == s.schema().arity()
+                            {
+                                direct_key(row, pairs, params, pairs.len(), &mut scratch)
+                                    .map(|numeric| (s.contains_row(&scratch), numeric))
+                            } else {
+                                None
+                            };
+                            match direct {
+                                Some((true, _)) => Ok(()),
+                                Some((false, false)) => {
+                                    stats.alarms_fired += 1;
+                                    Err(AbortReason::AlarmFired {
+                                        expr: alarm_text.clone(),
+                                        violations: 1,
+                                    })
+                                }
+                                _ => eval_row(row).and_then(|values| {
+                                    let t = Tuple::from_values(values);
+                                    match probe_matches(&t, s, pairs, residual.as_ref(), pred, &ctx)
+                                    {
+                                        Ok(true) => Ok(()),
+                                        Ok(false) => {
+                                            stats.alarms_fired += 1;
+                                            Err(AbortReason::AlarmFired {
+                                                expr: alarm_text.clone(),
+                                                violations: 1,
+                                            })
+                                        }
+                                        Err(e) => Err(AbortReason::RuntimeError(e)),
+                                    }
+                                }),
+                            }
+                        }
+                    }
+                }
+            };
+            if let Err(reason) = step {
+                for (idx, t, was_insert) in undo.iter().rev() {
+                    let rel = db
+                        .relation_mut(ops[*idx].write_target())
+                        .expect("undo targets a relation that existed at write time");
+                    if *was_insert {
+                        rel.remove(t);
+                    } else {
+                        rel.insert_unchecked(t.clone());
+                    }
+                }
+                db.tick();
+                return TxOutcome::Aborted { reason, stats };
+            }
+        }
+        db.tick();
+        TxOutcome::Committed(stats)
     }
 
     fn run(
@@ -1071,6 +1800,294 @@ mod tests {
         assert_eq!(out_plan, out_direct);
         assert!(via_plan.state_eq(&direct));
         assert!(out_plan.is_committed(), "{out_plan:?}");
+    }
+
+    /// Execute `tx` through its (fast) plan and through the generic
+    /// interpreter on twin databases; the outcomes and final states must
+    /// be indistinguishable. Returns the plan outcome.
+    fn assert_fast_equals_generic(
+        mk: impl Fn() -> Database,
+        tx: &Transaction,
+        params: &[Value],
+    ) -> TxOutcome {
+        let plan = ExecPlan::compile(tx.clone());
+        assert!(plan.is_fast(), "plan unexpectedly generic: {tx}");
+        let mut via_plan = mk();
+        let out_plan = Executor.execute_plan(&mut via_plan, &plan, params);
+        let mut generic = mk();
+        let out_generic = Executor.run(&mut generic, tx, params, None);
+        assert_eq!(out_plan, out_generic, "outcome diverged for {tx}");
+        assert!(via_plan.state_eq(&generic), "state diverged for {tx}");
+        assert_eq!(via_plan.logical_time(), generic.logical_time());
+        out_plan
+    }
+
+    fn singleton(values: Vec<ScalarExpr>) -> RelExpr {
+        RelExpr::Singleton(values)
+    }
+
+    #[test]
+    fn fast_plan_recognizes_specialized_shapes() {
+        // Grounded singleton writes + point check + point probe: fast.
+        let tx = Program::new(vec![
+            Statement::Insert {
+                relation: "r".into(),
+                source: singleton(vec![ScalarExpr::param(0), ScalarExpr::param(1)]),
+            },
+            Statement::Alarm(
+                singleton(vec![ScalarExpr::param(0)]).select(ScalarExpr::cmp(
+                    CmpOp::Lt,
+                    ScalarExpr::col(0),
+                    ScalarExpr::int(0),
+                )),
+            ),
+            Statement::Alarm(
+                singleton(vec![ScalarExpr::param(0)])
+                    .anti_join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 1)),
+            ),
+        ])
+        .bracket();
+        assert!(ExecPlan::compile(tx).is_fast());
+
+        // Any other statement shape falls back to the generic path.
+        for tx in [
+            Program::new(vec![Statement::insert_tuples(
+                "r@ins",
+                vec![Tuple::of((1, "x"))],
+            )]),
+            Program::new(vec![Statement::Insert {
+                relation: "r".into(),
+                source: RelExpr::relation("s"),
+            }]),
+            Program::new(vec![Statement::Alarm(RelExpr::relation("r"))]),
+            Program::new(vec![Statement::Abort]),
+            Program::new(vec![Statement::Alarm(
+                singleton(vec![ScalarExpr::param(0)]).select(ScalarExpr::cmp(
+                    CmpOp::Lt,
+                    ScalarExpr::Cnt(Box::new(RelExpr::relation("s"))),
+                    ScalarExpr::int(0),
+                )),
+            )]),
+        ] {
+            assert!(
+                !ExecPlan::compile(tx.clone().bracket()).is_fast(),
+                "unexpectedly fast: {tx}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_commit_and_duplicate_insert() {
+        let tx = Program::new(vec![
+            Statement::Insert {
+                relation: "r".into(),
+                source: singleton(vec![ScalarExpr::param(0), ScalarExpr::param(1)]),
+            },
+            // Duplicate of the first insert: no net change, still counted
+            // as a statement.
+            Statement::Insert {
+                relation: "r".into(),
+                source: singleton(vec![ScalarExpr::param(0), ScalarExpr::param(1)]),
+            },
+        ])
+        .bracket();
+        let params = [Value::Int(7), Value::str("seven")];
+        let out = assert_fast_equals_generic(db, &tx, &params);
+        assert!(out.is_committed());
+        assert_eq!(out.stats().tuples_inserted, 1);
+        assert_eq!(out.stats().statements, 2);
+    }
+
+    #[test]
+    fn fast_path_check_fires_and_rolls_back() {
+        let tx = Program::new(vec![
+            Statement::Insert {
+                relation: "s".into(),
+                source: singleton(vec![ScalarExpr::param(0)]),
+            },
+            Statement::Alarm(
+                singleton(vec![ScalarExpr::param(0)]).select(ScalarExpr::cmp(
+                    CmpOp::Lt,
+                    ScalarExpr::col(0),
+                    ScalarExpr::int(0),
+                )),
+            ),
+        ])
+        .bracket();
+        // Clean value commits…
+        let ok = assert_fast_equals_generic(db, &tx, &[Value::Int(5)]);
+        assert!(ok.is_committed());
+        // …violating value fires the alarm and rolls the insert back.
+        let bad = assert_fast_equals_generic(db, &tx, &[Value::Int(-5)]);
+        match bad {
+            TxOutcome::Aborted {
+                reason: AbortReason::AlarmFired { expr, violations },
+                stats,
+            } => {
+                assert_eq!(violations, 1);
+                assert!(expr.contains("select"), "generic rendering: {expr}");
+                assert_eq!(stats.alarms_fired, 1);
+            }
+            other => panic!("expected alarm abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fast_path_probe_hit_and_miss() {
+        // Referential probe: ⟨?0⟩ must have a partner in s (arity 1), so
+        // the pair covers all of s's columns — the set-lookup path.
+        let tx = Program::new(vec![Statement::Alarm(
+            singleton(vec![ScalarExpr::param(0)])
+                .anti_join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 1)),
+        )])
+        .bracket();
+        let hit = assert_fast_equals_generic(db, &tx, &[Value::Int(10)]);
+        assert!(hit.is_committed(), "{hit:?}");
+        let miss = assert_fast_equals_generic(db, &tx, &[Value::Int(11)]);
+        assert!(!miss.is_committed());
+    }
+
+    #[test]
+    fn fast_path_probe_matches_numeric_cross_type() {
+        // s holds Int(10); a Double(10.0) probe key misses the typed set
+        // lookup but must still match under `compare`, exactly as the
+        // generic hash join does.
+        let tx = Program::new(vec![Statement::Alarm(
+            singleton(vec![ScalarExpr::param(0)])
+                .anti_join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 1)),
+        )])
+        .bracket();
+        let out = assert_fast_equals_generic(db, &tx, &[Value::double(10.0)]);
+        assert!(out.is_committed(), "{out:?}");
+        let out = assert_fast_equals_generic(db, &tx, &[Value::double(10.5)]);
+        assert!(!out.is_committed());
+    }
+
+    #[test]
+    fn fast_path_probe_with_residual_and_without_keys() {
+        // Residual probe: equality key plus an inequality conjunct.
+        let with_residual = Program::new(vec![Statement::Alarm(
+            singleton(vec![ScalarExpr::param(0), ScalarExpr::param(1)]).anti_join(
+                RelExpr::relation("r"),
+                ScalarExpr::and(
+                    ScalarExpr::col_eq(0, 2),
+                    ScalarExpr::cmp(CmpOp::Le, ScalarExpr::col(1), ScalarExpr::col(2)),
+                ),
+            ),
+        )])
+        .bracket();
+        let out = assert_fast_equals_generic(db, &with_residual, &[Value::Int(1), Value::Int(0)]);
+        assert!(out.is_committed(), "{out:?}");
+        let out = assert_fast_equals_generic(db, &with_residual, &[Value::Int(1), Value::Int(2)]);
+        assert!(!out.is_committed());
+
+        // Keyless probe: pure inequality predicate, full scan semantics.
+        let keyless = Program::new(vec![Statement::Alarm(
+            singleton(vec![ScalarExpr::param(0)]).anti_join(
+                RelExpr::relation("s"),
+                ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(0), ScalarExpr::col(1)),
+            ),
+        )])
+        .bracket();
+        let out = assert_fast_equals_generic(db, &keyless, &[Value::Int(3)]);
+        assert!(out.is_committed(), "{out:?}");
+        let out = assert_fast_equals_generic(db, &keyless, &[Value::Int(30)]);
+        assert!(!out.is_committed());
+    }
+
+    #[test]
+    fn fast_path_probe_out_of_range_falls_back() {
+        // The probe's key references column 5 of the concat, but s has
+        // arity 1 (concat arity 2): the fast plan detects the mismatch at
+        // execution and the generic path reports its usual range error.
+        let tx = Program::new(vec![Statement::Alarm(
+            singleton(vec![ScalarExpr::param(0)])
+                .anti_join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 5)),
+        )])
+        .bracket();
+        let plan = ExecPlan::compile(tx.clone());
+        assert!(plan.is_fast());
+        let mut via_plan = db();
+        let out_plan = Executor.execute_plan(&mut via_plan, &plan, &[Value::Int(1)]);
+        let mut generic = db();
+        let out_generic = Executor.execute_bound(&mut generic, &tx, &[Value::Int(1)]);
+        assert_eq!(out_plan, out_generic);
+        assert!(matches!(
+            out_plan,
+            TxOutcome::Aborted {
+                reason: AbortReason::RuntimeError(AlgebraError::ColumnOutOfRange { .. }),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fast_path_unbound_param_and_validation_errors() {
+        // Unbound parameter in the row aborts atomically.
+        let tx = Program::new(vec![
+            Statement::Insert {
+                relation: "s".into(),
+                source: singleton(vec![ScalarExpr::int(42)]),
+            },
+            Statement::Insert {
+                relation: "s".into(),
+                source: singleton(vec![ScalarExpr::param(0)]),
+            },
+        ])
+        .bracket();
+        let out = assert_fast_equals_generic(db, &tx, &[]);
+        assert!(matches!(
+            out,
+            TxOutcome::Aborted {
+                reason: AbortReason::RuntimeError(AlgebraError::UnboundParam(0)),
+                ..
+            }
+        ));
+
+        // Type mismatch against the base schema aborts atomically.
+        let tx = Program::new(vec![
+            Statement::Insert {
+                relation: "s".into(),
+                source: singleton(vec![ScalarExpr::int(42)]),
+            },
+            Statement::Insert {
+                relation: "s".into(),
+                source: singleton(vec![ScalarExpr::str("wrong")]),
+            },
+        ])
+        .bracket();
+        let out = assert_fast_equals_generic(db, &tx, &[]);
+        assert!(matches!(
+            out,
+            TxOutcome::Aborted {
+                reason: AbortReason::RuntimeError(AlgebraError::Relational(_)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fast_path_delete_then_failing_probe_restores_state() {
+        // Delete a row, then probe for it — the probe misses (the delete
+        // already happened), the alarm fires, and rollback restores the
+        // deleted tuple.
+        let tx = Program::new(vec![
+            Statement::Delete {
+                relation: "s".into(),
+                source: singleton(vec![ScalarExpr::param(0)]),
+            },
+            Statement::Alarm(
+                singleton(vec![ScalarExpr::param(0)])
+                    .anti_join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 1)),
+            ),
+        ])
+        .bracket();
+        let out = assert_fast_equals_generic(db, &tx, &[Value::Int(10)]);
+        assert!(!out.is_committed());
+        let mut d = db();
+        let plan = ExecPlan::compile(tx);
+        Executor.execute_plan(&mut d, &plan, &[Value::Int(10)]);
+        assert!(d.relation("s").unwrap().contains(&Tuple::of((10,))));
     }
 
     #[test]

@@ -331,6 +331,38 @@ impl ScalarExpr {
         }
     }
 
+    /// Substitute column references by expressions: `Col(i)` becomes
+    /// `row[i].clone()` for `i < row.len()`; higher offsets are left
+    /// untouched (they refer past the substituted prefix, e.g. into the
+    /// right side of a concatenated join tuple). Aggregate subexpressions
+    /// are closed over their own relation and are not entered, mirroring
+    /// [`ScalarExpr::shift_cols`]. This is the weakest-precondition step of
+    /// check specialization: pushing a known inserted row through a
+    /// violation predicate yields the condition the *parameters* must
+    /// satisfy, with no relation access left.
+    pub fn substitute_cols(&self, row: &[ScalarExpr]) -> ScalarExpr {
+        match self {
+            ScalarExpr::Col(i) => match row.get(*i) {
+                Some(e) => e.clone(),
+                None => ScalarExpr::Col(*i),
+            },
+            ScalarExpr::Const(_) | ScalarExpr::Param(_) => self.clone(),
+            ScalarExpr::Arith(op, l, r) => {
+                ScalarExpr::arith(*op, l.substitute_cols(row), r.substitute_cols(row))
+            }
+            ScalarExpr::Cmp(op, l, r) => {
+                ScalarExpr::cmp(*op, l.substitute_cols(row), r.substitute_cols(row))
+            }
+            ScalarExpr::And(l, r) => {
+                ScalarExpr::and(l.substitute_cols(row), r.substitute_cols(row))
+            }
+            ScalarExpr::Or(l, r) => ScalarExpr::or(l.substitute_cols(row), r.substitute_cols(row)),
+            ScalarExpr::Not(e) => ScalarExpr::not(e.substitute_cols(row)),
+            ScalarExpr::IsNull(e) => ScalarExpr::IsNull(Box::new(e.substitute_cols(row))),
+            ScalarExpr::Agg(..) | ScalarExpr::Cnt(..) => self.clone(),
+        }
+    }
+
     /// Whether the expression contains aggregate or counting subterms.
     pub fn has_aggregates(&self) -> bool {
         match self {
@@ -455,6 +487,27 @@ mod tests {
             ScalarExpr::int(10),
         ));
         assert!(nested.has_aggregates());
+    }
+
+    #[test]
+    fn substitute_cols_replaces_prefix_only() {
+        // (#0 < 0 and #2 = 1): #0 is in the row prefix, #2 is beyond it.
+        let e = ScalarExpr::and(
+            ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(0), ScalarExpr::int(0)),
+            ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(2), ScalarExpr::int(1)),
+        );
+        let row = vec![ScalarExpr::param(3), ScalarExpr::int(7)];
+        let s = e.substitute_cols(&row);
+        assert_eq!(s.to_string(), "((?3 < 0) and (#2 = 1))");
+        // Aggregates are closed: their inner columns are untouched.
+        let agg = ScalarExpr::cmp(
+            CmpOp::Gt,
+            ScalarExpr::Cnt(Box::new(RelExpr::relation("r").select(ScalarExpr::col(0)))),
+            ScalarExpr::col(0),
+        );
+        let s = agg.substitute_cols(&row);
+        assert!(s.to_string().contains("CNT(select[#0](r))"), "{s}");
+        assert!(s.to_string().ends_with("> ?3)"), "{s}");
     }
 
     #[test]

@@ -5,21 +5,27 @@ use std::sync::Arc;
 
 use tm_calculus::{analyze, ConstraintInfo};
 use tm_relational::DatabaseSchema;
-use tm_rules::{IntegrityRule, TriggeringGraph, ValidationReport};
+use tm_rules::{IntegrityRule, TriggerIndex, TriggeringGraph, ValidationReport};
+use tm_translate::{condition_shape, ConditionShape};
 
 use crate::error::{EngineError, Result};
 use crate::programs::{get_int_p, IntegrityProgram};
 
 /// The integrity catalog of a database: the declared rules, their
-/// compiled forms (Definition 6.3's set `K`), and the analysed condition
-/// of each rule — cached once at definition time so ground-truth checks
-/// do not re-run the parse-level analysis on every call.
+/// compiled forms (Definition 6.3's set `K`), the analysed condition of
+/// each rule — cached once at definition time so ground-truth checks do
+/// not re-run the parse-level analysis on every call — plus the two
+/// specialization artefacts: the per-rule [`ConditionShape`] (for
+/// weakest-precondition reduction at prepare time) and an inverted
+/// [`TriggerIndex`] (so rule selection costs O(affected), not O(catalog)).
 #[derive(Debug, Clone)]
 pub struct Catalog {
     schema: Arc<DatabaseSchema>,
     rules: Vec<IntegrityRule>,
     programs: Vec<IntegrityProgram>,
     infos: Vec<ConstraintInfo>,
+    shapes: Vec<ConditionShape>,
+    index: TriggerIndex,
     differential: bool,
 }
 
@@ -32,6 +38,8 @@ impl Catalog {
             rules: Vec::new(),
             programs: Vec::new(),
             infos: Vec::new(),
+            shapes: Vec::new(),
+            index: TriggerIndex::new(),
             differential,
         }
     }
@@ -49,6 +57,21 @@ impl Catalog {
     /// The compiled integrity programs (in rule declaration order).
     pub fn programs(&self) -> &[IntegrityProgram] {
         &self.programs
+    }
+
+    /// The condition shape of each rule (in rule declaration order):
+    /// `Domain`/`Referential` for specializable aborting checks, `Other`
+    /// for everything else (including compensating rules, whose response
+    /// actions always run generically).
+    pub fn shapes(&self) -> &[ConditionShape] {
+        &self.shapes
+    }
+
+    /// The inverted trigger index over the rule set: positions match
+    /// [`Catalog::rules`]/[`Catalog::programs`]. Maintained incrementally
+    /// on [`Catalog::add_rule`], rebuilt on [`Catalog::remove_rule`].
+    pub fn trigger_index(&self) -> &TriggerIndex {
+        &self.index
     }
 
     /// Look up a rule by name.
@@ -83,9 +106,18 @@ impl Catalog {
         // analysis of its condition — not a parse error.
         let info = analyze(rule.condition(), &self.schema)
             .map_err(|e| EngineError::Eval(e.to_string()))?;
+        // Only aborting checks are specialization candidates; a
+        // compensating action must run whenever triggered.
+        let shape = if rule.action().is_abort() {
+            condition_shape(&info.formula, &self.schema)
+        } else {
+            ConditionShape::Other
+        };
+        self.index.add(rule.triggers());
         self.rules.push(rule);
         self.programs.push(program);
         self.infos.push(info);
+        self.shapes.push(shape);
         Ok(())
     }
 
@@ -96,6 +128,9 @@ impl Catalog {
                 self.rules.remove(i);
                 self.programs.remove(i);
                 self.infos.remove(i);
+                self.shapes.remove(i);
+                // Positions shifted: rebuild the inverted index.
+                self.index = TriggerIndex::build(self.rules.iter().map(|r| r.triggers()));
                 true
             }
             None => false,

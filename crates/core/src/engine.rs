@@ -11,12 +11,14 @@ use std::fmt;
 
 use tm_algebra::{ExecStats, Executor, Transaction, TxOutcome};
 use tm_calculus::{eval_constraint, parse_formula, StateSource, TransitionSource};
-use tm_relational::{Database, DatabaseSchema, RelationSchema, Tuple};
+use tm_relational::{Database, DatabaseSchema, RelationSchema, Tuple, Value};
 use tm_rules::{parse_rule, IntegrityRule, RuleAction, ValidationReport};
 
 use crate::catalog::Catalog;
 use crate::error::{EngineError, Result};
-use crate::modify::{mod_t, ModificationTrace, SelectionMode};
+use crate::modify::{
+    mod_t_with, CheckSummary, ModContext, ModificationTrace, SelectionMode, SpecializationReport,
+};
 use crate::prepared::{BoundTransaction, Prepared, Session};
 use crate::views::ViewDef;
 
@@ -61,6 +63,11 @@ pub struct EngineConfig {
     pub allow_cycles: bool,
     /// Round budget for the `ModP` recursion.
     pub max_rounds: usize,
+    /// Specialize appended checks against the transaction template
+    /// (weakest-precondition pruning + point-probe reduction; default
+    /// `true`). Disable to append every selected rule's generic check —
+    /// the PR-4 behaviour, kept as the soundness baseline.
+    pub specialize: bool,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +76,7 @@ impl Default for EngineConfig {
             mode: EnforcementMode::Static,
             allow_cycles: false,
             max_rounds: 32,
+            specialize: true,
         }
     }
 }
@@ -97,6 +105,12 @@ pub struct EngineOutcome {
     /// `true` for a prepared execution unless the plan had gone stale and
     /// was re-modified for this call.
     pub reused_plan: bool,
+    /// Rule-check accounting of the plan this execution ran: rules
+    /// skipped (untriggered or dropped with a weakest-precondition
+    /// proof), reduced to point probes, and evaluated generically. For a
+    /// reused prepared plan these are the prepare-time counts; for `Off`
+    /// mode, all zeros.
+    pub checks: CheckSummary,
 }
 
 impl EngineOutcome {
@@ -181,6 +195,14 @@ impl Engine {
         &self.config
     }
 
+    /// Mutable access to the engine configuration. Changing the
+    /// enforcement mode or the `specialize` switch affects only future
+    /// modifications; already-prepared plans keep executing as compiled
+    /// until the catalog epoch moves.
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
     /// Bulk-load tuples into a relation, bypassing integrity enforcement
     /// (initial database population; the paper's §7 experiments load the
     /// test database this way before measuring constraint checks). Loads
@@ -263,6 +285,38 @@ impl Engine {
         self.catalog.validate()
     }
 
+    /// The modification context for the current catalog state: the
+    /// configured mode plus the catalog's trigger index (O(affected) rule
+    /// selection) and — when [`EngineConfig::specialize`] is on — its
+    /// condition shapes for weakest-precondition specialization.
+    fn mod_context(&self) -> Option<ModContext<'_>> {
+        self.config.mode.selection().map(|mode| ModContext {
+            mode,
+            rules: self.catalog.rules(),
+            programs: self.catalog.programs(),
+            schema: self.catalog.schema(),
+            max_rounds: self.config.max_rounds,
+            index: Some(self.catalog.trigger_index()),
+            shapes: self.config.specialize.then(|| self.catalog.shapes()),
+        })
+    }
+
+    /// Internal: `ModT` plus the specialization report.
+    fn modify_full<'t>(
+        &self,
+        tx: &'t Transaction,
+    ) -> Result<(Cow<'t, Transaction>, ModStats, SpecializationReport)> {
+        match self.mod_context() {
+            None => Ok((
+                Cow::Borrowed(tx),
+                ModStats::default(),
+                SpecializationReport::default(),
+            )),
+            Some(ctx) => mod_t_with(tx, &ctx)
+                .map(|(modified, stats, report)| (Cow::Owned(modified), stats, report)),
+        }
+    }
+
     /// Run `ModT` on a transaction without executing it — useful for
     /// inspecting modifications (Example 5.1) and for benchmarks that
     /// isolate modification cost.
@@ -270,18 +324,8 @@ impl Engine {
     /// Returns `Cow::Borrowed` when enforcement is `Off`: the no-op path
     /// hands the submitted transaction straight back without copying it.
     pub fn modify_only<'t>(&self, tx: &'t Transaction) -> Result<(Cow<'t, Transaction>, ModStats)> {
-        match self.config.mode.selection() {
-            None => Ok((Cow::Borrowed(tx), ModStats::default())),
-            Some(mode) => mod_t(
-                tx,
-                mode,
-                self.catalog.rules(),
-                self.catalog.programs(),
-                self.catalog.schema(),
-                self.config.max_rounds,
-            )
-            .map(|(modified, stats)| (Cow::Owned(modified), stats)),
-        }
+        self.modify_full(tx)
+            .map(|(modified, stats, _)| (modified, stats))
     }
 
     /// Execute a transaction: modify per the configured mode, then run it
@@ -305,7 +349,7 @@ impl Engine {
                 got: 0,
             });
         }
-        let (modified, modification) = self.modify_only(tx)?;
+        let (modified, modification, report) = self.modify_full(tx)?;
         let outcome = self.executor.execute(&mut self.db, &modified);
         Ok(EngineOutcome {
             outcome,
@@ -315,6 +359,7 @@ impl Engine {
             },
             modification,
             reused_plan: false,
+            checks: report.summary(),
         })
     }
 
@@ -335,13 +380,21 @@ impl Engine {
     /// rule selection, program concatenation, AST construction, and
     /// per-statement analysis entirely.
     pub fn prepare(&self, tx: &Transaction) -> Result<Prepared> {
-        let (modified, modification) = self.modify_only(tx)?;
-        let verbatim = matches!(modified, Cow::Borrowed(_));
+        let (modified, modification, report) = self.modify_full(tx)?;
+        // Verbatim means the plan executes exactly the submitted
+        // statements: the `Off`-mode borrow, but also a template whose
+        // every selected check was dropped by a specialization proof —
+        // `ModT` then returns the submitted program unchanged.
+        let verbatim = match &modified {
+            Cow::Borrowed(_) => true,
+            Cow::Owned(t) => t.debracket() == tx.debracket(),
+        };
         Ok(Prepared::build(
             tx.clone(),
             modified.into_owned(),
             self.catalog.schema(),
             modification,
+            report,
             self.epoch,
             verbatim,
         ))
@@ -357,15 +410,27 @@ impl Engine {
     /// refreshes its stored statements in place) to stop paying that per
     /// call.
     pub fn execute_bound(&mut self, bound: &BoundTransaction<'_>) -> Result<EngineOutcome> {
-        let prepared = bound.prepared();
+        self.execute_checked(bound.prepared(), bound.values())
+    }
+
+    /// The execution core behind [`Engine::execute_bound`] and
+    /// [`crate::Session::execute_prepared`]: run a plan against a value
+    /// slice already validated against `prepared` (a stale plan
+    /// revalidates against its replacement). Takes the slice directly so
+    /// hot callers pay no per-execution allocation.
+    pub(crate) fn execute_checked(
+        &mut self,
+        prepared: &Prepared,
+        values: &[Value],
+    ) -> Result<EngineOutcome> {
         if prepared.is_stale(self) {
             let fresh = self.prepare(prepared.source())?;
-            let rebound = fresh.bind(bound.values())?;
+            fresh.check_binding(values)?;
             let outcome = self
                 .executor
-                .execute_plan(&mut self.db, fresh.plan(), rebound.values());
-            drop(rebound);
+                .execute_plan(&mut self.db, fresh.plan(), values);
             let modification = fresh.modification().clone();
+            let checks = fresh.check_summary();
             return Ok(EngineOutcome {
                 outcome,
                 // The caller's Prepared does NOT hold what ran — hand the
@@ -379,16 +444,18 @@ impl Engine {
                 },
                 modification,
                 reused_plan: false,
+                checks,
             });
         }
         let outcome = self
             .executor
-            .execute_plan(&mut self.db, prepared.plan(), bound.values());
+            .execute_plan(&mut self.db, prepared.plan(), values);
         Ok(EngineOutcome {
             outcome,
             modified: None,
             modification: ModStats::default(),
             reused_plan: true,
+            checks: prepared.check_summary(),
         })
     }
 
@@ -618,9 +685,53 @@ mod tests {
         let tx = good_tx();
         let (modified, stats) = e.modify_only(&tx).unwrap();
         assert_eq!(stats.rounds, 1);
-        assert_eq!(stats.rules_fired.len(), 2);
+        // Specialization (on by default) proves r1 unviolable for this
+        // constant insert (6.0 ≥ 0) and drops its check; r2's referential
+        // check reduces to a point probe.
+        assert_eq!(stats.rules_fired, vec!["r2".to_owned()]);
         assert!(modified.len() > tx.len());
         assert!(matches!(modified, Cow::Owned(_)));
+    }
+
+    #[test]
+    fn specialization_off_appends_every_selected_check() {
+        let mut e = engine(EnforcementMode::Static);
+        e.config.specialize = false;
+        let tx = good_tx();
+        let (modified, stats) = e.modify_only(&tx).unwrap();
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.rules_fired.len(), 2);
+        assert!(modified.len() > tx.len());
+        // And the outcomes agree with the specialized engine on both the
+        // good and the violating transactions.
+        let mut spec = engine(EnforcementMode::Static);
+        for tx in [good_tx(), bad_domain_tx(), bad_ref_tx()] {
+            let a = e.execute(&tx).unwrap();
+            let b = spec.execute(&tx).unwrap();
+            assert_eq!(a.committed(), b.committed(), "{tx}");
+        }
+        assert_eq!(
+            e.relation("beer").unwrap().len(),
+            spec.relation("beer").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn check_summary_reports_skips_probes_and_generics() {
+        let mut e = engine(EnforcementMode::Static);
+        // A third rule the transaction never triggers.
+        e.define_constraint("r3", "forall x (x in brewery implies x.name <> null)")
+            .unwrap();
+        let out = e.execute(&good_tx()).unwrap();
+        assert!(out.committed());
+        // r3 untriggered + r1 dropped = 2 skipped; r2 probed; none generic.
+        assert_eq!(out.checks.skipped, 2);
+        assert_eq!(out.checks.probed, 1);
+        assert_eq!(out.checks.evaluated, 0);
+        // Off mode reports zeros.
+        let mut off = beer_engine(EnforcementMode::Off);
+        let out = off.execute(&good_tx()).unwrap();
+        assert_eq!(out.checks, crate::modify::CheckSummary::default());
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub mod views;
 pub use catalog::Catalog;
 pub use engine::{EnforcementMode, Engine, EngineConfig, EngineOutcome, ModStats};
 pub use error::{EngineError, Result};
-pub use modify::mod_t;
+pub use modify::{
+    mod_t, mod_t_with, CheckSummary, ModContext, RuleSpecialization, SpecOutcome,
+    SpecializationReport,
+};
 pub use prepared::{BoundTransaction, Prepared, Session, StatementId};
 pub use programs::{get_int_p, IntegrityProgram};
 pub use views::ViewDef;

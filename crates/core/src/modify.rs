@@ -21,10 +21,13 @@
 //! validation reports at definition time, but the engine can be configured
 //! to admit).
 
-use tm_algebra::{Program, Transaction};
+use std::collections::BTreeSet;
+use std::fmt;
+
+use tm_algebra::{Program, Statement, Transaction};
 use tm_relational::DatabaseSchema;
-use tm_rules::{gentrig::get_trig_px, IntegrityRule, TriggerSet};
-use tm_translate::trans_r;
+use tm_rules::{gentrig::get_trig_px, IntegrityRule, TriggerIndex, TriggerSet};
+use tm_translate::{specialize_check, trans_r, ConditionShape, SpecializedCheck, TemplateDeltas};
 
 use crate::error::{EngineError, Result};
 use crate::programs::IntegrityProgram;
@@ -56,60 +59,244 @@ pub struct ModificationTrace {
     pub rules_translated: usize,
 }
 
+/// The provenance of one rule selection after specialization: what the
+/// specializer did with the check, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecOutcome {
+    /// The template provably cannot violate this rule — the check was
+    /// omitted from the plan, with the recorded proof.
+    Dropped {
+        /// Why the check cannot fire against this template.
+        proof: String,
+    },
+    /// The check was reduced to per-row point checks/probes.
+    Probe {
+        /// Number of probe statements that replaced the generic check.
+        statements: usize,
+    },
+    /// The generic check was kept (no sound reduction applied, or
+    /// specialization is disabled).
+    Generic,
+}
+
+/// One rule selection with its specialization provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSpecialization {
+    /// The selection name (rule name; `name[trigger]` in Differential
+    /// mode).
+    pub rule: String,
+    /// What the specializer decided.
+    pub outcome: SpecOutcome,
+}
+
+/// The specialization record of one `ModT` run: which catalog rules were
+/// never selected (relevance filtering), and per selection whether the
+/// check was dropped, reduced to probes, or kept generic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpecializationReport {
+    /// Whether weakest-precondition specialization ran (false: disabled
+    /// or `Off` mode; relevance filtering still applies whenever rule
+    /// selection does).
+    pub enabled: bool,
+    /// Catalog size at modification time.
+    pub catalog_rules: usize,
+    /// Rules the template's updates can never trigger — filtered out by
+    /// trigger relevance without ever being looked at.
+    pub untriggered: usize,
+    /// Per-selection decisions, in append order (a rule selected in
+    /// several rounds or for several triggers appears once per selection).
+    pub decisions: Vec<RuleSpecialization>,
+}
+
+impl SpecializationReport {
+    /// Selections whose checks were dropped with a proof.
+    pub fn dropped(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d.outcome, SpecOutcome::Dropped { .. }))
+            .count()
+    }
+
+    /// Selections reduced to point checks/probes.
+    pub fn probed(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d.outcome, SpecOutcome::Probe { .. }))
+            .count()
+    }
+
+    /// Selections that kept their generic program.
+    pub fn generic(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d.outcome, SpecOutcome::Generic))
+            .count()
+    }
+
+    /// Collapse the report into per-execution check counts.
+    pub fn summary(&self) -> CheckSummary {
+        CheckSummary {
+            skipped: self.untriggered + self.dropped(),
+            probed: self.probed(),
+            evaluated: self.generic(),
+        }
+    }
+}
+
+impl fmt::Display for SpecializationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rule(s): {} untriggered, {} dropped, {} probed, {} generic",
+            self.catalog_rules,
+            self.untriggered,
+            self.dropped(),
+            self.probed(),
+            self.generic()
+        )
+    }
+}
+
+/// Per-execution rule-check accounting, derived from the specialization
+/// report: how many catalog rules were skipped outright (untriggered or
+/// dropped with a proof), reduced to point probes, or evaluated
+/// generically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Rules that cost nothing at execution: never triggered by the
+    /// template, or dropped by a weakest-precondition proof.
+    pub skipped: usize,
+    /// Checks reduced to per-row point checks/probes.
+    pub probed: usize,
+    /// Checks evaluated via their generic program.
+    pub evaluated: usize,
+}
+
+/// Everything one `ModT` run selects against: the mode, the rule catalog's
+/// parallel vectors, and the optional specialization inputs (trigger index
+/// for O(affected) selection, condition shapes for weakest-precondition
+/// reduction). Build one per catalog state and call [`mod_t_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ModContext<'a> {
+    /// How triggered programs are obtained.
+    pub mode: SelectionMode,
+    /// Declared rules (used by `Dynamic`).
+    pub rules: &'a [IntegrityRule],
+    /// Compiled programs (used by `Static`/`Differential`).
+    pub programs: &'a [IntegrityProgram],
+    /// The database schema.
+    pub schema: &'a DatabaseSchema,
+    /// Round budget for the `ModP` recursion.
+    pub max_rounds: usize,
+    /// Inverted trigger index over the catalog (positions must match
+    /// `rules`/`programs`). `None` falls back to a linear scan.
+    pub index: Option<&'a TriggerIndex>,
+    /// Per-rule condition shapes (positions must match). `Some` enables
+    /// weakest-precondition specialization of single-`alarm` checks.
+    pub shapes: Option<&'a [ConditionShape]>,
+}
+
+impl<'a> ModContext<'a> {
+    /// A plain context: no index, no specialization.
+    pub fn basic(
+        mode: SelectionMode,
+        rules: &'a [IntegrityRule],
+        programs: &'a [IntegrityProgram],
+        schema: &'a DatabaseSchema,
+        max_rounds: usize,
+    ) -> ModContext<'a> {
+        ModContext {
+            mode,
+            rules,
+            programs,
+            schema,
+            max_rounds,
+            index: None,
+            shapes: None,
+        }
+    }
+
+    fn catalog_len(&self) -> usize {
+        match self.mode {
+            SelectionMode::Dynamic => self.rules.len(),
+            SelectionMode::Static | SelectionMode::Differential => self.programs.len(),
+        }
+    }
+}
+
 /// One selected program together with its triggering metadata for the next
 /// recursion round.
 struct SelectedProgram {
     name: String,
+    /// Catalog position of the originating rule.
+    rule_idx: usize,
     program: Program,
     non_triggering: bool,
 }
 
 /// Internal: one modification round — `TrigP(P, J)`.
+///
+/// With a trigger index the candidate positions come from one inverted
+/// lookup (O(|frontier| + |affected|)); without one, from a linear scan.
+/// Either way the selection order is catalog order, so the two paths
+/// produce identical modified transactions.
 fn trig_p(
     frontier_triggers: &TriggerSet,
-    mode: SelectionMode,
-    rules: &[IntegrityRule],
-    programs: &[IntegrityProgram],
-    schema: &DatabaseSchema,
+    ctx: &ModContext<'_>,
     trace: &mut ModificationTrace,
 ) -> Result<Vec<SelectedProgram>> {
+    let candidates: Vec<usize> = match ctx.index {
+        Some(index) => index.candidates(frontier_triggers),
+        None => {
+            let sets: Vec<&TriggerSet> = match ctx.mode {
+                SelectionMode::Dynamic => ctx.rules.iter().map(|r| r.triggers()).collect(),
+                _ => ctx.programs.iter().map(|k| k.triggers()).collect(),
+            };
+            sets.iter()
+                .enumerate()
+                .filter(|(_, s)| s.intersects(frontier_triggers))
+                .map(|(i, _)| i)
+                .collect()
+        }
+    };
     let mut selected = Vec::new();
-    match mode {
+    match ctx.mode {
         SelectionMode::Dynamic => {
             // SelRS + TrOptRS: select by trigger intersection, then
             // optimize + translate now.
-            for rule in rules {
-                if rule.triggers().intersects(frontier_triggers) {
-                    let t = trans_r(rule, schema)?;
-                    trace.rules_translated += 1;
-                    selected.push(SelectedProgram {
-                        name: t.name,
-                        program: t.program,
-                        non_triggering: t.non_triggering,
-                    });
-                }
+            for i in candidates {
+                let t = trans_r(&ctx.rules[i], ctx.schema)?;
+                trace.rules_translated += 1;
+                selected.push(SelectedProgram {
+                    name: t.name,
+                    rule_idx: i,
+                    program: t.program,
+                    non_triggering: t.non_triggering,
+                });
             }
         }
         SelectionMode::Static => {
             // SelPS + ConcatP over precompiled programs.
-            for k in programs {
-                if k.triggers().intersects(frontier_triggers) {
-                    selected.push(SelectedProgram {
-                        name: k.name.clone(),
-                        program: k.program.clone(),
-                        non_triggering: k.non_triggering,
-                    });
-                }
+            for i in candidates {
+                let k = &ctx.programs[i];
+                selected.push(SelectedProgram {
+                    name: k.name.clone(),
+                    rule_idx: i,
+                    program: k.program.clone(),
+                    non_triggering: k.non_triggering,
+                });
             }
         }
         SelectionMode::Differential => {
             // Per-trigger selection: a rule contributes one specialized
             // program per matched trigger.
-            for k in programs {
+            for i in candidates {
+                let k = &ctx.programs[i];
                 for t in k.triggers().iter() {
                     if frontier_triggers.contains(t) {
                         selected.push(SelectedProgram {
                             name: format!("{}[{}]", k.name, t),
+                            rule_idx: i,
                             program: k.program_for_trigger(t).clone(),
                             non_triggering: k.non_triggering,
                         });
@@ -121,10 +308,133 @@ fn trig_p(
     Ok(selected)
 }
 
+/// Whether a check program is eligible for per-template specialization: a
+/// single `alarm` statement (every aborting check the translator emits).
+/// Compensating actions and multi-statement programs always run generic.
+fn single_alarm(program: &Program) -> bool {
+    program.len() == 1 && matches!(program.statements().first(), Some(Statement::Alarm(_)))
+}
+
+/// `ModT` (Algorithm 5.1) over a [`ModContext`]: modify a transaction and
+/// report both the modification trace and the specialization provenance.
+///
+/// When `ctx.shapes` is set, every selected single-`alarm` check is pushed
+/// through [`specialize_check`] against the template's differentials *at
+/// its append point* (statements appended by earlier selections are
+/// visible to later ones, matching execution order): checks provably
+/// unviolable are dropped, reducible ones become per-row point probes,
+/// the rest stay generic. Dropped and probed checks are alarm-only, so
+/// the rewrite never changes the triggering frontier of the next round.
+pub fn mod_t_with(
+    tx: &Transaction,
+    ctx: &ModContext<'_>,
+) -> Result<(Transaction, ModificationTrace, SpecializationReport)> {
+    let mut trace = ModificationTrace::default();
+    // T↓ — debracket.
+    let mut result = tx.debracket().clone();
+    // Track the template's per-relation differentials only when
+    // specialization is on.
+    let mut deltas = ctx.shapes.map(|_| {
+        let mut d = TemplateDeltas::new();
+        for s in result.statements() {
+            d.observe(s);
+        }
+        d
+    });
+    // The first frontier is the user program itself (always triggering).
+    let mut frontier_triggers = get_trig_px(&result, false);
+    let mut decisions = Vec::new();
+    let mut selected_rules: BTreeSet<usize> = BTreeSet::new();
+
+    loop {
+        if frontier_triggers.is_empty() {
+            break;
+        }
+        let selected = trig_p(&frontier_triggers, ctx, &mut trace)?;
+        if selected.is_empty() {
+            break;
+        }
+        trace.rounds += 1;
+        if trace.rounds > ctx.max_rounds {
+            return Err(EngineError::ModificationDiverged {
+                rounds: ctx.max_rounds,
+            });
+        }
+        // Compute the next frontier's triggers before consuming programs.
+        // Specialization only rewrites alarm-only programs (which trigger
+        // nothing), so the original programs give the same frontier.
+        let mut next_triggers = TriggerSet::empty();
+        for s in &selected {
+            next_triggers = next_triggers.union(get_trig_px(&s.program, s.non_triggering));
+        }
+        // P ⊕ ConcatP(selected), specializing each check in place.
+        for s in selected {
+            selected_rules.insert(s.rule_idx);
+            let specialized = match (deltas.as_ref(), ctx.shapes) {
+                (Some(d), Some(shapes)) if single_alarm(&s.program) => shapes
+                    .get(s.rule_idx)
+                    .map(|shape| specialize_check(shape, d, ctx.schema)),
+                _ => None,
+            };
+            match specialized {
+                Some(SpecializedCheck::Dropped { proof }) => {
+                    decisions.push(RuleSpecialization {
+                        rule: s.name,
+                        outcome: SpecOutcome::Dropped { proof },
+                    });
+                    // Nothing appended: the check cannot fire.
+                }
+                Some(SpecializedCheck::Probe { statements }) => {
+                    trace.statements_appended += statements.len();
+                    trace.rules_fired.push(s.name.clone());
+                    decisions.push(RuleSpecialization {
+                        rule: s.name,
+                        outcome: SpecOutcome::Probe {
+                            statements: statements.len(),
+                        },
+                    });
+                    if let Some(d) = deltas.as_mut() {
+                        for st in &statements {
+                            d.observe(st);
+                        }
+                    }
+                    result = result.concat(Program::new(statements));
+                }
+                Some(SpecializedCheck::Generic) | None => {
+                    trace.statements_appended += s.program.len();
+                    trace.rules_fired.push(s.name.clone());
+                    decisions.push(RuleSpecialization {
+                        rule: s.name,
+                        outcome: SpecOutcome::Generic,
+                    });
+                    if let Some(d) = deltas.as_mut() {
+                        for st in s.program.statements() {
+                            d.observe(st);
+                        }
+                    }
+                    result = result.concat(s.program);
+                }
+            }
+        }
+        frontier_triggers = next_triggers;
+    }
+    let catalog_rules = ctx.catalog_len();
+    let report = SpecializationReport {
+        enabled: ctx.shapes.is_some(),
+        catalog_rules,
+        untriggered: catalog_rules - selected_rules.len(),
+        decisions,
+    };
+    // ↑ — rebracket.
+    Ok((result.bracket(), trace, report))
+}
+
 /// `ModT` (Algorithm 5.1): modify a transaction with respect to a rule set
 /// (Dynamic mode) or a compiled program set (Static/Differential modes).
 ///
-/// Returns the modified transaction and the modification trace.
+/// Returns the modified transaction and the modification trace. This is
+/// the plain entry point — no trigger index, no specialization; see
+/// [`mod_t_with`] for both.
 pub fn mod_t(
     tx: &Transaction,
     mode: SelectionMode,
@@ -133,46 +443,8 @@ pub fn mod_t(
     schema: &DatabaseSchema,
     max_rounds: usize,
 ) -> Result<(Transaction, ModificationTrace)> {
-    let mut trace = ModificationTrace::default();
-    // T↓ — debracket.
-    let mut result = tx.debracket().clone();
-    // The first frontier is the user program itself (always triggering).
-    let mut frontier_triggers = get_trig_px(&result, false);
-
-    loop {
-        if frontier_triggers.is_empty() {
-            break;
-        }
-        let selected = trig_p(
-            &frontier_triggers,
-            mode,
-            rules,
-            programs,
-            schema,
-            &mut trace,
-        )?;
-        if selected.is_empty() {
-            break;
-        }
-        trace.rounds += 1;
-        if trace.rounds > max_rounds {
-            return Err(EngineError::ModificationDiverged { rounds: max_rounds });
-        }
-        // Compute the next frontier's triggers before consuming programs.
-        let mut next_triggers = TriggerSet::empty();
-        for s in &selected {
-            next_triggers = next_triggers.union(get_trig_px(&s.program, s.non_triggering));
-        }
-        // P ⊕ ConcatP(selected).
-        for s in selected {
-            trace.statements_appended += s.program.len();
-            trace.rules_fired.push(s.name);
-            result = result.concat(s.program);
-        }
-        frontier_triggers = next_triggers;
-    }
-    // ↑ — rebracket.
-    Ok((result.bracket(), trace))
+    let ctx = ModContext::basic(mode, rules, programs, schema, max_rounds);
+    mod_t_with(tx, &ctx).map(|(modified, trace, _)| (modified, trace))
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@ use tm_relational::{Database, DatabaseSchema, Value, ValueType};
 
 use crate::engine::{Engine, EngineOutcome, ModStats};
 use crate::error::{EngineError, Result};
+use crate::modify::SpecializationReport;
 
 /// A prepared transaction: the `ModT`-modified template compiled into an
 /// execution plan, with parameter metadata and the catalog epoch it was
@@ -64,9 +65,19 @@ pub struct Prepared {
     expected: Vec<Option<ValueType>>,
     /// The `ModT` trace of the preparation.
     modification: ModStats,
+    /// The specialization provenance of the preparation: which rules were
+    /// never triggered, dropped with a proof, reduced to probes, or kept
+    /// generic.
+    specialization: SpecializationReport,
+    /// [`SpecializationReport::summary`], collapsed once at build so hot
+    /// executions report per-call check counts without re-walking the
+    /// decision list.
+    summary: crate::modify::CheckSummary,
     /// Catalog epoch this plan encodes.
     epoch: u64,
-    /// Whether the template ran through `ModT` unchanged (`Off` mode).
+    /// Whether the plan executes exactly the submitted statements —
+    /// `Off` mode, an untriggered template, or a template whose every
+    /// selected check was dropped by a specialization proof.
     verbatim: bool,
 }
 
@@ -76,6 +87,7 @@ impl Prepared {
         template: Transaction,
         schema: &DatabaseSchema,
         modification: ModStats,
+        specialization: SpecializationReport,
         epoch: u64,
         verbatim: bool,
     ) -> Prepared {
@@ -86,9 +98,16 @@ impl Prepared {
             plan: ExecPlan::compile(template),
             expected,
             modification,
+            summary: specialization.summary(),
+            specialization,
             epoch,
             verbatim,
         }
+    }
+
+    /// [`SpecializationReport::summary`] of this plan, precomputed.
+    pub fn check_summary(&self) -> crate::modify::CheckSummary {
+        self.summary
     }
 
     /// The transaction as originally submitted to `prepare`.
@@ -118,9 +137,20 @@ impl Prepared {
         &self.modification
     }
 
-    /// Whether the template ran through `ModT` unchanged (`Off` mode).
+    /// Whether the plan executes exactly the submitted statements: `Off`
+    /// mode, an untriggered template, or a template whose every selected
+    /// check was dropped by a specialization proof. `false` whenever
+    /// modification (specialized or not) changed the check plan.
     pub fn verbatim(&self) -> bool {
         self.verbatim
+    }
+
+    /// The specialization provenance of this plan: per selected rule,
+    /// whether its check was dropped (with proof), reduced to point
+    /// probes, or kept generic — plus how many catalog rules were never
+    /// triggered at all.
+    pub fn specialization(&self) -> &SpecializationReport {
+        &self.specialization
     }
 
     /// The catalog epoch this plan was prepared under.
@@ -144,6 +174,18 @@ impl Prepared {
     /// pins a placeholder to an attribute — the value's domain. `Null`
     /// conforms to every domain, as in base-relation validation.
     pub fn bind<'p>(&'p self, values: &[Value]) -> Result<BoundTransaction<'p>> {
+        self.check_binding(values)?;
+        Ok(BoundTransaction {
+            prepared: self,
+            values: values.to_vec(),
+        })
+    }
+
+    /// The validation half of [`Prepared::bind`] — arity and domain
+    /// checks without materializing a [`BoundTransaction`]. The hot
+    /// session path validates with this and executes straight off the
+    /// caller's slice, so a binding never allocates.
+    pub(crate) fn check_binding(&self, values: &[Value]) -> Result<()> {
         if values.len() != self.param_count() {
             return Err(EngineError::ParamArity {
                 expected: self.param_count(),
@@ -161,10 +203,7 @@ impl Prepared {
                 }
             }
         }
-        Ok(BoundTransaction {
-            prepared: self,
-            values: values.to_vec(),
-        })
+        Ok(())
     }
 }
 
@@ -282,8 +321,8 @@ impl<'e> Session<'e> {
             false
         };
         let mut out = {
-            let bound = slot.bind(params)?;
-            self.engine.execute_bound(&bound)?
+            slot.check_binding(params)?;
+            self.engine.execute_checked(slot, params)?
         };
         if refreshed {
             out.reused_plan = false;

@@ -7,6 +7,7 @@ use crate::error::Result;
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
 use crate::util::{fx_set_with_capacity, FxHashSet};
+use crate::value::Value;
 
 /// The one empty tuple set every freshly created empty relation points at.
 /// Empty relations are created constantly (differentials, operator
@@ -92,6 +93,13 @@ impl Relation {
     /// Set membership test.
     pub fn contains(&self, tuple: &Tuple) -> bool {
         self.tuples.contains(tuple)
+    }
+
+    /// Set membership test against a borrowed value slice — identical to
+    /// [`Relation::contains`] without materializing a [`Tuple`] (tuples
+    /// hash and compare as their slices). Hot probe paths use this.
+    pub fn contains_row(&self, row: &[Value]) -> bool {
+        self.tuples.contains(row)
     }
 
     /// Insert a tuple after validating it against the schema. Returns

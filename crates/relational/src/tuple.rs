@@ -35,11 +35,15 @@ impl Tuple {
         parts.into_tuple()
     }
 
-    /// The empty tuple.
+    /// The empty tuple. All empty tuples share one allocation (hot
+    /// execution paths create one per run), so this is a refcount bump.
     pub fn empty() -> Self {
-        Tuple {
-            values: Arc::from(Vec::new()),
-        }
+        static EMPTY: std::sync::OnceLock<Tuple> = std::sync::OnceLock::new();
+        EMPTY
+            .get_or_init(|| Tuple {
+                values: Arc::from(Vec::new()),
+            })
+            .clone()
     }
 
     /// Number of attributes in this tuple.
@@ -71,6 +75,15 @@ impl Tuple {
     /// algebra layer validates positions against schemas before evaluation).
     pub fn project(&self, positions: &[usize]) -> Tuple {
         Tuple::from_values(positions.iter().map(|&i| self.values[i].clone()).collect())
+    }
+}
+
+/// Tuples hash and compare exactly as their value slices (the derived
+/// impls delegate through the `Arc`), so hashed containers keyed by
+/// `Tuple` can be probed with a borrowed `[Value]` — no allocation.
+impl std::borrow::Borrow<[Value]> for Tuple {
+    fn borrow(&self) -> &[Value] {
+        &self.values
     }
 }
 

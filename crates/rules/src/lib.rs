@@ -24,17 +24,21 @@
 //!   non-triggering variant `GetTrigPX` (Definition 6.2),
 //! * [`graph`] — the triggering graph with cycle detection
 //!   (Definition 6.1),
+//! * [`index`] — an inverted trigger index so rule selection costs
+//!   O(affected) instead of O(catalog),
 //! * [`parser`] — a parser for the textual RL syntax
 //!   (`WHEN INS(beer) IF NOT <CL> THEN abort`).
 
 pub mod gentrig;
 pub mod graph;
+pub mod index;
 pub mod parser;
 pub mod rule;
 pub mod trigger;
 
 pub use gentrig::{gen_trig_c, get_trig_p, get_trig_px, get_trig_s};
 pub use graph::{TriggeringGraph, ValidationReport};
+pub use index::TriggerIndex;
 pub use parser::parse_rule;
 pub use rule::{IntegrityRule, RuleAction};
 pub use trigger::{Trigger, TriggerSet, UpdateType};

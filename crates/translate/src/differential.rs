@@ -25,15 +25,15 @@
 //! modification maintains (Definition 3.5) — and is property-tested against
 //! the ground-truth evaluator in the `txmod` crate.
 
-use tm_algebra::{Program, RelExpr, ScalarExpr, Statement};
+use tm_algebra::{Program, RelExpr, Statement};
 use tm_calculus::analysis::analyze;
-use tm_calculus::ast::{Atom, Formula, Quantifier};
 use tm_relational::{auxiliary, DatabaseSchema};
 use tm_rules::{IntegrityRule, RuleAction, Trigger, UpdateType};
 
 use crate::error::Result;
 use crate::simplify::simplify_rel;
-use crate::transc::{flatten_and_pub, predicate_over, strip_guard_pub, trans_c};
+use crate::specialize::{condition_shape, ConditionShape};
+use crate::transc::trans_c;
 
 /// A per-trigger specialized program.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,89 +44,6 @@ pub struct DifferentialProgram {
     pub program: Program,
     /// Whether specialization succeeded (false ⇒ full fallback check).
     pub specialized: bool,
-}
-
-/// The recognised condition shapes.
-#[derive(Debug, Clone)]
-pub(crate) enum Shape {
-    /// `(∀x)(x∈R ⟹ ψ)` with quantifier-free `ψ` (over x only).
-    Domain {
-        rel: String,
-        /// ¬ψ as a scalar predicate over an `R`-tuple.
-        violation_pred: ScalarExpr,
-    },
-    /// `(∀x)(x∈R ⟹ (∃y)(y∈S ∧ ρ))` with quantifier-free `ρ`.
-    Referential {
-        rel_r: String,
-        rel_s: String,
-        /// ρ as a predicate over the concatenated `(R, S)` tuple.
-        match_pred: ScalarExpr,
-    },
-    /// Anything else.
-    Other,
-}
-
-/// Classify an *analysed* condition.
-pub(crate) fn classify(formula: &Formula, schema: &DatabaseSchema) -> Shape {
-    let Formula::Quant(Quantifier::Forall, x, body) = formula else {
-        return Shape::Other;
-    };
-    let Some((rel, rest)) = strip_guard_pub(x, body) else {
-        return Shape::Other;
-    };
-    if auxiliary::is_auxiliary(&rel) {
-        // Pre-state ranges are immutable; differential treatment of the
-        // outer relation does not apply.
-        return Shape::Other;
-    }
-    // Try domain: rest is quantifier-free.
-    if let Ok(Some(pred)) = predicate_over(
-        schema,
-        &[(x.clone(), rel.clone())],
-        &Formula::not(rest.clone()),
-    ) {
-        return Shape::Domain {
-            rel,
-            violation_pred: pred,
-        };
-    }
-    // Try referential: rest = (∃y)(y∈S ∧ ρ).
-    if let Formula::Quant(Quantifier::Exists, y, ebody) = &rest {
-        let mut conj = Vec::new();
-        flatten_and_pub(ebody, &mut conj);
-        let mem_idx = conj
-            .iter()
-            .position(|c| matches!(c, Formula::Atom(Atom::Member { var, .. }) if var == y));
-        if let Some(i) = mem_idx {
-            let rel_s = match &conj[i] {
-                Formula::Atom(Atom::Member { rel, .. }) => rel.clone(),
-                _ => unreachable!("matched a member atom"),
-            };
-            if auxiliary::is_auxiliary(&rel_s) {
-                return Shape::Other;
-            }
-            conj.remove(i);
-            if conj.is_empty() {
-                return Shape::Other;
-            }
-            let mut rho = conj.remove(0);
-            for c in conj {
-                rho = Formula::and(rho, c);
-            }
-            if let Ok(Some(pred)) = predicate_over(
-                schema,
-                &[(x.clone(), rel.clone()), (y.clone(), rel_s.clone())],
-                &rho,
-            ) {
-                return Shape::Referential {
-                    rel_r: rel,
-                    rel_s,
-                    match_pred: pred,
-                };
-            }
-        }
-    }
-    Shape::Other
 }
 
 fn alarm(expr: RelExpr) -> Program {
@@ -157,13 +74,13 @@ pub fn differential_programs(
 
     let full = trans_c(rule.condition(), schema)?;
     let info = analyze(rule.condition(), schema)?;
-    let shape = classify(&info.formula, schema);
+    let shape = condition_shape(&info.formula, schema);
 
     let mut out = Vec::new();
     for t in rule.triggers().iter() {
         let specialized = match (&shape, t.update) {
             (
-                Shape::Domain {
+                ConditionShape::Domain {
                     rel,
                     violation_pred,
                 },
@@ -172,7 +89,7 @@ pub fn differential_programs(
                 RelExpr::relation(auxiliary::ins_name(rel)).select(violation_pred.clone()),
             )),
             (
-                Shape::Referential {
+                ConditionShape::Referential {
                     rel_r,
                     rel_s,
                     match_pred,
@@ -183,7 +100,7 @@ pub fn differential_programs(
                     .anti_join(RelExpr::relation(rel_s.clone()), match_pred.clone()),
             )),
             (
-                Shape::Referential {
+                ConditionShape::Referential {
                     rel_r,
                     rel_s,
                     match_pred,

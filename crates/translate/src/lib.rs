@@ -25,16 +25,24 @@
 //! * [`differential`] — the differential-relation optimization the paper
 //!   points to in §5.2.1 (refs \[18, 5, 7\]): checks are specialised per
 //!   trigger to touch only the `R@ins` / `R@del` delta relations.
+//! * [`specialize`] — prepare-time constraint specialization: weakest-
+//!   precondition pruning and per-row point-probe reduction of checks
+//!   against a transaction *template*'s insert/delete differentials.
 
 pub mod differential;
 pub mod error;
 pub mod simplify;
+pub mod specialize;
 pub mod table1;
 pub mod transc;
 pub mod transr;
 
 pub use differential::{differential_programs, DifferentialProgram};
 pub use error::{Result, TranslateError};
+pub use specialize::{
+    condition_shape, const_verdict, specialize_check, ConditionShape, RelationDelta,
+    SpecializedCheck, TemplateDeltas,
+};
 pub use table1::{table1_rows, Table1Row};
 pub use transc::trans_c;
 pub use transr::{trans_r, TranslatedRule};

@@ -223,4 +223,111 @@ mod tests {
             ScalarExpr::Cnt(Box::new(RelExpr::relation("r")))
         );
     }
+
+    /// A corpus of predicates exercising every rewrite: the algebraic laws
+    /// below must hold on each of them.
+    fn scalar_corpus() -> Vec<ScalarExpr> {
+        use tm_algebra::expr::{ArithOp, CmpOp};
+        vec![
+            ScalarExpr::true_(),
+            ScalarExpr::not(ScalarExpr::not(ScalarExpr::col(0))),
+            ScalarExpr::not(ScalarExpr::cmp(
+                CmpOp::Lt,
+                ScalarExpr::col(1),
+                ScalarExpr::int(0),
+            )),
+            ScalarExpr::and(ScalarExpr::true_(), ScalarExpr::col(0)),
+            ScalarExpr::and(ScalarExpr::col(0), ScalarExpr::false_()),
+            ScalarExpr::or(ScalarExpr::false_(), ScalarExpr::param(2)),
+            ScalarExpr::or(ScalarExpr::param(0), ScalarExpr::true_()),
+            ScalarExpr::cmp(CmpOp::Le, ScalarExpr::int(3), ScalarExpr::int(5)),
+            ScalarExpr::cmp(
+                CmpOp::Eq,
+                ScalarExpr::Const(Value::Null),
+                ScalarExpr::int(5),
+            ),
+            ScalarExpr::arith(
+                ArithOp::Add,
+                ScalarExpr::col(0),
+                ScalarExpr::arith(ArithOp::Div, ScalarExpr::int(1), ScalarExpr::int(0)),
+            ),
+            ScalarExpr::IsNull(Box::new(ScalarExpr::param(1))),
+            ScalarExpr::Cnt(Box::new(
+                RelExpr::relation("r").select(ScalarExpr::not(ScalarExpr::not(ScalarExpr::col(0)))),
+            )),
+            ScalarExpr::and(
+                ScalarExpr::not(ScalarExpr::not(ScalarExpr::col(0))),
+                ScalarExpr::or(ScalarExpr::col(1), ScalarExpr::false_()),
+            ),
+        ]
+    }
+
+    fn rel_corpus() -> Vec<RelExpr> {
+        vec![
+            RelExpr::relation("r"),
+            RelExpr::relation("r").select(ScalarExpr::true_()),
+            RelExpr::relation("r")
+                .select(ScalarExpr::col(0))
+                .select(ScalarExpr::col(1)),
+            RelExpr::Singleton(vec![ScalarExpr::not(ScalarExpr::not(ScalarExpr::param(0)))]),
+            RelExpr::relation("r")
+                .select(ScalarExpr::true_())
+                .anti_join(RelExpr::relation("s"), ScalarExpr::col_eq(0, 1)),
+        ]
+    }
+
+    #[test]
+    fn simplify_scalar_is_idempotent() {
+        for e in scalar_corpus() {
+            let once = simplify_scalar(e.clone());
+            let twice = simplify_scalar(once.clone());
+            assert_eq!(once, twice, "not a fixpoint for {e}");
+        }
+    }
+
+    #[test]
+    fn simplify_rel_is_idempotent() {
+        for e in rel_corpus() {
+            let once = simplify_rel(e.clone());
+            let twice = simplify_rel(once.clone());
+            assert_eq!(once, twice, "not a fixpoint for {e}");
+        }
+    }
+
+    #[test]
+    fn simplification_commutes_with_parameter_substitution_shape() {
+        // Param opacity: parameters are never folded — a simplified
+        // predicate mentions exactly the parameters the original does.
+        fn params(e: &ScalarExpr, out: &mut Vec<usize>) {
+            match e {
+                ScalarExpr::Param(i) => out.push(*i),
+                ScalarExpr::Not(x) | ScalarExpr::IsNull(x) => params(x, out),
+                ScalarExpr::And(l, r)
+                | ScalarExpr::Or(l, r)
+                | ScalarExpr::Cmp(_, l, r)
+                | ScalarExpr::Arith(_, l, r) => {
+                    params(l, out);
+                    params(r, out);
+                }
+                _ => {}
+            }
+        }
+        for e in scalar_corpus() {
+            let mut before = Vec::new();
+            params(&e, &mut before);
+            let simplified = simplify_scalar(e.clone());
+            let mut after = Vec::new();
+            params(&simplified, &mut after);
+            before.sort_unstable();
+            before.dedup();
+            after.sort_unstable();
+            after.dedup();
+            // Boolean-identity folds may ERASE a parameter (x ∧ false) but
+            // can never invent one.
+            assert!(
+                after.iter().all(|p| before.contains(p)),
+                "{e} ⇒ {simplified} invented a parameter"
+            );
+        }
+    }
 }

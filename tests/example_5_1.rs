@@ -8,10 +8,15 @@ use tm_relational::{Tuple, Value};
 use txmod::{EnforcementMode, Engine, EngineConfig};
 
 fn engine(mode: EnforcementMode) -> Engine {
+    // The golden expectations below are the paper's literal Example 5.1
+    // output — produced by the unspecialized Algorithm 5.1, so prepare-time
+    // specialization is off here (see `specialization_prunes_the_example`
+    // for what the default configuration produces instead).
     let mut e = Engine::with_config(
         beer_schema(),
         EngineConfig {
             mode,
+            specialize: false,
             ..EngineConfig::default()
         },
     );
@@ -78,6 +83,37 @@ fn modified_transaction_is_guaranteed_correct() {
     ])));
     // The beer arrived too.
     assert_eq!(e.relation("beer").unwrap().len(), 1);
+}
+
+#[test]
+fn specialization_prunes_the_example() {
+    // Under the default configuration the same submission is lighter:
+    // the inserted row has alcohol 6.0, so R1's domain check is provably
+    // unviolable and is dropped; R2's compensation runs unchanged
+    // (compensating actions are never specialized).
+    let mut e = engine(EnforcementMode::Static);
+    e.config_mut().specialize = true;
+    let tx = example_tx();
+    let (modified, trace) = e.modify_only(&tx).unwrap();
+    let rendered = modified.to_string();
+    assert!(
+        !rendered.contains("alarm"),
+        "r1's check must be dropped by proof: {rendered}"
+    );
+    assert!(rendered.contains("temp := "), "{rendered}");
+    assert_eq!(trace.rules_fired, vec!["r2".to_owned()]);
+    // Execution semantics are identical to the unspecialized engine.
+    let mut out = e.execute(&tx).unwrap();
+    assert!(out.committed());
+    assert_eq!(out.checks.skipped, 1); // r1 dropped
+    assert_eq!(e.relation("brewery").unwrap().len(), 1);
+    let mut unspec = engine(EnforcementMode::Static);
+    out = unspec.execute(&tx).unwrap();
+    assert!(out.committed());
+    assert_eq!(
+        e.relation("brewery").unwrap(),
+        unspec.relation("brewery").unwrap()
+    );
 }
 
 #[test]

@@ -20,7 +20,7 @@ use tm_algebra::builder::TransactionBuilder;
 use tm_algebra::{AbortReason, AlgebraError, Executor, Transaction, TxOutcome};
 use tm_relational::{Tuple, Value};
 use txmod::engine::beer_engine;
-use txmod::{EnforcementMode, Engine, EngineError};
+use txmod::{EnforcementMode, Engine, EngineError, SpecOutcome};
 
 const MODES: [EnforcementMode; 4] = [
     EnforcementMode::Off,
@@ -169,6 +169,21 @@ fn rule_added_after_prepare_is_enforced_session_level() {
         .unwrap();
     let mut session = e.session();
     let id = session.prepare(&insert_template()).unwrap();
+    // The prepare-time plan is already specialized: the parameterized
+    // insert reduces the domain rule to a single point probe over the
+    // `?i` bindings (a parameterized row cannot be constant-folded away,
+    // so it is probed, not dropped).
+    {
+        let spec = session.prepared(id).unwrap().specialization();
+        assert!(spec.enabled);
+        assert_eq!(spec.probed(), 1);
+        assert_eq!(spec.decisions.len(), 1);
+        assert_eq!(spec.decisions[0].rule, "dom");
+        assert!(matches!(
+            spec.decisions[0].outcome,
+            SpecOutcome::Probe { statements: 1 }
+        ));
+    }
 
     let good = vec![
         Value::str("pils"),
@@ -201,6 +216,21 @@ fn rule_added_after_prepare_is_enforced_session_level() {
     );
     assert!(!out.reused_plan, "the refresh call re-ran ModT");
     assert!(out.modification.rounds >= 1);
+    // The refresh re-specialized against the grown catalog: the new
+    // referential rule landed in the specialized check set as a point
+    // probe alongside the domain probe — not as a generic join.
+    {
+        let spec = session.prepared(id).unwrap().specialization();
+        assert_eq!(spec.probed(), 2, "both rules must be probes: {spec}");
+        assert_eq!(spec.generic(), 0);
+        let rules: Vec<&str> = spec.decisions.iter().map(|d| d.rule.as_str()).collect();
+        assert!(
+            rules.contains(&"dom") && rules.contains(&"ref"),
+            "{rules:?}"
+        );
+    }
+    assert_eq!(out.checks.probed, 2);
+    assert_eq!(out.checks.evaluated, 0);
     // The refreshed plan is stored: the next call reuses it.
     let out = session
         .execute_prepared(
@@ -214,6 +244,7 @@ fn rule_added_after_prepare_is_enforced_session_level() {
         )
         .unwrap();
     assert!(out.committed() && out.reused_plan);
+    assert_eq!(out.checks.probed, 2, "reused plan reports its probes");
     drop(session);
     assert_eq!(e.relation("beer").unwrap().len(), 2);
     assert!(e.check_state().unwrap().is_empty());
@@ -244,9 +275,18 @@ fn caller_held_stale_plan_is_remodified_per_call() {
     // The caller's Prepared does not hold what ran, so the outcome does.
     let executed = out.modified.expect("stale path reports the fresh plan");
     assert!(executed.to_string().contains("alarm"));
+    // The fresh plan built for the stale call was specialized too: the
+    // new rule shows up as a point probe in the outcome's check summary.
+    assert_eq!(out.checks.probed, 1);
+    assert_eq!(out.checks.evaluated, 0);
 
     // Re-preparing clears the staleness and reuses thereafter.
     let prepared = e.prepare(prepared.source()).unwrap();
+    assert_eq!(prepared.specialization().probed(), 1);
+    assert!(matches!(
+        prepared.specialization().decisions[0].outcome,
+        SpecOutcome::Probe { statements: 1 }
+    ));
     let good = prepared
         .bind(&[
             Value::str("good"),
