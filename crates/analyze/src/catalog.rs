@@ -1,0 +1,657 @@
+//! Incremental catalog analysis: per-rule diagnostics, semantic
+//! triggering-graph refinement, and the termination certificate.
+//!
+//! ## What refinement proves
+//!
+//! The syntactic triggering graph (Definition 6.1) has an edge
+//! `J1 → J2` whenever `GetTrigPX(action(J1)) ∩ triggers(J2) ≠ ∅`. The
+//! edge is **semantically false** when `J1`'s action provably cannot
+//! violate `J2`'s condition; then selecting `J2` *because of* `J1`
+//! appends a program that does nothing — an alarm that selects no rows,
+//! or (for compensating targets) a repair with nothing to repair. The
+//! analyzer deletes such edges using three weakest-precondition
+//! arguments over the action's write summary:
+//!
+//! * **untouched** — the action never writes the constrained relation;
+//! * **delete-only** — the action only deletes from it, and deletions
+//!   cannot violate a universal (`Domain`) constraint;
+//! * **row fold** — every row the action inserts is statically
+//!   enumerable and constant-folds the violation predicate to `false`
+//!   ([`const_verdict`], the same proof rule as prepare-time
+//!   specialization).
+//!
+//! For a `Referential` target `(∀x∈R)(∃y∈S)ρ`, the edge is false when
+//! the action neither inserts into (nor updates) `R` nor deletes from
+//! (nor updates) `S` — inserts into `S` can only add partners.
+//!
+//! ## Soundness provisos
+//!
+//! All edge proofs hold *relative to the integrity assumption*: the
+//! state satisfies the constraints when the transaction starts (the
+//! induction invariant transaction modification maintains). For
+//! **aborting** targets the argument is then exact: a skipped check is
+//! an `alarm` that would have selected nothing. For **compensating**
+//! targets, skipping the selection also skips the response action, and
+//! the claim "the action would have done nothing" additionally relies
+//! on the paper's well-formedness assumption for repair actions — a
+//! compensating action is a no-op when its rule's constraint is already
+//! satisfied (e.g. it deletes exactly the violating rows). A
+//! compensating action with unconditional side effects (say, an audit
+//! insert performed even when there is nothing to repair) falls outside
+//! that assumption, and pruning an edge into it changes behaviour; see
+//! `docs/analysis.md`.
+//!
+//! The analysis is incremental: positions mirror the catalog's parallel
+//! vectors, rule facts and pairwise verdicts are computed once per
+//! added rule, and edge verdicts are memoized (positions are stable
+//! across appends; removal rebuilds).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use tm_algebra::{Program, ScalarExpr, Statement};
+use tm_calculus::ConstraintInfo;
+use tm_relational::DatabaseSchema;
+use tm_rules::{get_trig_px, IntegrityRule, TriggerSet, TriggeringGraph};
+use tm_translate::{condition_shape, const_verdict, enumerable_rows, ConditionShape};
+
+use crate::domain;
+use crate::report::{AnalysisReport, Code, Diagnostic, PrunedEdge, TerminationCertificate};
+
+/// What one action program does to one relation, abstracted for the
+/// weakest-precondition edge proofs.
+#[derive(Debug, Clone, Default)]
+struct WriteSummary {
+    /// Statically enumerated inserted rows (grounded singletons and
+    /// literals).
+    rows: Vec<Vec<ScalarExpr>>,
+    /// Whether some insert's rows could not be enumerated.
+    opaque_insert: bool,
+    /// Whether the action deletes from the relation.
+    deletes: bool,
+    /// Whether the action updates the relation in place.
+    updates: bool,
+}
+
+impl WriteSummary {
+    fn inserts(&self) -> bool {
+        self.opaque_insert || !self.rows.is_empty()
+    }
+}
+
+/// Per-relation write summaries of an action program.
+fn summarize_writes(program: &Program) -> BTreeMap<String, WriteSummary> {
+    let mut writes: BTreeMap<String, WriteSummary> = BTreeMap::new();
+    for stmt in program.statements() {
+        match stmt {
+            Statement::Insert { relation, source } => {
+                let w = writes.entry(relation.clone()).or_default();
+                match enumerable_rows(source) {
+                    Some(rows) => w.rows.extend(rows),
+                    None => w.opaque_insert = true,
+                }
+            }
+            Statement::Delete { relation, .. } => {
+                writes.entry(relation.clone()).or_default().deletes = true;
+            }
+            Statement::Update { relation, .. } => {
+                writes.entry(relation.clone()).or_default().updates = true;
+            }
+            // Temporaries, alarms and aborts write no base relation.
+            Statement::Assign { .. } | Statement::Alarm(_) | Statement::Abort => {}
+        }
+    }
+    writes
+}
+
+/// Everything the analyzer knows about one rule, computed once at
+/// definition time.
+#[derive(Debug, Clone)]
+struct RuleFacts {
+    name: String,
+    is_abort: bool,
+    triggers: TriggerSet,
+    action_triggers: TriggerSet,
+    /// The condition's shape — computed unconditionally (unlike the
+    /// catalog's prepare-time shapes, which only cover aborting rules):
+    /// refinement pushes differentials through *compensating* rules'
+    /// conditions too.
+    shape: ConditionShape,
+    writes: BTreeMap<String, WriteSummary>,
+}
+
+fn subset(a: &TriggerSet, b: &TriggerSet) -> bool {
+    a.iter().all(|t| b.contains(t))
+}
+
+/// The weakest-precondition verdict for the syntactic edge
+/// `from → to`: `Some(proof)` when the edge is semantically false.
+fn edge_verdict(facts: &[RuleFacts], from: usize, to: usize) -> Option<String> {
+    let src = &facts[from];
+    let dst = &facts[to];
+    match &dst.shape {
+        ConditionShape::Domain {
+            rel,
+            violation_pred,
+        } => {
+            let Some(w) = src.writes.get(rel) else {
+                return Some(format!(
+                    "action of `{}` never writes `{rel}`, the relation `{}`'s condition constrains",
+                    src.name, dst.name
+                ));
+            };
+            if w.updates || w.opaque_insert {
+                return None;
+            }
+            if !w.inserts() {
+                return Some(format!(
+                    "action of `{}` only deletes from `{rel}`; deletions cannot violate a universal constraint",
+                    src.name
+                ));
+            }
+            for row in &w.rows {
+                let folded = violation_pred.substitute_cols(row);
+                if const_verdict(&folded) != Some(false) {
+                    return None;
+                }
+            }
+            Some(format!(
+                "every `{rel}` row inserted by `{}` constant-folds `{}`'s violation predicate to false",
+                src.name, dst.name
+            ))
+        }
+        ConditionShape::Referential { rel_r, rel_s, .. } => {
+            let r_ok = src
+                .writes
+                .get(rel_r)
+                .is_none_or(|w| !w.inserts() && !w.updates);
+            let s_ok = src
+                .writes
+                .get(rel_s)
+                .is_none_or(|w| !w.deletes && !w.updates);
+            if r_ok && s_ok {
+                Some(format!(
+                    "action of `{}` neither inserts into `{rel_r}` nor deletes from `{rel_s}`; the referential condition of `{}` cannot lose a match",
+                    src.name, dst.name
+                ))
+            } else {
+                None
+            }
+        }
+        ConditionShape::Other => None,
+    }
+}
+
+/// A001/A002 for one rule (aborting `Domain` rules only: a compensating
+/// rule's response runs regardless of its condition, so liveness claims
+/// about the condition say nothing about the action).
+fn liveness_diag(facts: &RuleFacts) -> Option<Diagnostic> {
+    if !facts.is_abort {
+        return None;
+    }
+    let ConditionShape::Domain {
+        rel,
+        violation_pred,
+    } = &facts.shape
+    else {
+        return None;
+    };
+    if domain::always_true(violation_pred) {
+        return Some(Diagnostic {
+            code: Code::UnsatisfiableConstraint,
+            rule: facts.name.clone(),
+            message: format!(
+                "constraint on `{rel}` is unsatisfiable: the violation predicate `{violation_pred}` holds for every tuple, so any insert into `{rel}` aborts"
+            ),
+        });
+    }
+    if domain::never_true(violation_pred) {
+        return Some(Diagnostic {
+            code: Code::TautologicalConstraint,
+            rule: facts.name.clone(),
+            message: format!(
+                "constraint on `{rel}` is tautological: the violation predicate `{violation_pred}` holds for no tuple, so the compiled check can never fire (dead rule)"
+            ),
+        });
+    }
+    None
+}
+
+/// A003 between an older and a newer rule: both aborting `Domain`
+/// checks on the same relation. A rule is subsumed when the other rule
+/// triggers whenever it does (trigger-set inclusion) and aborts
+/// whenever it would (violation-predicate implication).
+fn subsumption_diag(older: &RuleFacts, newer: &RuleFacts) -> Option<Diagnostic> {
+    if !older.is_abort || !newer.is_abort {
+        return None;
+    }
+    let (
+        ConditionShape::Domain {
+            rel: rel_o,
+            violation_pred: v_o,
+        },
+        ConditionShape::Domain {
+            rel: rel_n,
+            violation_pred: v_n,
+        },
+    ) = (&older.shape, &newer.shape)
+    else {
+        return None;
+    };
+    if rel_o != rel_n {
+        return None;
+    }
+    let subsumed_by = |winner: &RuleFacts, loser: &RuleFacts| {
+        Diagnostic {
+        code: Code::SubsumedBy,
+        rule: loser.name.clone(),
+        message: format!(
+            "subsumed by `{}`: every tuple violating this rule's constraint on `{rel_o}` also violates `{}`'s, and `{}` triggers whenever this rule does — removing this rule preserves behaviour",
+            winner.name, winner.name, winner.name
+        ),
+    }
+    };
+    if subset(&newer.triggers, &older.triggers) && domain::implies(v_n, v_o) {
+        Some(subsumed_by(older, newer))
+    } else if subset(&older.triggers, &newer.triggers) && domain::implies(v_o, v_n) {
+        Some(subsumed_by(newer, older))
+    } else {
+        None
+    }
+}
+
+/// The cached static analysis of one catalog state. Positions mirror
+/// the catalog's rule vector; maintain with
+/// [`CatalogAnalysis::add_rule`] / [`CatalogAnalysis::remove_rule`].
+#[derive(Debug, Clone)]
+pub struct CatalogAnalysis {
+    schema: Arc<DatabaseSchema>,
+    facts: Vec<RuleFacts>,
+    /// A001–A003, accumulated incrementally in definition order.
+    rule_diags: Vec<Diagnostic>,
+    /// Memoized edge verdicts — valid across appends (positions are
+    /// stable), cleared on removal.
+    edge_memo: BTreeMap<(usize, usize), Option<String>>,
+    graph: TriggeringGraph,
+    pruned: BTreeSet<(usize, usize)>,
+    pruned_proofs: Vec<PrunedEdge>,
+    refined: TriggeringGraph,
+    syntactic_cycles: Vec<Vec<String>>,
+    refined_cycles: Vec<Vec<String>>,
+    certified: bool,
+}
+
+impl CatalogAnalysis {
+    /// An empty analysis over a schema.
+    pub fn new(schema: Arc<DatabaseSchema>) -> CatalogAnalysis {
+        CatalogAnalysis {
+            schema,
+            facts: Vec::new(),
+            rule_diags: Vec::new(),
+            edge_memo: BTreeMap::new(),
+            graph: TriggeringGraph::build(&[]),
+            pruned: BTreeSet::new(),
+            pruned_proofs: Vec::new(),
+            refined: TriggeringGraph::build(&[]),
+            syntactic_cycles: Vec::new(),
+            refined_cycles: Vec::new(),
+            certified: true,
+        }
+    }
+
+    /// Number of rules analysed.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether no rules have been analysed.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Fold in the next rule (position = number of rules added before
+    /// it, matching the catalog), with its analysed condition.
+    pub fn add_rule(&mut self, rule: &IntegrityRule, info: &ConstraintInfo) {
+        let action_program = rule.action().as_program();
+        let facts = RuleFacts {
+            name: rule.name.clone(),
+            is_abort: rule.action().is_abort(),
+            triggers: rule.triggers().clone(),
+            action_triggers: get_trig_px(&action_program, rule.non_triggering),
+            shape: condition_shape(&info.formula, &self.schema),
+            writes: summarize_writes(&action_program),
+        };
+        if let Some(d) = liveness_diag(&facts) {
+            self.rule_diags.push(d);
+        }
+        for older in &self.facts {
+            if let Some(d) = subsumption_diag(older, &facts) {
+                self.rule_diags.push(d);
+            }
+        }
+        self.facts.push(facts);
+        self.refresh();
+    }
+
+    /// Remove the rule at `position` (the catalog position it was added
+    /// at). Rebuilds the derived state — removal is rare.
+    pub fn remove_rule(&mut self, position: usize) {
+        self.facts.remove(position);
+        self.edge_memo.clear();
+        self.rule_diags.clear();
+        for n in 0..self.facts.len() {
+            if let Some(d) = liveness_diag(&self.facts[n]) {
+                self.rule_diags.push(d);
+            }
+            for o in 0..n {
+                if let Some(d) = subsumption_diag(&self.facts[o], &self.facts[n]) {
+                    self.rule_diags.push(d);
+                }
+            }
+        }
+        self.refresh();
+    }
+
+    /// Rebuild the graphs, the pruned-edge set and the certificate from
+    /// the current facts (edge verdicts come from the memo).
+    fn refresh(&mut self) {
+        let action_triggers: Vec<TriggerSet> = self
+            .facts
+            .iter()
+            .map(|f| f.action_triggers.clone())
+            .collect();
+        self.graph = TriggeringGraph::build_with(
+            self.facts.iter().map(|f| f.name.clone()).collect(),
+            self.facts.iter().map(|f| &f.triggers),
+            &action_triggers,
+        );
+        self.pruned.clear();
+        self.pruned_proofs.clear();
+        for (i, targets) in self.graph.edges().iter().enumerate() {
+            for &j in targets {
+                let verdict = self
+                    .edge_memo
+                    .entry((i, j))
+                    .or_insert_with(|| edge_verdict(&self.facts, i, j));
+                if let Some(proof) = verdict {
+                    self.pruned.insert((i, j));
+                    self.pruned_proofs.push(PrunedEdge {
+                        from: self.facts[i].name.clone(),
+                        to: self.facts[j].name.clone(),
+                        proof: proof.clone(),
+                    });
+                }
+            }
+        }
+        self.refined = self.graph.without_edges(&self.pruned);
+        self.syntactic_cycles = self.graph.cycle_paths();
+        self.refined_cycles = self.refined.cycle_paths();
+        self.certified = self.refined.is_acyclic();
+    }
+
+    /// Whether termination is proven: the refined triggering graph is
+    /// acyclic, so modification reaches a fixpoint within `|catalog|`
+    /// rounds and the runtime round budget is provably unreachable.
+    pub fn certified(&self) -> bool {
+        self.certified
+    }
+
+    /// Whether the syntactic edge `from → to` was semantically pruned.
+    /// `ModP` skips a selection when every program appended in the
+    /// previous round reaches it only over pruned edges.
+    pub fn edge_pruned(&self, from: usize, to: usize) -> bool {
+        self.pruned.contains(&(from, to))
+    }
+
+    /// Cycle paths surviving refinement (empty iff certified).
+    pub fn refined_cycles(&self) -> &[Vec<String>] {
+        &self.refined_cycles
+    }
+
+    /// The first surviving cycle path, for error rendering.
+    pub fn first_refined_cycle(&self) -> Vec<String> {
+        self.refined_cycles.first().cloned().unwrap_or_default()
+    }
+
+    /// Assemble the full report for the current catalog state.
+    pub fn report(&self) -> AnalysisReport {
+        let mut diagnostics = self.rule_diags.clone();
+        for p in &self.pruned_proofs {
+            diagnostics.push(Diagnostic {
+                code: Code::FalseEdgePruned,
+                rule: p.from.clone(),
+                message: format!("triggering edge to `{}` pruned: {}", p.to, p.proof),
+            });
+        }
+        for c in &self.refined_cycles {
+            diagnostics.push(Diagnostic {
+                code: Code::UnprovenTermination,
+                rule: c.first().cloned().unwrap_or_default(),
+                message: format!(
+                    "triggering cycle survives semantic refinement: {}; termination unproven, the runtime round budget stays armed",
+                    c.join(" -> ")
+                ),
+            });
+        }
+        AnalysisReport {
+            rules: self.facts.len(),
+            syntactic_edges: self.graph.edge_count(),
+            refined_edges: self.refined.edge_count(),
+            diagnostics,
+            certificate: TerminationCertificate {
+                certified: self.certified,
+                syntactic_cycles: self.syntactic_cycles.clone(),
+                refined_cycles: self.refined_cycles.clone(),
+                pruned: self.pruned_proofs.clone(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_calculus::analyze;
+    use tm_relational::{RelationSchema, ValueType};
+    use tm_rules::parse_rule;
+
+    fn schema() -> Arc<DatabaseSchema> {
+        DatabaseSchema::from_relations(vec![
+            RelationSchema::of("r", &[("v", ValueType::Int)]),
+            RelationSchema::of("s", &[("m", ValueType::Int)]),
+            RelationSchema::of("log", &[("code", ValueType::Int)]),
+        ])
+        .unwrap()
+        .into_shared()
+    }
+
+    fn analysis_of(rules: &[(&str, &str)]) -> CatalogAnalysis {
+        let schema = schema();
+        let mut a = CatalogAnalysis::new(schema.clone());
+        for (name, text) in rules {
+            let rule = parse_rule(text, name).unwrap();
+            let info = analyze(rule.condition(), &schema).unwrap();
+            a.add_rule(&rule, &info);
+        }
+        a
+    }
+
+    #[test]
+    fn empty_catalog_is_certified() {
+        let a = CatalogAnalysis::new(schema());
+        assert!(a.certified());
+        assert!(a.report().diagnostics.is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_constraint_reported() {
+        let a = analysis_of(&[(
+            "impossible",
+            "IF NOT forall x (x in r implies x.v < 0 and x.v > 10) THEN abort",
+        )]);
+        let report = a.report();
+        assert!(report.has(Code::UnsatisfiableConstraint, "impossible"));
+        assert_eq!(report.errors(), 1);
+    }
+
+    #[test]
+    fn dead_rule_reported() {
+        let a = analysis_of(&[(
+            "dead",
+            "IF NOT forall x (x in r implies x.v < 5 or x.v >= 5) THEN abort",
+        )]);
+        let report = a.report();
+        assert!(report.has(Code::TautologicalConstraint, "dead"));
+        assert_eq!(report.warnings(), 1);
+    }
+
+    #[test]
+    fn live_rule_clean() {
+        let a = analysis_of(&[(
+            "live",
+            "IF NOT forall x (x in r implies x.v >= 0) THEN abort",
+        )]);
+        assert!(a.report().diagnostics.is_empty());
+        assert!(a.certified());
+    }
+
+    #[test]
+    fn loose_rule_subsumed_by_tight() {
+        let a = analysis_of(&[
+            (
+                "tight",
+                "WHEN INS(r) IF NOT forall x (x in r implies x.v >= 10) THEN abort",
+            ),
+            (
+                "loose",
+                "WHEN INS(r) IF NOT forall x (x in r implies x.v >= 0) THEN abort",
+            ),
+        ]);
+        let report = a.report();
+        assert!(report.has(Code::SubsumedBy, "loose"), "{report}");
+        assert!(!report.has(Code::SubsumedBy, "tight"));
+    }
+
+    #[test]
+    fn subsumption_respects_trigger_inclusion() {
+        // The loose rule triggers on more update types than the tight
+        // one, so the tight rule does not cover it.
+        let a = analysis_of(&[
+            (
+                "tight",
+                "WHEN INS(r) IF NOT forall x (x in r implies x.v >= 10) THEN abort",
+            ),
+            (
+                "loose",
+                "WHEN INS(r), DEL(s) IF NOT forall x (x in r implies x.v >= 0) THEN abort",
+            ),
+        ]);
+        assert!(!a.report().has(Code::SubsumedBy, "loose"));
+    }
+
+    #[test]
+    fn repair_cycle_refines_to_certified() {
+        // Syntactic 2-cycle of well-formed repairs; both edges are
+        // semantically false (each action leaves the other's relation
+        // untouched), plus an insert edge refuted by row folding.
+        let a = analysis_of(&[
+            (
+                "clamp",
+                "WHEN INS(r), DEL(s) IF NOT forall x (x in r implies x.v >= 0) \
+                 THEN delete(r, select[#0 < 0](r)); insert(log, {(0)})",
+            ),
+            (
+                "mark",
+                "WHEN DEL(r) IF NOT forall y (y in s implies y.m >= 0) \
+                 THEN delete(s, select[#0 < 0](s))",
+            ),
+            (
+                "logcheck",
+                "WHEN INS(log) IF NOT forall z (z in log implies z.code >= 0) THEN abort",
+            ),
+        ]);
+        let report = a.report();
+        assert!(!report.certificate.syntactic_cycles.is_empty());
+        assert!(a.certified(), "{report}");
+        assert!(report.certificate.refined_cycles.is_empty());
+        // clamp→mark, clamp→logcheck, mark→clamp all pruned.
+        assert_eq!(report.certificate.pruned.len(), 3, "{report}");
+        assert!(a.edge_pruned(0, 1) && a.edge_pruned(0, 2) && a.edge_pruned(1, 0));
+        assert_eq!(report.syntactic_edges, 3);
+        assert_eq!(report.refined_edges, 0);
+    }
+
+    #[test]
+    fn opaque_cycle_stays_unproven() {
+        let a = analysis_of(&[
+            (
+                "ping",
+                "WHEN INS(r) IF NOT forall x (x in r implies x.v >= 0) THEN insert(s, r@ins)",
+            ),
+            (
+                "pong",
+                "WHEN INS(s) IF NOT forall y (y in s implies y.m >= 0) THEN insert(r, s@ins)",
+            ),
+        ]);
+        assert!(!a.certified());
+        let report = a.report();
+        assert!(report.has(Code::UnprovenTermination, "ping"), "{report}");
+        assert_eq!(a.first_refined_cycle(), vec!["ping", "pong", "ping"]);
+    }
+
+    #[test]
+    fn removal_rebuilds_positions_and_verdicts() {
+        let mut a = analysis_of(&[
+            (
+                "tight",
+                "WHEN INS(r) IF NOT forall x (x in r implies x.v >= 10) THEN abort",
+            ),
+            (
+                "loose",
+                "WHEN INS(r) IF NOT forall x (x in r implies x.v >= 0) THEN abort",
+            ),
+        ]);
+        assert!(a.report().has(Code::SubsumedBy, "loose"));
+        a.remove_rule(1);
+        let report = a.report();
+        assert_eq!(report.rules, 1);
+        assert!(report.diagnostics.is_empty(), "{report}");
+        assert!(a.certified());
+    }
+
+    #[test]
+    fn self_loop_with_satisfying_insert_pruned() {
+        // The action re-inserts a row that provably satisfies the
+        // constraint: the self-edge folds away.
+        let a = analysis_of(&[(
+            "selfheal",
+            "WHEN INS(r) IF NOT forall x (x in r implies x.v >= 0) \
+             THEN delete(r, select[#0 < 0](r)); insert(r, {(0)})",
+        )]);
+        assert!(a.certified(), "{}", a.report());
+        assert!(a.edge_pruned(0, 0));
+    }
+
+    #[test]
+    fn referential_edge_pruned_when_no_match_lost() {
+        // sref: every s.m must have a matching r.v. The repair inserts
+        // into s's referenced relation r — inserts into the referenced
+        // side cannot lose a match... but here the action inserts into
+        // the *referencing* side's referenced relation r, which is
+        // fine; deleting from s is also fine for r-side.
+        let a = analysis_of(&[
+            (
+                "sref",
+                "WHEN INS(s), INS(r) IF NOT forall x (x in s implies exists y (y in r and x.m = y.v)) THEN abort",
+            ),
+            (
+                "feeder",
+                "WHEN DEL(log) IF NOT forall x (x in r implies x.v >= 0) THEN insert(r, {(1)})",
+            ),
+        ]);
+        // feeder inserts into r (the referenced relation): edge
+        // feeder→sref exists syntactically (INS(r)), but cannot violate
+        // the referential condition.
+        assert!(a.edge_pruned(1, 0), "{}", a.report());
+    }
+}

@@ -1,0 +1,141 @@
+//! A tiny textual catalog format for the `tm-analyze` lint CLI.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! schema beer(name str, brewery str, alcohol double)
+//! rule r1: WHEN INS(beer) IF NOT forall x (x in beer implies x.alcohol >= 0.0) THEN abort
+//! ```
+//!
+//! * `schema NAME(attr type, ...)` — declare a relation; types are
+//!   `int`, `double`, `str`, `bool`. All `schema` lines must precede
+//!   the first `rule` line.
+//! * `rule NAME: TEXT` — an RL rule in the [`tm_rules::parse_rule`]
+//!   grammar.
+
+use std::sync::Arc;
+
+use tm_relational::{Attribute, DatabaseSchema, RelationSchema, ValueType};
+use tm_rules::{parse_rule, IntegrityRule};
+
+/// A parsed catalog file: the schema plus the rules, in file order.
+#[derive(Debug, Clone)]
+pub struct CatalogFile {
+    /// The declared database schema.
+    pub schema: Arc<DatabaseSchema>,
+    /// The declared rules, in declaration order.
+    pub rules: Vec<IntegrityRule>,
+}
+
+/// Parse the catalog format. Errors carry the 1-based line number.
+pub fn parse_catalog_file(text: &str) -> Result<CatalogFile, String> {
+    let mut relations: Vec<RelationSchema> = Vec::new();
+    let mut rules: Vec<IntegrityRule> = Vec::new();
+    let mut schema: Option<Arc<DatabaseSchema>> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("schema ") {
+            if schema.is_some() {
+                return Err(format!(
+                    "line {lineno}: `schema` lines must precede the first `rule`"
+                ));
+            }
+            relations.push(parse_schema_line(rest).map_err(|e| format!("line {lineno}: {e}"))?);
+        } else if let Some(rest) = line.strip_prefix("rule ") {
+            let (name, body) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("line {lineno}: expected `rule NAME: TEXT`"))?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(format!("line {lineno}: rule name is empty"));
+            }
+            if schema.is_none() {
+                schema = Some(
+                    DatabaseSchema::from_relations(std::mem::take(&mut relations))
+                        .map_err(|e| format!("line {lineno}: bad schema: {e}"))?
+                        .into_shared(),
+                );
+            }
+            let rule = parse_rule(body.trim(), name)
+                .map_err(|e| format!("line {lineno}: bad rule `{name}`: {e}"))?;
+            rules.push(rule);
+        } else {
+            return Err(format!(
+                "line {lineno}: expected `schema ...`, `rule ...` or a `#` comment"
+            ));
+        }
+    }
+    let schema = match schema {
+        Some(s) => s,
+        None => DatabaseSchema::from_relations(relations)
+            .map_err(|e| format!("bad schema: {e}"))?
+            .into_shared(),
+    };
+    Ok(CatalogFile { schema, rules })
+}
+
+/// Parse `NAME(attr type, ...)`.
+fn parse_schema_line(rest: &str) -> Result<RelationSchema, String> {
+    let rest = rest.trim();
+    let open = rest
+        .find('(')
+        .ok_or_else(|| "expected `schema NAME(attr type, ...)`".to_string())?;
+    let name = rest[..open].trim();
+    let body = rest[open + 1..]
+        .trim()
+        .strip_suffix(')')
+        .ok_or_else(|| "missing closing `)`".to_string())?;
+    if name.is_empty() {
+        return Err("relation name is empty".to_string());
+    }
+    let mut attrs = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        let (attr, ty) = part
+            .rsplit_once(char::is_whitespace)
+            .ok_or_else(|| format!("attribute `{part}`: expected `name type`"))?;
+        let ty = match ty.trim() {
+            "int" => ValueType::Int,
+            "double" => ValueType::Double,
+            "str" => ValueType::Str,
+            "bool" => ValueType::Bool,
+            other => return Err(format!("unknown type `{other}` (int|double|str|bool)")),
+        };
+        attrs.push(Attribute::new(attr.trim(), ty));
+    }
+    RelationSchema::new(name, attrs).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_schema_and_rules() {
+        let cat = parse_catalog_file(
+            "# demo\n\
+             schema r(v int)\n\
+             schema s(m int, tag str)\n\
+             \n\
+             rule guard: WHEN INS(r) IF NOT forall x (x in r implies x.v >= 0) THEN abort\n",
+        )
+        .unwrap();
+        assert_eq!(cat.schema.relation("s").unwrap().arity(), 2);
+        assert_eq!(cat.rules.len(), 1);
+        assert_eq!(cat.rules[0].name, "guard");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_catalog_file("schema r(v int)\nnonsense\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = parse_catalog_file("schema r(v oops)\n").unwrap_err();
+        assert!(err.contains("unknown type `oops`"), "{err}");
+        let err =
+            parse_catalog_file("rule g: IF NOT 1 = 1 THEN abort\nschema r(v int)\n").unwrap_err();
+        assert!(err.contains("must precede"), "{err}");
+    }
+}

@@ -1,0 +1,569 @@
+//! A small abstract domain over scalar predicates: intervals, equalities
+//! and exclusions per column class, decided over a capped DNF.
+//!
+//! The evaluator's boolean logic is **two-valued and total** on the
+//! fragment this module admits: comparisons are defined for every value
+//! pair (including `null`, which [`tm_relational::Value::compare`] ranks
+//! below every other value), `isnull` is defined everywhere, and the
+//! connectives only error on non-boolean operands — which cannot arise
+//! when every leaf is a comparison or null test. That makes negation an
+//! exact complement ([`CmpOp::negate`]) and lets the three public
+//! questions share one engine:
+//!
+//! * [`never_true`] — the predicate selects no tuple, ever (a dead
+//!   alarm).
+//! * [`always_true`] — the predicate selects every tuple (an
+//!   unsatisfiable constraint, phrased over its violation predicate).
+//! * [`implies`] — every tuple selected by `p` is selected by `q`
+//!   (subsumption between violation predicates).
+//!
+//! Anything outside the fragment — arithmetic (division can error),
+//! aggregates (they read other relations), parameters, bare columns in
+//! boolean position — makes the translation bail out and the question
+//! answer `false`: **no claim**. Every `true` answer is a proof under
+//! the evaluator's semantics; `false` answers are conservative.
+//!
+//! The decision procedure puts the predicate in negation normal form
+//! (pushing `not` onto the comparison operators), distributes to a
+//! disjunctive normal form capped at 64 conjuncts, and refutes
+//! each conjunct with a union-find over column equalities plus a
+//! per-class interval with exclusions. `isnull(#i)` needs no special
+//! machinery: under the rank order it is exactly `#i = null`, and its
+//! negation `#i > null`.
+
+use std::collections::BTreeMap;
+
+use tm_algebra::{CmpOp, ScalarExpr};
+use tm_relational::Value;
+
+/// Conjunct cap for the DNF distribution; past this the domain makes no
+/// claim (soundness never depends on the cap, only completeness).
+const DNF_CAP: usize = 64;
+
+/// An atomic comparison operand: a tuple column or a constant.
+#[derive(Debug, Clone, PartialEq)]
+enum Term {
+    Col(usize),
+    Const(Value),
+}
+
+/// Negation normal form over the admitted fragment. Leaves are
+/// comparison atoms and boolean literals; `not` has been compiled away
+/// into the operators.
+#[derive(Debug, Clone)]
+enum Nnf {
+    And(Vec<Nnf>),
+    Or(Vec<Nnf>),
+    Cmp { op: CmpOp, lhs: Term, rhs: Term },
+    Lit(bool),
+}
+
+/// One DNF conjunct's atom.
+#[derive(Debug, Clone)]
+struct Atom {
+    op: CmpOp,
+    lhs: Term,
+    rhs: Term,
+}
+
+fn term(e: &ScalarExpr) -> Option<Term> {
+    match e {
+        ScalarExpr::Col(i) => Some(Term::Col(*i)),
+        ScalarExpr::Const(v) => Some(Term::Const(v.clone())),
+        _ => None,
+    }
+}
+
+/// Translate into NNF; `positive == false` builds the NNF of the
+/// negation. `None` whenever any subterm leaves the total two-valued
+/// fragment.
+fn to_nnf(e: &ScalarExpr, positive: bool) -> Option<Nnf> {
+    match e {
+        ScalarExpr::Const(Value::Bool(b)) => Some(Nnf::Lit(*b == positive)),
+        ScalarExpr::Not(inner) => to_nnf(inner, !positive),
+        ScalarExpr::And(a, b) => {
+            let (x, y) = (to_nnf(a, positive)?, to_nnf(b, positive)?);
+            Some(if positive {
+                Nnf::And(vec![x, y])
+            } else {
+                Nnf::Or(vec![x, y])
+            })
+        }
+        ScalarExpr::Or(a, b) => {
+            let (x, y) = (to_nnf(a, positive)?, to_nnf(b, positive)?);
+            Some(if positive {
+                Nnf::Or(vec![x, y])
+            } else {
+                Nnf::And(vec![x, y])
+            })
+        }
+        // isnull(#i) is #i = null under the evaluator's rank order
+        // (null sorts below every non-null value), and its negation is
+        // #i > null.
+        ScalarExpr::IsNull(inner) => match inner.as_ref() {
+            ScalarExpr::Col(i) => Some(Nnf::Cmp {
+                op: if positive { CmpOp::Eq } else { CmpOp::Gt },
+                lhs: Term::Col(*i),
+                rhs: Term::Const(Value::Null),
+            }),
+            ScalarExpr::Const(v) => Some(Nnf::Lit(v.is_null() == positive)),
+            _ => None,
+        },
+        ScalarExpr::Cmp(op, a, b) => {
+            let (lhs, rhs) = (term(a)?, term(b)?);
+            let eff = if positive { *op } else { op.negate() };
+            match (&lhs, &rhs) {
+                (Term::Const(x), Term::Const(y)) => Some(Nnf::Lit(eff.test(x.compare(y)))),
+                _ => Some(Nnf::Cmp { op: eff, lhs, rhs }),
+            }
+        }
+        // Everything else either can error at runtime (arithmetic, a
+        // non-boolean constant under a connective), reads beyond the
+        // tuple (aggregates), or is unknown statically (parameters,
+        // bare columns in boolean position): no claim.
+        _ => None,
+    }
+}
+
+/// The exact complement of an NNF formula (two-valued logic: the
+/// NOT-TRUE set is the FALSE set).
+fn compl(n: &Nnf) -> Nnf {
+    match n {
+        Nnf::Lit(b) => Nnf::Lit(!b),
+        Nnf::And(cs) => Nnf::Or(cs.iter().map(compl).collect()),
+        Nnf::Or(cs) => Nnf::And(cs.iter().map(compl).collect()),
+        Nnf::Cmp { op, lhs, rhs } => Nnf::Cmp {
+            op: op.negate(),
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+        },
+    }
+}
+
+/// Distribute to DNF: a list of conjuncts, each a list of atoms. `None`
+/// when the distribution exceeds [`DNF_CAP`].
+fn dnf(n: &Nnf) -> Option<Vec<Vec<Atom>>> {
+    match n {
+        Nnf::Lit(true) => Some(vec![vec![]]),
+        Nnf::Lit(false) => Some(vec![]),
+        Nnf::Cmp { op, lhs, rhs } => Some(vec![vec![Atom {
+            op: *op,
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+        }]]),
+        Nnf::Or(children) => {
+            let mut out = Vec::new();
+            for c in children {
+                out.extend(dnf(c)?);
+                if out.len() > DNF_CAP {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+        Nnf::And(children) => {
+            let mut out: Vec<Vec<Atom>> = vec![vec![]];
+            for c in children {
+                let d = dnf(c)?;
+                let mut next = Vec::new();
+                for prefix in &out {
+                    for conj in &d {
+                        let mut merged = prefix.clone();
+                        merged.extend(conj.iter().cloned());
+                        next.push(merged);
+                        if next.len() > DNF_CAP {
+                            return None;
+                        }
+                    }
+                }
+                out = next;
+            }
+            Some(out)
+        }
+    }
+}
+
+/// A bound endpoint: the value and whether the bound is strict.
+type Bound = (Value, bool);
+
+/// The interval-with-exclusions state of one column equivalence class.
+#[derive(Debug, Default)]
+struct ClassState {
+    lo: Option<Bound>,
+    hi: Option<Bound>,
+    excluded: Vec<Value>,
+}
+
+impl ClassState {
+    fn tighten_lo(&mut self, v: Value, strict: bool) {
+        let replace = match &self.lo {
+            None => true,
+            Some((cur, cur_strict)) => match v.compare(cur) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => strict && !cur_strict,
+                std::cmp::Ordering::Less => false,
+            },
+        };
+        if replace {
+            self.lo = Some((v, strict));
+        }
+    }
+
+    fn tighten_hi(&mut self, v: Value, strict: bool) {
+        let replace = match &self.hi {
+            None => true,
+            Some((cur, cur_strict)) => match v.compare(cur) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => strict && !cur_strict,
+                std::cmp::Ordering::Greater => false,
+            },
+        };
+        if replace {
+            self.hi = Some((v, strict));
+        }
+    }
+
+    /// The single value this class is pinned to, if `lo = hi` non-strict.
+    fn pinned(&self) -> Option<&Value> {
+        match (&self.lo, &self.hi) {
+            (Some((lo, false)), Some((hi, false))) if lo.compare(hi).is_eq() => Some(lo),
+            _ => None,
+        }
+    }
+
+    /// Whether the interval (with exclusions) is provably empty.
+    fn empty(&self) -> bool {
+        if let (Some((lo, lo_strict)), Some((hi, hi_strict))) = (&self.lo, &self.hi) {
+            match lo.compare(hi) {
+                std::cmp::Ordering::Greater => return true,
+                std::cmp::Ordering::Equal => {
+                    if *lo_strict || *hi_strict {
+                        return true;
+                    }
+                    if self.excluded.iter().any(|v| v.compare(lo).is_eq()) {
+                        return true;
+                    }
+                }
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        false
+    }
+}
+
+/// Flat union-find over column slots.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+}
+
+/// Decide whether a conjunct is satisfiable. `false` only when a
+/// contradiction is proven; `true` is the conservative default.
+fn conjunct_satisfiable(atoms: &[Atom]) -> bool {
+    // Map columns to dense slots.
+    let mut slots: BTreeMap<usize, usize> = BTreeMap::new();
+    for a in atoms {
+        for t in [&a.lhs, &a.rhs] {
+            if let Term::Col(c) = t {
+                let next = slots.len();
+                slots.entry(*c).or_insert(next);
+            }
+        }
+    }
+    let mut uf = UnionFind::new(slots.len());
+    // Pass 1: column equalities merge classes.
+    for a in atoms {
+        if let (CmpOp::Eq, Term::Col(x), Term::Col(y)) = (a.op, &a.lhs, &a.rhs) {
+            uf.union(slots[x], slots[y]);
+        }
+    }
+    let mut classes: BTreeMap<usize, ClassState> = BTreeMap::new();
+    // Cross-class column pairs, re-examined once intervals are known.
+    let mut pairs: Vec<(CmpOp, usize, usize)> = Vec::new();
+    // Pass 2: fold every atom into the class states.
+    for a in atoms {
+        // Normalise so a column is on the left when there is one.
+        let (op, lhs, rhs) = match (&a.lhs, &a.rhs) {
+            (Term::Const(_), Term::Col(_)) => (a.op.flip(), a.rhs.clone(), a.lhs.clone()),
+            _ => (a.op, a.lhs.clone(), a.rhs.clone()),
+        };
+        match (&lhs, &rhs) {
+            (Term::Const(x), Term::Const(y)) => {
+                if !op.test(x.compare(y)) {
+                    return false;
+                }
+            }
+            (Term::Col(x), Term::Col(y)) => {
+                let (rx, ry) = (uf.find(slots[x]), uf.find(slots[y]));
+                if rx == ry {
+                    // Reflexive: x ▵ x holds for =, ≤, ≥ and fails for
+                    // <, >, ≠.
+                    if matches!(op, CmpOp::Lt | CmpOp::Gt | CmpOp::Ne) {
+                        return false;
+                    }
+                } else {
+                    pairs.push((op, rx, ry));
+                }
+            }
+            (Term::Col(x), Term::Const(c)) => {
+                let state = classes.entry(uf.find(slots[x])).or_default();
+                match op {
+                    CmpOp::Eq => {
+                        state.tighten_lo(c.clone(), false);
+                        state.tighten_hi(c.clone(), false);
+                    }
+                    CmpOp::Ne => state.excluded.push(c.clone()),
+                    CmpOp::Lt => state.tighten_hi(c.clone(), true),
+                    CmpOp::Le => state.tighten_hi(c.clone(), false),
+                    CmpOp::Gt => state.tighten_lo(c.clone(), true),
+                    CmpOp::Ge => state.tighten_lo(c.clone(), false),
+                }
+            }
+            (Term::Const(_), _) => unreachable!("normalised above"),
+        }
+    }
+    for state in classes.values() {
+        if state.empty() {
+            return false;
+        }
+    }
+    // Cross-class pairs: decidable only when both classes are pinned.
+    for (op, rx, ry) in pairs {
+        if let (Some(vx), Some(vy)) = (
+            classes.get(&rx).and_then(ClassState::pinned),
+            classes.get(&ry).and_then(ClassState::pinned),
+        ) {
+            if !op.test(vx.compare(vy)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn refuted(conjuncts: &[Vec<Atom>]) -> bool {
+    conjuncts.iter().all(|c| !conjunct_satisfiable(c))
+}
+
+/// Proven: the predicate evaluates `true` on **no** tuple (and never
+/// errors). `false` means "no claim".
+pub fn never_true(pred: &ScalarExpr) -> bool {
+    match to_nnf(pred, true).as_ref().and_then(dnf) {
+        Some(conjuncts) => refuted(&conjuncts),
+        None => false,
+    }
+}
+
+/// Proven: the predicate evaluates `true` on **every** tuple (and never
+/// errors). `false` means "no claim".
+pub fn always_true(pred: &ScalarExpr) -> bool {
+    match to_nnf(pred, true).map(|n| compl(&n)).as_ref().and_then(dnf) {
+        Some(conjuncts) => refuted(&conjuncts),
+        None => false,
+    }
+}
+
+/// Proven: every tuple on which `p` evaluates `true`, `q` also
+/// evaluates `true` — i.e. `p ∧ ¬q` is unsatisfiable. `false` means
+/// "no claim".
+pub fn implies(p: &ScalarExpr, q: &ScalarExpr) -> bool {
+    let (np, nq) = match (to_nnf(p, true), to_nnf(q, true)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return false,
+    };
+    match dnf(&Nnf::And(vec![np, compl(&nq)])) {
+        Some(conjuncts) => refuted(&conjuncts),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(i: usize) -> ScalarExpr {
+        ScalarExpr::Col(i)
+    }
+
+    fn int(v: i64) -> ScalarExpr {
+        ScalarExpr::Const(Value::Int(v))
+    }
+
+    fn cmp(op: CmpOp, a: ScalarExpr, b: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    #[test]
+    fn contradictory_interval_never_true() {
+        // #0 < 0 ∧ #0 > 10
+        let p = ScalarExpr::and(
+            cmp(CmpOp::Lt, col(0), int(0)),
+            cmp(CmpOp::Gt, col(0), int(10)),
+        );
+        assert!(never_true(&p));
+        assert!(!always_true(&p));
+    }
+
+    #[test]
+    fn open_predicate_makes_no_claim() {
+        let p = cmp(CmpOp::Lt, col(0), int(0));
+        assert!(!never_true(&p));
+        assert!(!always_true(&p));
+    }
+
+    #[test]
+    fn tautology_always_true() {
+        // #0 < 5 ∨ #0 >= 5 — exhaustive under the total rank order
+        // (null < 5 holds too).
+        let p = ScalarExpr::or(
+            cmp(CmpOp::Lt, col(0), int(5)),
+            cmp(CmpOp::Ge, col(0), int(5)),
+        );
+        assert!(always_true(&p));
+        assert!(!never_true(&p));
+        assert!(never_true(&ScalarExpr::not(p)));
+    }
+
+    #[test]
+    fn equality_chain_contradiction() {
+        // #0 = #1 ∧ #1 = 3 ∧ #0 > 7
+        let p = ScalarExpr::and(
+            ScalarExpr::and(
+                cmp(CmpOp::Eq, col(0), col(1)),
+                cmp(CmpOp::Eq, col(1), int(3)),
+            ),
+            cmp(CmpOp::Gt, col(0), int(7)),
+        );
+        assert!(never_true(&p));
+    }
+
+    #[test]
+    fn reflexive_strict_comparison_unsat() {
+        // #0 = #1 ∧ #0 < #1
+        let p = ScalarExpr::and(
+            cmp(CmpOp::Eq, col(0), col(1)),
+            cmp(CmpOp::Lt, col(0), col(1)),
+        );
+        assert!(never_true(&p));
+        // #0 ≤ #1 alone: satisfiable, no claim.
+        assert!(!never_true(&cmp(CmpOp::Le, col(0), col(1))));
+    }
+
+    #[test]
+    fn pinned_exclusion_unsat() {
+        // #0 = 4 ∧ #0 ≠ 4
+        let p = ScalarExpr::and(
+            cmp(CmpOp::Eq, col(0), int(4)),
+            cmp(CmpOp::Ne, col(0), int(4)),
+        );
+        assert!(never_true(&p));
+    }
+
+    #[test]
+    fn isnull_is_an_interval_fact() {
+        // isnull(#0) ∧ #0 > 3: null sorts below every int, so the class
+        // pins to null and the lower bound contradicts it.
+        let p = ScalarExpr::and(
+            ScalarExpr::IsNull(Box::new(col(0))),
+            cmp(CmpOp::Gt, col(0), int(3)),
+        );
+        assert!(never_true(&p));
+        // isnull(#0) ∧ not isnull(#0)
+        let q = ScalarExpr::and(
+            ScalarExpr::IsNull(Box::new(col(0))),
+            ScalarExpr::not(ScalarExpr::IsNull(Box::new(col(0)))),
+        );
+        assert!(never_true(&q));
+    }
+
+    #[test]
+    fn two_valued_comparison_on_null_is_not_kleene() {
+        // #0 < 5 ∨ isnull(#0) is NOT always true in three-valued logic,
+        // but under the evaluator's rank order null < 5 holds, so
+        // #0 < 5 ∨ #0 >= 5 was the tautology; here #0 <= 5 ∨ #0 > 5
+        // likewise.
+        let p = ScalarExpr::or(
+            cmp(CmpOp::Le, col(0), int(5)),
+            cmp(CmpOp::Gt, col(0), int(5)),
+        );
+        assert!(always_true(&p));
+    }
+
+    #[test]
+    fn implication_tight_implies_loose() {
+        // #0 < 0 ⟹ #0 < 10
+        assert!(implies(
+            &cmp(CmpOp::Lt, col(0), int(0)),
+            &cmp(CmpOp::Lt, col(0), int(10)),
+        ));
+        // #0 < 10 does not imply #0 < 0.
+        assert!(!implies(
+            &cmp(CmpOp::Lt, col(0), int(10)),
+            &cmp(CmpOp::Lt, col(0), int(0)),
+        ));
+    }
+
+    #[test]
+    fn implication_with_disjunction() {
+        // #0 = 1 ⟹ (#0 = 1 ∨ #0 = 2)
+        let one = cmp(CmpOp::Eq, col(0), int(1));
+        let or = ScalarExpr::or(one.clone(), cmp(CmpOp::Eq, col(0), int(2)));
+        assert!(implies(&one, &or));
+        assert!(!implies(&or, &one));
+    }
+
+    #[test]
+    fn non_total_fragment_makes_no_claim() {
+        // Arithmetic can error at runtime: no claim even on an
+        // obviously false shape.
+        let div = ScalarExpr::arith(tm_algebra::ArithOp::Div, int(1), int(0));
+        let p = ScalarExpr::and(
+            cmp(CmpOp::Lt, col(0), int(0)),
+            ScalarExpr::and(cmp(CmpOp::Gt, col(0), int(10)), cmp(CmpOp::Eq, div, int(1))),
+        );
+        assert!(!never_true(&p));
+        // Parameters are unknown statically.
+        assert!(!never_true(&cmp(CmpOp::Lt, ScalarExpr::Param(0), int(0))));
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert!(never_true(&ScalarExpr::false_()));
+        assert!(always_true(&ScalarExpr::true_()));
+        assert!(never_true(&cmp(CmpOp::Lt, int(5), int(3))));
+        assert!(always_true(&cmp(CmpOp::Lt, int(3), int(5))));
+    }
+
+    #[test]
+    fn cross_type_rank_order() {
+        // "abc" > 5 under the rank order (Str ranks above Int): #0 = "abc"
+        // ∧ #0 < 5 pins the class to a string and contradicts the bound.
+        let p = ScalarExpr::and(
+            cmp(CmpOp::Eq, col(0), ScalarExpr::str("abc")),
+            cmp(CmpOp::Lt, col(0), int(5)),
+        );
+        assert!(never_true(&p));
+    }
+}

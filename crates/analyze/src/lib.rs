@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # `tm-analyze` — catalog static analysis
+//!
+//! Section 6 of Grefen (VLDB 1993) keeps transaction modification safe
+//! with a *syntactic* triggering graph: rule `J1` points at `J2` when
+//! `J1`'s action fires one of `J2`'s triggers, and a cycle-free graph
+//! guarantees termination. This crate sharpens that story semantically
+//! and packages the result as a diagnostics subsystem:
+//!
+//! * [`domain`] — a small abstract domain (intervals, equalities and
+//!   disequalities over tuple columns, in the runtime's two-valued
+//!   total comparison order) for refuting quantifier-free violation
+//!   predicates. Every `true` answer is a proof; `false` means "no
+//!   claim".
+//! * [`catalog`] — [`CatalogAnalysis`]: incremental per-rule
+//!   diagnostics (unsatisfiable / tautological / subsumed constraints),
+//!   semantic triggering-graph refinement (weakest-precondition proofs
+//!   that an action cannot violate a condition delete false edges), and
+//!   the per-catalog termination certificate. A certified catalog is
+//!   one whose *refined* graph is acyclic: modification provably
+//!   reaches a fixpoint, and the engine drops its runtime round budget
+//!   to a debug assertion.
+//! * [`typecheck`] — [`check_program`]: static arity/domain/name
+//!   checking of RL compensating actions, so malformed actions are
+//!   rejected when the rule is defined rather than when it first fires.
+//! * [`report`] — the structured [`AnalysisReport`] with stable
+//!   diagnostic codes `A001`–`A005`.
+//! * [`catfile`] — a small textual catalog format for the `tm-analyze`
+//!   lint binary.
+
+pub mod catalog;
+pub mod catfile;
+pub mod domain;
+pub mod report;
+pub mod typecheck;
+
+pub use catalog::CatalogAnalysis;
+pub use catfile::{parse_catalog_file, CatalogFile};
+pub use domain::{always_true, implies, never_true};
+pub use report::{AnalysisReport, Code, Diagnostic, PrunedEdge, Severity, TerminationCertificate};
+pub use typecheck::check_program;

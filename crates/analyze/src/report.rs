@@ -1,0 +1,238 @@
+//! The structured output of catalog analysis: coded diagnostics, pruned
+//! triggering edges with their proofs, and the per-catalog termination
+//! certificate.
+
+use std::fmt;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The catalog is almost certainly wrong (e.g. an unsatisfiable
+    /// constraint: every insert aborts).
+    Error,
+    /// The catalog is suspicious but runnable (dead rules, subsumed
+    /// rules, unproven termination).
+    Warning,
+    /// Provenance worth surfacing (pruned false edges).
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Info => write!(f, "info"),
+        }
+    }
+}
+
+/// Diagnostic codes. The numeric identifiers are stable: tooling may
+/// match on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Code {
+    /// `A001` — the constraint is unsatisfiable: its violation
+    /// predicate holds on every possible tuple, so any insert into the
+    /// constrained relation aborts.
+    UnsatisfiableConstraint,
+    /// `A002` — the constraint is tautological: its violation predicate
+    /// holds on no tuple, so the compiled check can never fire (a dead
+    /// rule).
+    TautologicalConstraint,
+    /// `A003` — the rule is subsumed by another rule on the same
+    /// trigger set: whenever it would abort, the subsuming rule aborts
+    /// too.
+    SubsumedBy,
+    /// `A004` — a syntactic triggering edge was semantically pruned:
+    /// the source rule's action provably cannot violate the target
+    /// rule's condition.
+    FalseEdgePruned,
+    /// `A005` — a triggering cycle survived semantic refinement:
+    /// termination is not proven and the runtime round budget stays
+    /// armed.
+    UnprovenTermination,
+}
+
+impl Code {
+    /// The stable `Annn` identifier.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Code::UnsatisfiableConstraint => "A001",
+            Code::TautologicalConstraint => "A002",
+            Code::SubsumedBy => "A003",
+            Code::FalseEdgePruned => "A004",
+            Code::UnprovenTermination => "A005",
+        }
+    }
+
+    /// The severity this code reports at.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Code::UnsatisfiableConstraint => Severity::Error,
+            Code::TautologicalConstraint | Code::SubsumedBy | Code::UnprovenTermination => {
+                Severity::Warning
+            }
+            Code::FalseEdgePruned => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+/// One coded finding about a rule (or, for graph-level codes, about the
+/// rule a cycle or edge starts from).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The diagnostic code.
+    pub code: Code,
+    /// The rule the finding anchors to.
+    pub rule: String,
+    /// Human-readable explanation, including the proof where one
+    /// exists.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The severity of this diagnostic (derived from its code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity(),
+            self.code,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// A syntactic triggering edge deleted by semantic refinement, with the
+/// weakest-precondition proof that justifies the deletion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrunedEdge {
+    /// Source rule (whose action fires the trigger).
+    pub from: String,
+    /// Target rule (whose condition the action provably cannot
+    /// violate).
+    pub to: String,
+    /// Why the edge is semantically false.
+    pub proof: String,
+}
+
+impl fmt::Display for PrunedEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}: {}", self.from, self.to, self.proof)
+    }
+}
+
+/// The per-catalog termination certificate (Section 6.1 made semantic):
+/// whether the *refined* triggering graph is acyclic, which edges
+/// refinement removed (with proofs, the certificate's provenance), and
+/// the cycle paths that remain when it is not.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TerminationCertificate {
+    /// Whether every syntactic cycle was semantically refuted: the
+    /// refined triggering graph is acyclic, so transaction modification
+    /// reaches a fixpoint within `|catalog|` rounds and the runtime
+    /// round budget is provably unreachable.
+    pub certified: bool,
+    /// Cycle paths of the syntactic graph (closed walks, first rule
+    /// repeated at the end).
+    pub syntactic_cycles: Vec<Vec<String>>,
+    /// Cycle paths that survive refinement (empty iff `certified`).
+    pub refined_cycles: Vec<Vec<String>>,
+    /// The edges refinement deleted, with proofs.
+    pub pruned: Vec<PrunedEdge>,
+}
+
+impl fmt::Display for TerminationCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.certified {
+            writeln!(
+                f,
+                "termination: PROVEN (refined triggering graph is acyclic)"
+            )?;
+        } else {
+            writeln!(
+                f,
+                "termination: UNPROVEN ({} cycle(s) survive refinement)",
+                self.refined_cycles.len()
+            )?;
+        }
+        for c in &self.refined_cycles {
+            writeln!(f, "  cycle: {}", c.join(" -> "))?;
+        }
+        for p in &self.pruned {
+            writeln!(f, "  pruned edge {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The full analysis report of one catalog state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalysisReport {
+    /// Number of rules analysed.
+    pub rules: usize,
+    /// Edge count of the syntactic triggering graph.
+    pub syntactic_edges: usize,
+    /// Edge count after semantic refinement.
+    pub refined_edges: usize,
+    /// All findings, rule-level first, then graph-level.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The termination certificate.
+    pub certificate: TerminationCertificate,
+}
+
+impl AnalysisReport {
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.by_severity(Severity::Error)
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.by_severity(Severity::Warning)
+    }
+
+    fn by_severity(&self, s: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == s)
+            .count()
+    }
+
+    /// The diagnostics anchored to one rule.
+    pub fn diagnostics_for<'a>(&'a self, rule: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+
+    /// Whether a diagnostic with this code exists for this rule.
+    pub fn has(&self, code: Code, rule: &str) -> bool {
+        self.diagnostics_for(rule).any(|d| d.code == code)
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "analysed {} rule(s); triggering edges: {} syntactic, {} after refinement",
+            self.rules, self.syntactic_edges, self.refined_edges
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(f, "{}", self.certificate)
+    }
+}

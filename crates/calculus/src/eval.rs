@@ -399,7 +399,7 @@ fn try_indexed_exists(
     rel_name: &str,
 ) -> Result<Option<bool>> {
     let node = body as *const Formula as usize;
-    if !cache.plans.contains_key(&node) {
+    if let std::collections::hash_map::Entry::Vacant(slot) = cache.plans.entry(node) {
         let keys = probe_keys(v, body);
         let plan = if keys.is_empty() {
             None
@@ -410,7 +410,7 @@ fn try_indexed_exists(
                 index,
             })
         };
-        cache.plans.insert(node, plan);
+        slot.insert(plan);
     }
     let Some(plan) = cache.plans.get(&node).and_then(Option::as_ref) else {
         return Ok(None);

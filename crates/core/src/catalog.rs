@@ -3,9 +3,10 @@
 use std::fmt;
 use std::sync::Arc;
 
+use tm_analyze::{check_program, AnalysisReport, CatalogAnalysis};
 use tm_calculus::{analyze, ConstraintInfo};
 use tm_relational::DatabaseSchema;
-use tm_rules::{IntegrityRule, TriggerIndex, TriggeringGraph, ValidationReport};
+use tm_rules::{IntegrityRule, RuleAction, TriggerIndex, TriggeringGraph, ValidationReport};
 use tm_translate::{condition_shape, ConditionShape};
 
 use crate::error::{EngineError, Result};
@@ -18,6 +19,13 @@ use crate::programs::{get_int_p, IntegrityProgram};
 /// specialization artefacts: the per-rule [`ConditionShape`] (for
 /// weakest-precondition reduction at prepare time) and an inverted
 /// [`TriggerIndex`] (so rule selection costs O(affected), not O(catalog)).
+///
+/// The catalog also maintains its own static analysis
+/// ([`CatalogAnalysis`]): per-rule diagnostics, the semantically
+/// refined triggering graph, and the termination certificate — all kept
+/// incrementally as rules come and go, so the modification engine can
+/// consult pruned edges and the certificate at zero per-transaction
+/// cost.
 #[derive(Debug, Clone)]
 pub struct Catalog {
     schema: Arc<DatabaseSchema>,
@@ -26,6 +34,7 @@ pub struct Catalog {
     infos: Vec<ConstraintInfo>,
     shapes: Vec<ConditionShape>,
     index: TriggerIndex,
+    analysis: CatalogAnalysis,
     differential: bool,
 }
 
@@ -34,6 +43,7 @@ impl Catalog {
     /// programs include per-trigger delta specializations.
     pub fn new(schema: Arc<DatabaseSchema>, differential: bool) -> Catalog {
         Catalog {
+            analysis: CatalogAnalysis::new(schema.clone()),
             schema,
             rules: Vec::new(),
             programs: Vec::new(),
@@ -101,6 +111,14 @@ impl Catalog {
         if self.rule(&rule.name).is_some() {
             return Err(EngineError::DuplicateRule(rule.name));
         }
+        // A compensating action is free-form designer code: typecheck it
+        // so arity and domain defects fail here, not at first firing.
+        if let RuleAction::Compensate(program) = rule.action() {
+            check_program(program, &self.schema).map_err(|detail| EngineError::InvalidAction {
+                rule: rule.name.clone(),
+                detail,
+            })?;
+        }
         let program = get_int_p(&rule, &self.schema, self.differential)?;
         // The rule parsed; what can fail here is the *evaluation-side*
         // analysis of its condition — not a parse error.
@@ -113,6 +131,9 @@ impl Catalog {
         } else {
             ConditionShape::Other
         };
+        // All fallible steps are done: fold the rule into the analysis
+        // and the parallel vectors together.
+        self.analysis.add_rule(&rule, &info);
         self.index.add(rule.triggers());
         self.rules.push(rule);
         self.programs.push(program);
@@ -129,12 +150,25 @@ impl Catalog {
                 self.programs.remove(i);
                 self.infos.remove(i);
                 self.shapes.remove(i);
+                self.analysis.remove_rule(i);
                 // Positions shifted: rebuild the inverted index.
                 self.index = TriggerIndex::build(self.rules.iter().map(|r| r.triggers()));
                 true
             }
             None => false,
         }
+    }
+
+    /// The incrementally maintained static analysis of the rule set:
+    /// diagnostics, refined triggering graph, termination certificate.
+    pub fn analysis(&self) -> &CatalogAnalysis {
+        &self.analysis
+    }
+
+    /// Assemble the full structured analysis report for the current
+    /// rule set.
+    pub fn analysis_report(&self) -> AnalysisReport {
+        self.analysis.report()
     }
 
     /// Validate the triggering behaviour of the rule set (Section 6.1).

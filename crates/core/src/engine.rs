@@ -10,6 +10,7 @@ use std::borrow::Cow;
 use std::fmt;
 
 use tm_algebra::{ExecStats, Executor, Transaction, TxOutcome};
+use tm_analyze::AnalysisReport;
 use tm_calculus::{eval_constraint, parse_formula, StateSource, TransitionSource};
 use tm_relational::{Database, DatabaseSchema, RelationSchema, Tuple, Value};
 use tm_rules::{parse_rule, IntegrityRule, RuleAction, ValidationReport};
@@ -216,17 +217,23 @@ impl Engine {
         Ok(self.db.extend(relation, tuples)?)
     }
 
-    /// Add a parsed integrity rule. The rule is compiled immediately;
-    /// unless [`EngineConfig::allow_cycles`] is set, a rule set whose
+    /// Add a parsed integrity rule. The rule is compiled immediately and
+    /// folded into the catalog's static analysis; unless
+    /// [`EngineConfig::allow_cycles`] is set, a rule set whose *refined*
     /// triggering graph becomes cyclic is rejected and the rule removed.
+    /// (Syntactic cycles that semantic refinement proves false — every
+    /// cycle edge carries a proof that its source action cannot violate
+    /// its target condition — are admitted: the catalog stays certified
+    /// terminating.)
     pub fn add_rule(&mut self, rule: IntegrityRule) -> Result<()> {
         let name = rule.name.clone();
         self.catalog.add_rule(rule)?;
         if !self.config.allow_cycles {
-            let report = self.catalog.validate();
-            if report.has_cycles() {
+            let refined = self.catalog.analysis().refined_cycles();
+            if !refined.is_empty() {
+                let cycles = refined.to_vec();
                 self.catalog.remove_rule(&name);
-                return Err(EngineError::TriggeringCycle(report.cycles));
+                return Err(EngineError::TriggeringCycle(cycles));
             }
         }
         // The catalog changed: plans prepared before this point are stale.
@@ -280,9 +287,20 @@ impl Engine {
         }
     }
 
-    /// Validate the rule set's triggering behaviour (Section 6.1).
+    /// Validate the rule set's triggering behaviour (Section 6.1) —
+    /// the *syntactic* report. See [`Engine::validate_full`] for the
+    /// semantic analysis.
     pub fn validate(&self) -> ValidationReport {
         self.catalog.validate()
+    }
+
+    /// The full static analysis of the current rule set: coded
+    /// diagnostics (unsatisfiable / dead / subsumed constraints), the
+    /// pruned-edge proofs of semantic triggering-graph refinement, and
+    /// the termination certificate. Assembled from the incrementally
+    /// maintained catalog analysis — no re-analysis happens here.
+    pub fn validate_full(&self) -> AnalysisReport {
+        self.catalog.analysis_report()
     }
 
     /// The modification context for the current catalog state: the
@@ -298,6 +316,10 @@ impl Engine {
             max_rounds: self.config.max_rounds,
             index: Some(self.catalog.trigger_index()),
             shapes: self.config.specialize.then(|| self.catalog.shapes()),
+            // Refinement is driven by definition-time proofs, not by the
+            // per-template `specialize` switch: pruned edges and the
+            // termination certificate hold for every transaction.
+            analysis: Some(self.catalog.analysis()),
         })
     }
 

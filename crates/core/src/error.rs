@@ -46,12 +46,24 @@ pub enum EngineError {
     TriggeringCycle(Vec<Vec<String>>),
     /// A rule with this name already exists.
     DuplicateRule(String),
+    /// A compensating action failed static typechecking at definition
+    /// time (unknown relation, arity mismatch, domain violation).
+    InvalidAction {
+        /// The rule being defined.
+        rule: String,
+        /// What the typechecker rejected.
+        detail: String,
+    },
     /// The transaction modification recursion exceeded its round budget —
     /// only possible with cyclic rule sets admitted via
-    /// [`crate::engine::EngineConfig::allow_cycles`].
+    /// [`crate::engine::EngineConfig::allow_cycles`] whose cycles the
+    /// static analysis could not refute.
     ModificationDiverged {
         /// Rounds executed before giving up.
         rounds: usize,
+        /// A triggering cycle path that survived semantic refinement
+        /// (first rule repeated at the end), when one is known.
+        cycle: Vec<String>,
     },
     /// Data error from the relational substrate.
     Relational(tm_relational::RelationalError),
@@ -90,10 +102,19 @@ impl fmt::Display for EngineError {
                 Ok(())
             }
             EngineError::DuplicateRule(n) => write!(f, "rule `{n}` already exists"),
-            EngineError::ModificationDiverged { rounds } => write!(
-                f,
-                "transaction modification did not reach a fixpoint after {rounds} rounds"
-            ),
+            EngineError::InvalidAction { rule, detail } => {
+                write!(f, "rule `{rule}` has an invalid action: {detail}")
+            }
+            EngineError::ModificationDiverged { rounds, cycle } => {
+                write!(
+                    f,
+                    "transaction modification did not reach a fixpoint after {rounds} rounds"
+                )?;
+                if !cycle.is_empty() {
+                    write!(f, " (unproven triggering cycle: {})", cycle.join(" -> "))?;
+                }
+                Ok(())
+            }
             EngineError::Relational(e) => write!(f, "{e}"),
             EngineError::Algebra(e) => write!(f, "{e}"),
             EngineError::View(m) => write!(f, "view definition error: {m}"),

@@ -51,7 +51,10 @@
 //!   `SelPS`/`ConcatP` (Algorithm 6.2),
 //! * [`programs`] — integrity programs (Definition 6.3) and `GetIntP`
 //!   (Algorithm 6.1), plus the differential per-trigger variant,
-//! * [`catalog`] — the rule catalog with triggering-graph validation,
+//! * [`catalog`] — the rule catalog with triggering-graph validation and
+//!   an incrementally maintained static analysis (`tm-analyze`):
+//!   diagnostics, semantic triggering-graph refinement, termination
+//!   certificates,
 //! * [`engine`] — the integrated engine: schema + data + rules +
 //!   configurable enforcement,
 //! * [`prepared`] — prepared transactions and the session API: run `ModT`
@@ -81,4 +84,8 @@ pub use modify::{
 };
 pub use prepared::{BoundTransaction, Prepared, Session, StatementId};
 pub use programs::{get_int_p, IntegrityProgram};
+pub use tm_analyze::{
+    AnalysisReport, CatalogAnalysis, Code as AnalysisCode, Diagnostic, PrunedEdge, Severity,
+    TerminationCertificate,
+};
 pub use views::ViewDef;

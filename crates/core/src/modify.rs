@@ -25,6 +25,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use tm_algebra::{Program, Statement, Transaction};
+use tm_analyze::CatalogAnalysis;
 use tm_relational::DatabaseSchema;
 use tm_rules::{gentrig::get_trig_px, IntegrityRule, TriggerIndex, TriggerSet};
 use tm_translate::{specialize_check, trans_r, ConditionShape, SpecializedCheck, TemplateDeltas};
@@ -194,6 +195,12 @@ pub struct ModContext<'a> {
     /// Per-rule condition shapes (positions must match). `Some` enables
     /// weakest-precondition specialization of single-`alarm` checks.
     pub shapes: Option<&'a [ConditionShape]>,
+    /// The catalog's static analysis (positions must match). `Some`
+    /// enables semantic triggering-graph refinement: recursion rounds
+    /// skip selections reachable only over proven-false edges, and a
+    /// certified catalog replaces the runtime round budget with a
+    /// structural debug assertion.
+    pub analysis: Option<&'a CatalogAnalysis>,
 }
 
 impl<'a> ModContext<'a> {
@@ -213,6 +220,15 @@ impl<'a> ModContext<'a> {
             max_rounds,
             index: None,
             shapes: None,
+            analysis: None,
+        }
+    }
+
+    /// The catalog trigger set of the rule at `idx`.
+    fn rule_triggers(&self, idx: usize) -> &'a TriggerSet {
+        match self.mode {
+            SelectionMode::Dynamic => self.rules[idx].triggers(),
+            SelectionMode::Static | SelectionMode::Differential => self.programs[idx].triggers(),
         }
     }
 
@@ -345,28 +361,78 @@ pub fn mod_t_with(
     let mut frontier_triggers = get_trig_px(&result, false);
     let mut decisions = Vec::new();
     let mut selected_rules: BTreeSet<usize> = BTreeSet::new();
+    // The selections appended in the previous round, with the triggers
+    // their programs actually fire — the *origins* of the current
+    // frontier. `None` in round 1: the user transaction is never
+    // refined away.
+    let mut last_round: Option<Vec<(usize, TriggerSet)>> = None;
 
     loop {
         if frontier_triggers.is_empty() {
             break;
         }
-        let selected = trig_p(&frontier_triggers, ctx, &mut trace)?;
+        let mut selected = trig_p(&frontier_triggers, ctx, &mut trace)?;
+        // Semantic refinement: drop a selection when every origin that
+        // could have triggered it reaches it only over an edge the
+        // catalog analysis proved false (the origin's action cannot
+        // violate its condition). Recorded as a dropped decision, like
+        // the weakest-precondition drops of per-template
+        // specialization.
+        if let (Some(analysis), Some(origins)) = (ctx.analysis, last_round.as_ref()) {
+            selected.retain(|s| {
+                let rule_triggers = ctx.rule_triggers(s.rule_idx);
+                let skip = origins
+                    .iter()
+                    .filter(|(_, fired)| fired.intersects(rule_triggers))
+                    .all(|(origin, _)| analysis.edge_pruned(*origin, s.rule_idx));
+                if skip {
+                    selected_rules.insert(s.rule_idx);
+                    decisions.push(RuleSpecialization {
+                        rule: s.name.clone(),
+                        outcome: SpecOutcome::Dropped {
+                            proof: "semantic refinement: every triggering edge into this rule \
+                                    from the previous round is proven false"
+                                .to_string(),
+                        },
+                    });
+                }
+                !skip
+            });
+        }
         if selected.is_empty() {
             break;
         }
         trace.rounds += 1;
-        if trace.rounds > ctx.max_rounds {
+        if ctx.analysis.is_some_and(|a| a.certified()) {
+            // Certified catalog: the refined triggering graph is
+            // acyclic, so every surviving selection chain follows a
+            // refined path and the recursion depth is structurally
+            // bounded — the configured round budget is unreachable and
+            // is demoted to a debug assertion.
+            debug_assert!(
+                trace.rounds <= ctx.catalog_len() + 1,
+                "certified catalog exceeded its structural round bound"
+            );
+        } else if trace.rounds > ctx.max_rounds {
             return Err(EngineError::ModificationDiverged {
                 rounds: ctx.max_rounds,
+                cycle: ctx
+                    .analysis
+                    .map(|a| a.first_refined_cycle())
+                    .unwrap_or_default(),
             });
         }
         // Compute the next frontier's triggers before consuming programs.
         // Specialization only rewrites alarm-only programs (which trigger
         // nothing), so the original programs give the same frontier.
         let mut next_triggers = TriggerSet::empty();
+        let mut origins = Vec::with_capacity(selected.len());
         for s in &selected {
-            next_triggers = next_triggers.union(get_trig_px(&s.program, s.non_triggering));
+            let fired = get_trig_px(&s.program, s.non_triggering);
+            next_triggers = next_triggers.union(fired.clone());
+            origins.push((s.rule_idx, fired));
         }
+        last_round = Some(origins);
         // P ⊕ ConcatP(selected), specializing each check in place.
         for s in selected {
             selected_rules.insert(s.rule_idx);
@@ -631,7 +697,7 @@ mod tests {
         let err = mod_t(&tx, SelectionMode::Dynamic, &rs, &[], &schema, 8).unwrap_err();
         assert!(matches!(
             err,
-            EngineError::ModificationDiverged { rounds: 8 }
+            EngineError::ModificationDiverged { rounds: 8, .. }
         ));
     }
 

@@ -269,6 +269,13 @@ impl<'e> Session<'e> {
         self.engine
     }
 
+    /// The full static analysis of the engine's current rule set
+    /// (diagnostics, pruned triggering edges, termination certificate)
+    /// — see [`crate::Engine::validate_full`].
+    pub fn analysis(&self) -> tm_analyze::AnalysisReport {
+        self.engine.validate_full()
+    }
+
     /// Declare a constraint mid-session (see
     /// [`crate::Engine::define_constraint`]). Statements prepared earlier
     /// in this session go stale and are re-modified on their next

@@ -9,9 +9,11 @@
 //! analysing this graph; declaring actions *non-triggering*
 //! (Definition 6.2) removes their outgoing edges.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::gentrig::get_trig_px;
+use crate::index::TriggerIndex;
 use crate::rule::IntegrityRule;
 use crate::trigger::TriggerSet;
 
@@ -27,25 +29,143 @@ pub struct TriggeringGraph {
 impl TriggeringGraph {
     /// Build the triggering graph of `rules` (Definition 6.1, with
     /// `GetTrigPX` so non-triggering actions contribute no edges).
+    ///
+    /// Edge construction routes through a [`TriggerIndex`] over the rules'
+    /// trigger sets: each rule's out-edges are one inverted lookup over
+    /// its *action* triggers, so building costs O(N·affected) rather than
+    /// the all-pairs O(N²) intersection — on a catalog where most actions
+    /// trigger nothing (every aborting rule), the per-rule cost is O(1).
+    /// [`TriggerIndex::candidates`] returns positions sorted in catalog
+    /// order, exactly matching what the linear scan produced.
     pub fn build(rules: &[IntegrityRule]) -> TriggeringGraph {
         let action_triggers: Vec<TriggerSet> = rules
             .iter()
             .map(|r| get_trig_px(&r.action.as_program(), r.non_triggering))
             .collect();
-        let mut edges = Vec::with_capacity(rules.len());
-        for at in &action_triggers {
-            let mut out = Vec::new();
-            for (j, rj) in rules.iter().enumerate() {
-                if at.intersects(rj.triggers()) {
-                    out.push(j);
+        Self::build_with(
+            rules.iter().map(|r| r.name.clone()).collect(),
+            rules.iter().map(|r| r.triggers()),
+            &action_triggers,
+        )
+    }
+
+    /// Build from pre-computed trigger data: `triggers` are the rules'
+    /// trigger sets (in catalog order, matching `names`), and
+    /// `action_triggers[i]` is `GetTrigPX(action(i))`. This is the entry
+    /// point for callers that already cache both per rule (the static
+    /// analyzer), skipping the per-build `GetTrigPX` walk.
+    pub fn build_with<'a>(
+        names: Vec<String>,
+        triggers: impl IntoIterator<Item = &'a TriggerSet>,
+        action_triggers: &[TriggerSet],
+    ) -> TriggeringGraph {
+        let index = TriggerIndex::build(triggers);
+        let edges = action_triggers
+            .iter()
+            .map(|at| index.candidates(at))
+            .collect();
+        TriggeringGraph { names, edges }
+    }
+
+    /// The graph obtained by deleting the given `(from, to)` edges —
+    /// the semantic-refinement step: an edge whose triggering is proven
+    /// impossible is removed before re-running cycle detection.
+    pub fn without_edges(&self, pruned: &BTreeSet<(usize, usize)>) -> TriggeringGraph {
+        TriggeringGraph {
+            names: self.names.clone(),
+            edges: self
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(i, targets)| {
+                    targets
+                        .iter()
+                        .copied()
+                        .filter(|&j| !pruned.contains(&(i, j)))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// The vertex names, in catalog order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Adjacency lists: `edges()[i]` holds the positions triggered by rule
+    /// `i`'s action, sorted.
+    pub fn edges(&self) -> &[Vec<usize>] {
+        &self.edges
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// One explicit closed triggering walk per cyclic SCC, rendered as
+    /// rule names with the start repeated at the end (`["a", "b", "a"]`),
+    /// deterministic. Where [`TriggeringGraph::cycles`] reports the
+    /// *membership* of each cycle, this reports a concrete path — the form
+    /// an error message can show as `a -> b -> a`.
+    pub fn cycle_paths(&self) -> Vec<Vec<String>> {
+        let mut paths = Vec::new();
+        for scc in self.tarjan_sccs() {
+            let cyclic = scc.len() > 1 || (scc.len() == 1 && self.edges[scc[0]].contains(&scc[0]));
+            if !cyclic {
+                continue;
+            }
+            let start = scc[0]; // sorted: smallest catalog position
+            if let Some(path) = self.closed_walk(start, &scc) {
+                paths.push(path.into_iter().map(|i| self.names[i].clone()).collect());
+            }
+        }
+        paths.sort();
+        paths
+    }
+
+    /// A closed walk `start -> … -> start` staying inside `scc` (sorted),
+    /// found by BFS from `start`'s successors back to `start`.
+    fn closed_walk(&self, start: usize, scc: &[usize]) -> Option<Vec<usize>> {
+        let in_scc = |v: usize| scc.binary_search(&v).is_ok();
+        // BFS parent pointers from start, over SCC-internal edges.
+        let mut parent: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        for &next in &self.edges[start] {
+            if in_scc(next) && !parent.contains_key(&next) && next != start {
+                parent.insert(next, start);
+                queue.push_back(next);
+            }
+            if next == start {
+                return Some(vec![start, start]); // self-loop
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            for &next in &self.edges[v] {
+                if next == start {
+                    // Found the way back: unwind the parent chain.
+                    let mut rev = vec![start, v];
+                    let mut cur = v;
+                    while let Some(&p) = parent.get(&cur) {
+                        if p == start {
+                            break;
+                        }
+                        rev.push(p);
+                        cur = p;
+                    }
+                    rev.push(start);
+                    rev.reverse();
+                    return Some(rev);
+                }
+                if in_scc(next) && !parent.contains_key(&next) {
+                    parent.insert(next, v);
+                    queue.push_back(next);
                 }
             }
-            edges.push(out);
         }
-        TriggeringGraph {
-            names: rules.iter().map(|r| r.name.clone()).collect(),
-            edges,
-        }
+        None
     }
 
     /// Number of vertices (rules).

@@ -187,22 +187,9 @@ impl TemplateDeltas {
     /// Fold one statement into the abstraction.
     pub fn observe(&mut self, stmt: &Statement) {
         match stmt {
-            Statement::Insert { relation, source } => match source {
-                RelExpr::Singleton(row) if row.iter().all(grounded) => {
-                    self.push_rows(relation, std::iter::once(row.clone()));
-                }
-                // Literal tuples are constant rows — just as enumerable
-                // as a grounded singleton.
-                RelExpr::Literal(tuples) => {
-                    let rows = tuples.iter().map(|t| {
-                        t.values()
-                            .iter()
-                            .map(|v| ScalarExpr::Const(v.clone()))
-                            .collect()
-                    });
-                    self.push_rows(relation, rows);
-                }
-                _ => {
+            Statement::Insert { relation, source } => match enumerable_rows(source) {
+                Some(rows) => self.push_rows(relation, rows.into_iter()),
+                None => {
                     self.map.insert(relation.clone(), RelationDelta::Opaque);
                 }
             },
@@ -230,6 +217,47 @@ impl TemplateDeltas {
             RelationDelta::Opaque => {}
         }
     }
+}
+
+/// The rows of an insert source as symbolic tuples, when they are
+/// statically enumerable: a grounded (column-, parameter- and
+/// aggregate-free) singleton, or a literal relation constant. `None`
+/// for anything else — the insert is opaque to differential analysis.
+/// This is the row-enumeration rule shared by prepare-time
+/// specialization ([`TemplateDeltas::observe`]) and catalog static
+/// analysis.
+pub fn enumerable_rows(source: &RelExpr) -> Option<Vec<Vec<ScalarExpr>>> {
+    match source {
+        RelExpr::Singleton(row) if row.iter().all(grounded) => Some(vec![row.clone()]),
+        // Literal tuples are constant rows — just as enumerable as a
+        // grounded singleton.
+        RelExpr::Literal(tuples) => Some(
+            tuples
+                .iter()
+                .map(|t| {
+                    t.values()
+                        .iter()
+                        .map(|v| ScalarExpr::Const(v.clone()))
+                        .collect()
+                })
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+/// The differential abstraction of a whole program — every statement
+/// folded in order. This is the reusable weakest-precondition entry
+/// point for *static* callers: the analyzer abstracts a rule's repair
+/// action once and pushes the result through other rules' conditions
+/// via [`specialize_check`], exactly as the prepare path does for
+/// transaction templates.
+pub fn action_deltas(program: &tm_algebra::Program) -> TemplateDeltas {
+    let mut deltas = TemplateDeltas::new();
+    for stmt in program.statements() {
+        deltas.observe(stmt);
+    }
+    deltas
 }
 
 /// The outcome of specializing one rule's check against a template.
