@@ -53,7 +53,7 @@ use std::sync::Arc;
 
 use tm_relational::{
     auxiliary::{self, AuxKind},
-    Database, Relation, RelationSchema, Tuple, Value,
+    Database, Relation, RelationDelta, RelationSchema, Tuple, Value,
 };
 
 use crate::error::{AlgebraError, Result};
@@ -220,6 +220,39 @@ impl<'db> TxContext<'db> {
         self.ins.clear();
         self.del.clear();
         self.pre.clear();
+    }
+
+    /// Flatten the net differential maps into per-relation redo records,
+    /// sorted by relation name (and tuple order within each list) so the
+    /// serialized form is byte-deterministic. Called at commit by the
+    /// capturing executor entry points; relations whose net change is
+    /// empty are omitted.
+    fn net_deltas(&self) -> Vec<RelationDelta> {
+        let mut bases: Vec<&String> = self.ins.keys().chain(self.del.keys()).collect();
+        bases.sort();
+        bases.dedup();
+        let mut out = Vec::with_capacity(bases.len());
+        for base in bases {
+            let inserted = self
+                .ins
+                .get(base.as_str())
+                .map(Relation::sorted_tuples)
+                .unwrap_or_default();
+            let deleted = self
+                .del
+                .get(base.as_str())
+                .map(Relation::sorted_tuples)
+                .unwrap_or_default();
+            if inserted.is_empty() && deleted.is_empty() {
+                continue;
+            }
+            out.push(RelationDelta {
+                relation: base.clone(),
+                inserted,
+                deleted,
+            });
+        }
+        out
     }
 
     fn delta_relation<'m>(
@@ -1145,6 +1178,50 @@ impl EvalContext for TxContext<'_> {
     }
 }
 
+/// Fold a fast-plan undo log into net per-relation redo records — the
+/// fast-path miniature of [`TxContext::net_deltas`]. Each log entry is a
+/// genuine state change at the moment it ran, so replaying the log with
+/// insert/delete cancellation yields exactly the net `(R@ins, R@del)`
+/// pair. Output is sorted by relation name and tuple order.
+fn fold_undo_deltas(ops: &[FastOp], undo: &[(usize, Tuple, bool)]) -> Vec<RelationDelta> {
+    use std::collections::BTreeMap;
+    use std::collections::BTreeSet;
+    // The prepared single-row hot path: one op, nothing to cancel or sort.
+    if let [(idx, t, was_insert)] = undo {
+        let (mut inserted, mut deleted) = (Vec::new(), Vec::new());
+        if *was_insert {
+            inserted.push(t.clone());
+        } else {
+            deleted.push(t.clone());
+        }
+        return vec![RelationDelta {
+            relation: ops[*idx].write_target().to_owned(),
+            inserted,
+            deleted,
+        }];
+    }
+    let mut per: BTreeMap<&str, (BTreeSet<Tuple>, BTreeSet<Tuple>)> = BTreeMap::new();
+    for (idx, t, was_insert) in undo {
+        let entry = per.entry(ops[*idx].write_target()).or_default();
+        let (ins, del) = entry;
+        if *was_insert {
+            if !del.remove(t) {
+                ins.insert(t.clone());
+            }
+        } else if !ins.remove(t) {
+            del.insert(t.clone());
+        }
+    }
+    per.into_iter()
+        .filter(|(_, (ins, del))| !ins.is_empty() || !del.is_empty())
+        .map(|(relation, (ins, del))| RelationDelta {
+            relation: relation.to_owned(),
+            inserted: ins.into_iter().collect(),
+            deleted: del.into_iter().collect(),
+        })
+        .collect()
+}
+
 /// The transaction executor: runs bracketed programs against a database
 /// with full atomicity.
 #[derive(Debug, Clone, Copy, Default)]
@@ -1163,6 +1240,46 @@ impl Executor {
         self.execute_bound(db, tx, &[])
     }
 
+    /// [`Executor::execute_bound`] that additionally returns the committed
+    /// transaction's net per-relation differentials — the redo records the
+    /// durability layer serializes into its WAL. The capture is harvested
+    /// from the same `R@ins`/`R@del` maps that back rollback and `R@pre`,
+    /// sorted by relation name and tuple order for deterministic bytes. An
+    /// aborted transaction captures nothing (its net effect is empty by
+    /// atomicity).
+    pub fn execute_bound_capture(
+        &self,
+        db: &mut Database,
+        tx: &Transaction,
+        params: &[Value],
+    ) -> (TxOutcome, Vec<RelationDelta>) {
+        let mut deltas = Vec::new();
+        let outcome = self.run(db, tx, params, None, Some(&mut deltas));
+        (outcome, deltas)
+    }
+
+    /// [`Executor::execute_plan`] with differential capture — see
+    /// [`Executor::execute_bound_capture`]. The fast path derives the same
+    /// net records from its tuple-level undo log.
+    pub fn execute_plan_capture(
+        &self,
+        db: &mut Database,
+        plan: &ExecPlan,
+        params: &[Value],
+    ) -> (TxOutcome, Vec<RelationDelta>) {
+        let mut deltas = Vec::new();
+        let outcome = if let Some(ops) = &plan.fast {
+            if fast_probes_valid(db, ops) {
+                self.run_fast(db, ops, params, Some(&mut deltas))
+            } else {
+                self.run(db, &plan.tx, params, Some(&plan.aux), Some(&mut deltas))
+            }
+        } else {
+            self.run(db, &plan.tx, params, Some(&plan.aux), Some(&mut deltas))
+        };
+        (outcome, deltas)
+    }
+
     /// Execute a transaction template against a parameter binding:
     /// placeholder `?i` resolves to `params[i]`. A placeholder beyond the
     /// binding aborts the transaction with
@@ -1173,7 +1290,7 @@ impl Executor {
         tx: &Transaction,
         params: &[Value],
     ) -> TxOutcome {
-        self.run(db, tx, params, None)
+        self.run(db, tx, params, None, None)
     }
 
     /// Execute a compiled [`ExecPlan`] against a parameter binding. Same
@@ -1185,14 +1302,14 @@ impl Executor {
     pub fn execute_plan(&self, db: &mut Database, plan: &ExecPlan, params: &[Value]) -> TxOutcome {
         if let Some(ops) = &plan.fast {
             if fast_probes_valid(db, ops) {
-                return self.run_fast(db, ops, params);
+                return self.run_fast(db, ops, params, None);
             }
             // A probe's key columns fall outside its relation (or the
             // relation is missing): the generic path owns those error
             // renderings. Nothing has executed yet, so falling back is
             // observably free.
         }
-        self.run(db, &plan.tx, params, Some(&plan.aux))
+        self.run(db, &plan.tx, params, Some(&plan.aux), None)
     }
 
     /// Run a recognized fast plan. Equivalent to the generic path on the
@@ -1201,7 +1318,13 @@ impl Executor {
     /// derived singleton schemas. Atomicity comes from a tuple-level undo
     /// log (the net change record, replayed in reverse on abort), the
     /// fast-path miniature of the generic inverse-delta rollback.
-    fn run_fast(&self, db: &mut Database, ops: &[FastOp], params: &[Value]) -> TxOutcome {
+    fn run_fast(
+        &self,
+        db: &mut Database,
+        ops: &[FastOp],
+        params: &[Value],
+        capture: Option<&mut Vec<RelationDelta>>,
+    ) -> TxOutcome {
         let ctx = ParamsCtx { params };
         let empty = Tuple::empty();
         let mut stats = ExecStats::default();
@@ -1375,6 +1498,9 @@ impl Executor {
                 return TxOutcome::Aborted { reason, stats };
             }
         }
+        if let Some(out) = capture {
+            *out = fold_undo_deltas(ops, &undo);
+        }
         db.tick();
         TxOutcome::Committed(stats)
     }
@@ -1385,6 +1511,7 @@ impl Executor {
         tx: &Transaction,
         params: &[Value],
         aux: Option<&[Vec<(String, AuxKind)>]>,
+        capture: Option<&mut Vec<RelationDelta>>,
     ) -> TxOutcome {
         let program = tx.debracket();
         let mut ctx = TxContext::begin_bound(db, params);
@@ -1400,6 +1527,9 @@ impl Executor {
         // End bracket: temporaries die with the context, the mutated
         // working state is [D^{t,n}] — nothing to install, just tick.
         let stats = ctx.stats.clone();
+        if let Some(out) = capture {
+            *out = ctx.net_deltas();
+        }
         drop(ctx);
         db.tick();
         TxOutcome::Committed(stats)
@@ -1815,7 +1945,7 @@ mod tests {
         let mut via_plan = mk();
         let out_plan = Executor.execute_plan(&mut via_plan, &plan, params);
         let mut generic = mk();
-        let out_generic = Executor.run(&mut generic, tx, params, None);
+        let out_generic = Executor.run(&mut generic, tx, params, None, None);
         assert_eq!(out_plan, out_generic, "outcome diverged for {tx}");
         assert!(via_plan.state_eq(&generic), "state diverged for {tx}");
         assert_eq!(via_plan.logical_time(), generic.logical_time());

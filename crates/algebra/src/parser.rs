@@ -351,6 +351,35 @@ impl P {
 
     fn relexpr(&mut self) -> Result<RelExpr> {
         match self.peek().cloned() {
+            Some(Tok::LParen) => {
+                // Parenthesized infix set operation, `(left OP right)` —
+                // the `Display` rendering of union/minus/intersect/times.
+                // Accepting it makes rendered expressions parse back,
+                // which the durability log's textual records rely on.
+                self.pos += 1;
+                let l = self.relexpr()?;
+                let op = match self.bump() {
+                    Some(Tok::Ident(op))
+                        if matches!(op.as_str(), "union" | "minus" | "intersect" | "times") =>
+                    {
+                        op
+                    }
+                    _ => {
+                        return Err(parse_err(
+                            self.offset(),
+                            "expected `union`, `minus`, `intersect` or `times`",
+                        ))
+                    }
+                };
+                let r = self.relexpr()?;
+                self.expect(&Tok::RParen, "`)` closing set operation")?;
+                Ok(match op.as_str() {
+                    "union" => l.union(r),
+                    "minus" => l.difference(r),
+                    "intersect" => l.intersect(r),
+                    _ => l.product(r),
+                })
+            }
             Some(Tok::LBrace) => {
                 self.pos += 1;
                 let mut tuples = Vec::new();

@@ -1,0 +1,232 @@
+//! `durability_overhead` — what crash safety costs, and what recovery
+//! costs.
+//!
+//! **Throughput section**: prepared single-row insert latency under the
+//! three durability levels plus the detached in-memory engine as the
+//! zero-cost reference:
+//!
+//! * `memory`   — no durability attached (the PR-4 engine),
+//! * `none`     — durability attached, `Durability::None`: checkpoint-only,
+//!   no logging on the commit path (should match `memory`),
+//! * `buffered` — frames accumulate in the WAL's userspace buffer (no
+//!   syscall per commit), flushed at a size threshold and on shutdown,
+//! * `fsync`    — write + fsync every commit (`group_commit = 1`), the
+//!   full ARIES-style stable-commit guarantee on a differential log.
+//!
+//! **Recovery section**: wall-clock `Engine::recover` time against log
+//! length (frames replayed from a cold start with an LSN-0 checkpoint).
+//!
+//! Results print as tables and land in `BENCH_durability.json` (override
+//! with `BENCH_OUT`). `BENCH_SMOKE=1` is the CI configuration: smallest
+//! sizes, few iterations.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use tm_algebra::builder::TransactionBuilder;
+use tm_bench::report::{fmt_duration, Table};
+use tm_relational::{DatabaseSchema, RelationSchema, Value, ValueType};
+use txmod::{Durability, DurabilityConfig, Engine, EngineConfig};
+
+fn time_median<R>(iters: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn schema() -> DatabaseSchema {
+    DatabaseSchema::from_relations(vec![RelationSchema::of(
+        "account",
+        &[("id", ValueType::Int), ("balance", ValueType::Int)],
+    )])
+    .expect("schema is valid")
+}
+
+fn engine() -> Engine {
+    let mut e = Engine::with_config(schema(), EngineConfig::default());
+    e.define_constraint("nonneg", "forall x (x in account implies x.balance >= 0)")
+        .expect("constraint parses");
+    e
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(format!("durability-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn tx_per_sec(median: Duration) -> f64 {
+    if median.as_nanos() == 0 {
+        f64::INFINITY
+    } else {
+        1e9 / median.as_nanos() as f64
+    }
+}
+
+struct Throughput {
+    level: &'static str,
+    median: Duration,
+}
+
+/// Median prepared bind+execute latency with the given durability level
+/// (`None` = durability not attached at all).
+fn measure_level(level: Option<Durability>, iters: usize, tag: &'static str) -> Throughput {
+    let mut e = engine();
+    let dir = bench_dir(tag);
+    if let Some(level) = level {
+        e.config_mut().durability = DurabilityConfig {
+            level,
+            group_commit: 1,
+            checkpoint_every: 0,
+        };
+        e.make_durable(&dir).expect("make_durable");
+    }
+    let template = TransactionBuilder::new()
+        .insert_params("account", 2)
+        .build();
+    let prepared = e.prepare(&template).expect("prepare");
+    let mut next_id = 0i64;
+    let median = time_median(iters, || {
+        next_id += 1;
+        let bound = prepared
+            .bind(&[Value::Int(next_id), Value::Int(100)])
+            .expect("bind");
+        let out = e.execute_bound(&bound).expect("execute");
+        assert!(out.committed());
+        out
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    Throughput { level: tag, median }
+}
+
+struct Recovery {
+    frames: usize,
+    elapsed: Duration,
+}
+
+/// Build a log of `frames` single-row commits, then time a cold
+/// `Engine::recover`.
+fn measure_recovery(frames: usize) -> Recovery {
+    let mut e = engine();
+    e.config_mut().durability = DurabilityConfig {
+        level: Durability::Buffered, // log shape is identical; skip fsyncs
+        group_commit: 1,
+        checkpoint_every: 0,
+    };
+    let dir = bench_dir(&format!("recover-{frames}"));
+    e.make_durable(&dir).expect("make_durable");
+    let template = TransactionBuilder::new()
+        .insert_params("account", 2)
+        .build();
+    let prepared = e.prepare(&template).expect("prepare");
+    for i in 0..frames as i64 {
+        let bound = prepared
+            .bind(&[Value::Int(i), Value::Int(100)])
+            .expect("bind");
+        assert!(e.execute_bound(&bound).expect("execute").committed());
+    }
+    drop(e);
+    let t = Instant::now();
+    let recovered = Engine::recover(&dir).expect("recover");
+    let elapsed = t.elapsed();
+    assert_eq!(recovered.report.frames_replayed, frames as u64);
+    assert_eq!(
+        recovered
+            .engine
+            .relation("account")
+            .expect("relation")
+            .len(),
+        frames
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Recovery { frames, elapsed }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let iters = if smoke { 60 } else { 600 };
+
+    let throughput = vec![
+        measure_level(None, iters, "memory"),
+        measure_level(Some(Durability::None), iters, "none"),
+        measure_level(Some(Durability::Buffered), iters, "buffered"),
+        measure_level(
+            Some(Durability::Fsync),
+            if smoke { 20 } else { 200 },
+            "fsync",
+        ),
+    ];
+
+    let frame_counts: &[usize] = if smoke { &[100] } else { &[100, 1_000, 10_000] };
+    let recovery: Vec<Recovery> = frame_counts
+        .iter()
+        .map(|&frames| measure_recovery(frames))
+        .collect();
+
+    let memory_ns = throughput[0].median.as_nanos().max(1) as f64;
+    let mut table = Table::new(
+        "durability_overhead (prepared 1-row insert, median)",
+        &["level", "median", "tx/s", "vs memory"],
+    );
+    for t in &throughput {
+        table.row(&[
+            t.level.to_owned(),
+            fmt_duration(t.median),
+            format!("{:.0}", tx_per_sec(t.median)),
+            format!("{:.2}x", t.median.as_nanos() as f64 / memory_ns),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut rtable = Table::new(
+        "recovery time vs log length",
+        &["frames", "total", "per frame"],
+    );
+    for r in &recovery {
+        rtable.row(&[
+            r.frames.to_string(),
+            fmt_duration(r.elapsed),
+            fmt_duration(r.elapsed / r.frames.max(1) as u32),
+        ]);
+    }
+    println!("{}", rtable.render());
+
+    let mut json_rows = String::new();
+    for t in &throughput {
+        let _ = writeln!(
+            json_rows,
+            "    {{\"section\": \"throughput\", \"level\": \"{}\", \"median_ns\": {}, \"tx_per_sec\": {:.1}}},",
+            t.level,
+            t.median.as_nanos(),
+            tx_per_sec(t.median)
+        );
+    }
+    for (i, r) in recovery.iter().enumerate() {
+        let _ = writeln!(
+            json_rows,
+            "    {{\"section\": \"recovery\", \"frames\": {}, \"total_ns\": {}, \"ns_per_frame\": {:.1}}}{}",
+            r.frames,
+            r.elapsed.as_nanos(),
+            r.elapsed.as_nanos() as f64 / r.frames.max(1) as f64,
+            if i + 1 == recovery.len() { "" } else { "," }
+        );
+    }
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_durability.json").to_owned()
+    });
+    let json = format!(
+        "{{\n  \"bench\": \"durability_overhead\",\n  \"smoke\": {smoke},\n  \"results\": [\n{json_rows}  ]\n}}\n"
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

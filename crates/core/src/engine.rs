@@ -12,10 +12,12 @@ use std::fmt;
 use tm_algebra::{ExecStats, Executor, Transaction, TxOutcome};
 use tm_analyze::AnalysisReport;
 use tm_calculus::{eval_constraint, parse_formula, StateSource, TransitionSource};
+use tm_durable::{DurabilityConfig, WalRecord};
 use tm_relational::{Database, DatabaseSchema, RelationSchema, Tuple, Value};
 use tm_rules::{parse_rule, IntegrityRule, RuleAction, ValidationReport};
 
 use crate::catalog::Catalog;
+use crate::durability::DurableState;
 use crate::error::{EngineError, Result};
 use crate::modify::{
     mod_t_with, CheckSummary, ModContext, ModificationTrace, SelectionMode, SpecializationReport,
@@ -69,6 +71,11 @@ pub struct EngineConfig {
     /// `true`). Disable to append every selected rule's generic check —
     /// the PR-4 behaviour, kept as the soundness baseline.
     pub specialize: bool,
+    /// Durability knobs (commit logging level, group commit, automatic
+    /// checkpointing). Only consulted once durability is attached via
+    /// [`Engine::make_durable`] / [`Engine::recover`]; a plain in-memory
+    /// engine ignores them.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +85,7 @@ impl Default for EngineConfig {
             allow_cycles: false,
             max_rounds: 32,
             specialize: true,
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -149,7 +157,7 @@ impl fmt::Display for EngineOutcome {
 }
 
 /// The transaction modification engine: database + catalog + executor.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Engine {
     db: Database,
     catalog: Catalog,
@@ -160,6 +168,26 @@ pub struct Engine {
     /// change, recorded by [`Engine::prepare`] into each plan, checked at
     /// prepared execution for stale-plan safety.
     epoch: u64,
+    /// Attached durability (WAL + checkpoint directory), when any.
+    durable: Option<Box<DurableState>>,
+}
+
+impl Clone for Engine {
+    /// Clones share no durability: the WAL file handle belongs to exactly
+    /// one engine, so the clone is a plain in-memory copy (the usual use
+    /// is a never-crashed "twin" for equivalence checks). Attach its own
+    /// directory via [`Engine::make_durable`] if the clone must persist.
+    fn clone(&self) -> Engine {
+        Engine {
+            db: self.db.clone(),
+            catalog: self.catalog.clone(),
+            config: self.config.clone(),
+            executor: Executor,
+            views: self.views.clone(),
+            epoch: self.epoch,
+            durable: None,
+        }
+    }
 }
 
 impl Engine {
@@ -178,12 +206,36 @@ impl Engine {
             executor: Executor,
             views: Vec::new(),
             epoch: 0,
+            durable: None,
         }
     }
 
     /// The current database state.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// Internal mutable database access (recovery replay and durability
+    /// rollback paths).
+    pub(crate) fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The registered materialized views, in definition order.
+    pub fn views(&self) -> &[ViewDef] {
+        &self.views
+    }
+
+    pub(crate) fn durable(&self) -> &Option<Box<DurableState>> {
+        &self.durable
+    }
+
+    pub(crate) fn durable_mut(&mut self) -> &mut Option<Box<DurableState>> {
+        &mut self.durable
+    }
+
+    pub(crate) fn set_durable(&mut self, durable: Option<Box<DurableState>>) {
+        self.durable = durable;
     }
 
     /// The integrity catalog.
@@ -209,12 +261,36 @@ impl Engine {
     /// test database this way before measuring constraint checks). Loads
     /// through [`Database::extend`]: one relation lookup and at most one
     /// COW unshare for the whole batch.
+    ///
+    /// Under attached durability the whole batch is logged as a **single**
+    /// WAL record — one frame, one fsync — after the in-memory extend
+    /// succeeded; a logging failure rolls the batch back out again.
     pub fn load(
         &mut self,
         relation: &str,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize> {
-        Ok(self.db.extend(relation, tuples)?)
+        if !self.wal_active() {
+            return Ok(self.db.extend(relation, tuples)?);
+        }
+        let tuples: Vec<Tuple> = tuples.into_iter().collect();
+        let n = self.db.extend(relation, tuples.iter().cloned())?;
+        if n == 0 {
+            return Ok(0); // nothing to make durable
+        }
+        if let Err(e) = self.wal_append(&WalRecord::Load {
+            relation: relation.to_owned(),
+            tuples: tuples.clone(),
+        }) {
+            let undo = tm_relational::RelationDelta {
+                relation: relation.to_owned(),
+                inserted: tuples,
+                deleted: Vec::new(),
+            };
+            let _ = undo.unapply(&mut self.db);
+            return Err(e);
+        }
+        Ok(n)
     }
 
     /// Add a parsed integrity rule. The rule is compiled immediately and
@@ -226,6 +302,28 @@ impl Engine {
     /// its target condition — are admitted: the catalog stays certified
     /// terminating.)
     pub fn add_rule(&mut self, rule: IntegrityRule) -> Result<()> {
+        let record = self.wal_active().then(|| WalRecord::AddRule {
+            name: rule.name.clone(),
+            text: rule.canonical_text(),
+        });
+        let name = rule.name.clone();
+        self.add_rule_unlogged(rule)?;
+        if let Some(record) = record {
+            if let Err(e) = self.wal_append(&record) {
+                // Keep memory and disk in agreement: an unlogged rule
+                // must not stay in the catalog.
+                self.catalog.remove_rule(&name);
+                self.epoch += 1;
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Engine::add_rule`] without WAL logging — the recovery replay path
+    /// (the log already holds the record being replayed) and the internal
+    /// half of logged operations.
+    pub(crate) fn add_rule_unlogged(&mut self, rule: IntegrityRule) -> Result<()> {
         let name = rule.name.clone();
         self.catalog.add_rule(rule)?;
         if !self.config.allow_cycles {
@@ -239,6 +337,30 @@ impl Engine {
         // The catalog changed: plans prepared before this point are stale.
         self.epoch += 1;
         Ok(())
+    }
+
+    /// Remove a rule from the catalog by name; returns whether it existed.
+    /// Under attached durability the removal is logged (before the catalog
+    /// is touched, so a logging failure leaves the rule in place).
+    pub fn remove_rule(&mut self, name: &str) -> Result<bool> {
+        if self.catalog.rule(name).is_none() {
+            return Ok(false);
+        }
+        if self.wal_active() {
+            self.wal_append(&WalRecord::RemoveRule {
+                name: name.to_owned(),
+            })?;
+        }
+        Ok(self.remove_rule_unlogged(name))
+    }
+
+    /// Catalog removal + epoch bump, no logging (recovery replay path).
+    pub(crate) fn remove_rule_unlogged(&mut self, name: &str) -> bool {
+        let existed = self.catalog.remove_rule(name);
+        if existed {
+            self.epoch += 1;
+        }
+        existed
     }
 
     /// Add a rule from RL text (`WHEN … IF NOT … THEN …`).
@@ -267,17 +389,54 @@ impl Engine {
     /// the already-registered maintenance rule is removed again, so a
     /// failed definition leaves neither a rule that poisons later
     /// transactions nor a half-registered view behind.
+    ///
+    /// Under attached durability a successful definition is logged as one
+    /// `DefineView` record — not as an `AddRule` plus a `Commit`: replay
+    /// re-runs the definition, whose initial materialization is
+    /// deterministic in the database state.
     pub fn define_view(&mut self, view: ViewDef) -> Result<()> {
+        let record = self.wal_active().then(|| WalRecord::DefineView {
+            name: view.name.clone(),
+            definition: view.definition.to_string(),
+        });
+        let rule_name = self.define_view_unlogged(view)?;
+        if let Some(record) = record {
+            if let Err(e) = self.wal_append(&record) {
+                // Roll the whole definition back: drop the maintenance
+                // rule, the registration, and the materialized contents.
+                self.catalog.remove_rule(&rule_name);
+                self.epoch += 1;
+                let view = self.views.pop().expect("view was just registered");
+                let contents = tm_relational::RelationDelta {
+                    relation: view.name.clone(),
+                    inserted: self
+                        .db
+                        .relation(&view.name)
+                        .map(|r| r.sorted_tuples())
+                        .unwrap_or_default(),
+                    deleted: Vec::new(),
+                };
+                let _ = contents.unapply(&mut self.db);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Engine::define_view`] without WAL logging (recovery replay and
+    /// the internal half of the logged path). Returns the maintenance
+    /// rule's name so the caller can roll the definition back.
+    pub(crate) fn define_view_unlogged(&mut self, view: ViewDef) -> Result<String> {
         let rule = view.maintenance_rule(self.catalog.schema())?;
         let rule_name = rule.name.clone();
         // Materialize the initial contents.
         let init = view.refresh_program();
-        self.add_rule(rule)?;
+        self.add_rule_unlogged(rule)?;
         let outcome = self.executor.execute(&mut self.db, &init.bracket());
         match outcome {
             TxOutcome::Committed(_) => {
                 self.views.push(view);
-                Ok(())
+                Ok(rule_name)
             }
             TxOutcome::Aborted { reason, .. } => {
                 self.catalog.remove_rule(&rule_name);
@@ -285,6 +444,13 @@ impl Engine {
                 Err(EngineError::View(reason.to_string()))
             }
         }
+    }
+
+    /// Re-register a view whose maintenance rule and materialized contents
+    /// were already restored from a checkpoint (recovery only — no rule is
+    /// added, nothing is materialized, nothing is logged).
+    pub(crate) fn restore_view(&mut self, view: ViewDef) {
+        self.views.push(view);
     }
 
     /// Validate the rule set's triggering behaviour (Section 6.1) —
@@ -372,7 +538,15 @@ impl Engine {
             });
         }
         let (modified, modification, report) = self.modify_full(tx)?;
-        let outcome = self.executor.execute(&mut self.db, &modified);
+        let outcome = if self.wal_active() {
+            let (outcome, deltas) =
+                self.executor
+                    .execute_bound_capture(&mut self.db, &modified, &[]);
+            self.log_commit(deltas)?;
+            outcome
+        } else {
+            self.executor.execute(&mut self.db, &modified)
+        };
         Ok(EngineOutcome {
             outcome,
             modified: match modified {
@@ -448,9 +622,7 @@ impl Engine {
         if prepared.is_stale(self) {
             let fresh = self.prepare(prepared.source())?;
             fresh.check_binding(values)?;
-            let outcome = self
-                .executor
-                .execute_plan(&mut self.db, fresh.plan(), values);
+            let outcome = self.run_plan(fresh.plan(), values)?;
             let modification = fresh.modification().clone();
             let checks = fresh.check_summary();
             return Ok(EngineOutcome {
@@ -469,9 +641,7 @@ impl Engine {
                 checks,
             });
         }
-        let outcome = self
-            .executor
-            .execute_plan(&mut self.db, prepared.plan(), values);
+        let outcome = self.run_plan(prepared.plan(), values)?;
         Ok(EngineOutcome {
             outcome,
             modified: None,
@@ -479,6 +649,20 @@ impl Engine {
             reused_plan: true,
             checks: prepared.check_summary(),
         })
+    }
+
+    /// Run a compiled plan, logging the committed differentials when
+    /// durability is attached.
+    fn run_plan(&mut self, plan: &tm_algebra::ExecPlan, values: &[Value]) -> Result<TxOutcome> {
+        if self.wal_active() {
+            let (outcome, deltas) = self
+                .executor
+                .execute_plan_capture(&mut self.db, plan, values);
+            self.log_commit(deltas)?;
+            Ok(outcome)
+        } else {
+            Ok(self.executor.execute_plan(&mut self.db, plan, values))
+        }
     }
 
     /// Open a [`Session`] over this engine: a client handle that owns

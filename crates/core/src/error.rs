@@ -65,6 +65,11 @@ pub enum EngineError {
         /// (first rule repeated at the end), when one is known.
         cycle: Vec<String>,
     },
+    /// A durability failure: the commit (or catalog change) could not be
+    /// made stable, and its in-memory effect was rolled back so memory and
+    /// disk stay in agreement. Carries file/offset/LSN context from the
+    /// durability layer.
+    Durability(tm_durable::DurableError),
     /// Data error from the relational substrate.
     Relational(tm_relational::RelationalError),
     /// Execution error from the algebra substrate.
@@ -115,6 +120,7 @@ impl fmt::Display for EngineError {
                 }
                 Ok(())
             }
+            EngineError::Durability(e) => write!(f, "durability failure: {e}"),
             EngineError::Relational(e) => write!(f, "{e}"),
             EngineError::Algebra(e) => write!(f, "{e}"),
             EngineError::View(m) => write!(f, "view definition error: {m}"),
@@ -127,6 +133,12 @@ impl std::error::Error for EngineError {}
 impl From<tm_translate::TranslateError> for EngineError {
     fn from(e: tm_translate::TranslateError) -> Self {
         EngineError::Translate(e)
+    }
+}
+
+impl From<tm_durable::DurableError> for EngineError {
+    fn from(e: tm_durable::DurableError) -> Self {
+        EngineError::Durability(e)
     }
 }
 

@@ -65,9 +65,15 @@
 //!   ([`prepared::Session::snapshot`]),
 //! * [`views`] — materialized view maintenance by transaction
 //!   modification, the second application named in the paper's
-//!   conclusions.
+//!   conclusions,
+//! * [`durability`] — the engine-side durability policy: commit
+//!   differentials and catalog DDL logged through the `tm-durable` WAL,
+//!   checkpointing ([`Engine::checkpoint`]) and crash recovery
+//!   ([`Engine::recover`]) that rebuild a `state_eq`-identical engine
+//!   from the committed prefix.
 
 pub mod catalog;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod modify;
@@ -76,6 +82,7 @@ pub mod programs;
 pub mod views;
 
 pub use catalog::Catalog;
+pub use durability::{Recovered, RecoveryError, RecoveryReport, WAL_FILE};
 pub use engine::{EnforcementMode, Engine, EngineConfig, EngineOutcome, ModStats};
 pub use error::{EngineError, Result};
 pub use modify::{
@@ -88,4 +95,5 @@ pub use tm_analyze::{
     AnalysisReport, CatalogAnalysis, Code as AnalysisCode, Diagnostic, PrunedEdge, Severity,
     TerminationCertificate,
 };
+pub use tm_durable::{Durability, DurabilityConfig, DurableError, FailPlan, Failpoints};
 pub use views::ViewDef;

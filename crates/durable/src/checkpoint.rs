@@ -1,0 +1,381 @@
+//! Checkpoints: atomic full-state snapshots that bound recovery work and
+//! let the WAL be truncated.
+//!
+//! A checkpoint file `checkpoint-<lsn>.ckpt` captures everything the
+//! engine needs to rebuild itself: the schema, every rule's canonical
+//! text (in declaration order — triggering-graph analysis is
+//! order-sensitive only in naming, but we preserve it anyway), every view
+//! definition, every relation's tuples (sorted, for byte-deterministic
+//! snapshots), the logical clock, and an opaque engine-config blob whose
+//! encoding the engine layer owns (keeping this crate free of an upward
+//! dependency).
+//!
+//! ## Atomicity protocol
+//!
+//! The snapshot is written to `<name>.tmp`, fsynced, then atomically
+//! renamed over the final name. A crash mid-write leaves at worst a stale
+//! `.tmp` (ignored by recovery) and the previous checkpoint intact. Only
+//! after the rename succeeds are older checkpoints deleted and the WAL
+//! truncated.
+//!
+//! ## File layout
+//!
+//! `MAGIC ‖ body ‖ crc32(body) u32` where the body is the
+//! [`Checkpoint`] fields in order, in the tm-relational binary codec.
+
+use std::path::{Path, PathBuf};
+
+use tm_relational::codec::{put_str, put_tuples, put_u32, put_u64, ByteReader};
+use tm_relational::{Attribute, CodecResult, DatabaseSchema, RelationSchema, Tuple, ValueType};
+
+use crate::crc::crc32;
+use crate::error::{DurableError, Result};
+
+/// File magic: `TMCK` + format version 1.
+const MAGIC: &[u8; 8] = b"TMCK\x00\x00\x00\x01";
+
+/// A full engine-state snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The last LSN whose effects are included in this snapshot. Replay
+    /// resumes strictly after it.
+    pub lsn: u64,
+    /// The database's logical clock at snapshot time.
+    pub logical_time: u64,
+    /// Opaque engine-config bytes (encoded and decoded by the engine
+    /// layer; this crate only stores them).
+    pub config: Vec<u8>,
+    /// The database schema.
+    pub schema: DatabaseSchema,
+    /// All catalog rules as `(name, canonical text)`, in declaration
+    /// order. View maintenance rules appear here like any other rule.
+    pub rules: Vec<(String, String)>,
+    /// All view definitions as `(name, rendered expression)`, in
+    /// definition order.
+    pub views: Vec<(String, String)>,
+    /// Every relation's tuples, sorted, keyed by name.
+    pub relations: Vec<(String, Vec<Tuple>)>,
+}
+
+fn value_type_tag(t: ValueType) -> u8 {
+    match t {
+        ValueType::Int => 1,
+        ValueType::Double => 2,
+        ValueType::Str => 3,
+        ValueType::Bool => 4,
+    }
+}
+
+fn encode_body(ck: &Checkpoint, out: &mut Vec<u8>) {
+    put_u64(out, ck.lsn);
+    put_u64(out, ck.logical_time);
+    put_u32(out, ck.config.len() as u32);
+    out.extend_from_slice(&ck.config);
+    put_u32(out, ck.schema.len() as u32);
+    for rel in ck.schema.relations() {
+        put_str(out, rel.name());
+        put_u32(out, rel.arity() as u32);
+        for attr in rel.attributes() {
+            put_str(out, attr.name());
+            out.push(value_type_tag(attr.value_type()));
+        }
+    }
+    put_u32(out, ck.rules.len() as u32);
+    for (name, text) in &ck.rules {
+        put_str(out, name);
+        put_str(out, text);
+    }
+    put_u32(out, ck.views.len() as u32);
+    for (name, definition) in &ck.views {
+        put_str(out, name);
+        put_str(out, definition);
+    }
+    put_u32(out, ck.relations.len() as u32);
+    for (name, tuples) in &ck.relations {
+        put_str(out, name);
+        put_tuples(out, tuples.iter());
+    }
+}
+
+fn decode_body(buf: &[u8]) -> CodecResult<(Checkpoint, String)> {
+    let mut r = ByteReader::new(buf);
+    let lsn = r.u64()?;
+    let logical_time = r.u64()?;
+    let config_len = r.count(1)?;
+    let mut config = Vec::with_capacity(config_len);
+    for _ in 0..config_len {
+        config.push(r.u8()?);
+    }
+    let n_rels = r.count(2)?;
+    let mut schema_err = None;
+    let mut schema = DatabaseSchema::new();
+    for _ in 0..n_rels {
+        let name = r.str()?;
+        let arity = r.count(2)?;
+        let mut attrs = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let attr_name = r.str()?;
+            let offset = r.offset();
+            let ty = match r.u8()? {
+                1 => ValueType::Int,
+                2 => ValueType::Double,
+                3 => ValueType::Str,
+                4 => ValueType::Bool,
+                tag => {
+                    return Err(tm_relational::CodecError::InvalidTag { offset, tag });
+                }
+            };
+            attrs.push(Attribute::new(attr_name, ty));
+        }
+        // Structural failures (dup relation, dup attribute) are not codec
+        // errors; carry them out as a detail string for the caller.
+        if schema_err.is_none() {
+            match RelationSchema::new(name, attrs) {
+                Ok(rs) => {
+                    if let Err(e) = schema.add_relation(rs) {
+                        schema_err = Some(e.to_string());
+                    }
+                }
+                Err(e) => schema_err = Some(e.to_string()),
+            }
+        }
+    }
+    let n_rules = r.count(2)?;
+    let mut rules = Vec::with_capacity(n_rules);
+    for _ in 0..n_rules {
+        rules.push((r.str()?, r.str()?));
+    }
+    let n_views = r.count(2)?;
+    let mut views = Vec::with_capacity(n_views);
+    for _ in 0..n_views {
+        views.push((r.str()?, r.str()?));
+    }
+    let n_data = r.count(2)?;
+    let mut relations = Vec::with_capacity(n_data);
+    for _ in 0..n_data {
+        relations.push((r.str()?, r.tuples()?));
+    }
+    r.expect_end()?;
+    Ok((
+        Checkpoint {
+            lsn,
+            logical_time,
+            config,
+            schema,
+            rules,
+            views,
+            relations,
+        },
+        schema_err.unwrap_or_default(),
+    ))
+}
+
+/// The checkpoint file name for a given LSN.
+pub fn checkpoint_file_name(lsn: u64) -> String {
+    format!("checkpoint-{lsn:020}.ckpt")
+}
+
+fn corrupt(path: &Path, detail: impl Into<String>) -> DurableError {
+    DurableError::CorruptCheckpoint {
+        path: path.display().to_string(),
+        detail: detail.into(),
+    }
+}
+
+impl Checkpoint {
+    /// Serialize the checkpoint (magic, body, trailing CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(1024);
+        encode_body(self, &mut body);
+        let mut out = Vec::with_capacity(body.len() + MAGIC.len() + 4);
+        out.extend_from_slice(MAGIC);
+        let crc = crc32(&body);
+        out.append(&mut body);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Write the checkpoint into `dir` via the temp-file + atomic-rename
+    /// protocol; returns the final path. Older checkpoints are *not*
+    /// removed here — the caller deletes them (and truncates the WAL)
+    /// only after this returns successfully.
+    pub fn write_atomic(&self, dir: &Path) -> Result<PathBuf> {
+        let final_path = dir.join(checkpoint_file_name(self.lsn));
+        let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(self.lsn)));
+        let bytes = self.encode();
+        {
+            let mut f = std::fs::File::create(&tmp_path)
+                .map_err(|e| DurableError::io("create", &tmp_path, e))?;
+            use std::io::Write;
+            f.write_all(&bytes)
+                .map_err(|e| DurableError::io("write", &tmp_path, e))?;
+            f.sync_data()
+                .map_err(|e| DurableError::io("fsync", &tmp_path, e))?;
+        }
+        std::fs::rename(&tmp_path, &final_path)
+            .map_err(|e| DurableError::io("rename", &tmp_path, e))?;
+        // Make the rename itself durable.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_data();
+        }
+        Ok(final_path)
+    }
+
+    /// Load and validate a checkpoint file.
+    pub fn load(path: &Path) -> Result<Checkpoint> {
+        let data = std::fs::read(path).map_err(|e| DurableError::io("read", path, e))?;
+        if data.len() < MAGIC.len() + 4 {
+            return Err(corrupt(
+                path,
+                format!("file too short ({} bytes)", data.len()),
+            ));
+        }
+        if &data[..MAGIC.len()] != MAGIC {
+            return Err(corrupt(
+                path,
+                "bad magic (not a checkpoint, or wrong version)",
+            ));
+        }
+        let body = &data[MAGIC.len()..data.len() - 4];
+        let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(corrupt(path, "checksum mismatch"));
+        }
+        let (ck, schema_err) =
+            decode_body(body).map_err(|e| corrupt(path, format!("undecodable body: {e}")))?;
+        if !schema_err.is_empty() {
+            return Err(corrupt(path, format!("invalid schema: {schema_err}")));
+        }
+        Ok(ck)
+    }
+}
+
+/// List checkpoint files in `dir`, newest (highest LSN) first. Ignores
+/// stale `.tmp` files and anything that does not parse as a checkpoint
+/// name. A missing directory lists as empty.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(DurableError::io("readdir", dir, e)),
+    };
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| DurableError::io("readdir", dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|s| s.strip_suffix(".ckpt"))
+        else {
+            continue;
+        };
+        if let Ok(lsn) = stem.parse::<u64>() {
+            found.push((lsn, entry.path()));
+        }
+    }
+    found.sort_by_key(|&(lsn, _)| std::cmp::Reverse(lsn));
+    Ok(found)
+}
+
+/// Delete every checkpoint in `dir` older than `keep_lsn`. Failures to
+/// delete are ignored — a leftover old checkpoint is harmless (recovery
+/// prefers the newest) and will be retried at the next checkpoint.
+pub fn prune_checkpoints(dir: &Path, keep_lsn: u64) {
+    if let Ok(all) = list_checkpoints(dir) {
+        for (lsn, path) in all {
+            if lsn < keep_lsn {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_relational::schema::beer_schema;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tm-durable-ckpt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            lsn: 42,
+            logical_time: 7,
+            config: vec![1, 2, 3],
+            schema: beer_schema(),
+            rules: vec![("r1".into(), "WHEN INS(beer) IF NOT 1 = 1 THEN abort".into())],
+            views: vec![("v".into(), "project[#0](beer)".into())],
+            relations: vec![(
+                "beer".into(),
+                vec![Tuple::of(("ale", "b1")), Tuple::of(("lager", "b2"))],
+            )],
+        }
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let ck = sample();
+        let path = ck.write_atomic(&dir).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        assert_eq!(list_checkpoints(&dir).unwrap(), vec![(42, path)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_corruption_is_detected() {
+        let dir = tmpdir("corrupt");
+        let path = sample().write_atomic(&dir).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        for victim in 0..clean.len() {
+            let mut data = clean.clone();
+            data[victim] ^= 0x20;
+            std::fs::write(&path, &data).unwrap();
+            assert!(
+                matches!(
+                    Checkpoint::load(&path),
+                    Err(DurableError::CorruptCheckpoint { .. })
+                ),
+                "flip at {victim} went undetected"
+            );
+        }
+        for cut in 0..clean.len() {
+            std::fs::write(&path, &clean[..cut]).unwrap();
+            assert!(Checkpoint::load(&path).is_err(), "cut {cut}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn listing_prefers_newest_and_prune_keeps_it() {
+        let dir = tmpdir("prune");
+        for lsn in [3, 1, 2] {
+            let mut ck = sample();
+            ck.lsn = lsn;
+            ck.write_atomic(&dir).unwrap();
+        }
+        // A stale tmp file from a crashed checkpoint is ignored.
+        std::fs::write(dir.join("checkpoint-9.ckpt.tmp"), b"junk").unwrap();
+        let lsns: Vec<u64> = list_checkpoints(&dir)
+            .unwrap()
+            .iter()
+            .map(|c| c.0)
+            .collect();
+        assert_eq!(lsns, vec![3, 2, 1]);
+        prune_checkpoints(&dir, 3);
+        let lsns: Vec<u64> = list_checkpoints(&dir)
+            .unwrap()
+            .iter()
+            .map(|c| c.0)
+            .collect();
+        assert_eq!(lsns, vec![3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,102 @@
+//! Errors of the durability subsystem.
+//!
+//! Every error carries the context a postmortem needs: which file, which
+//! operation, and — for log damage — the byte offset and LSN at which the
+//! problem was detected. I/O failures are stringified at the boundary
+//! (`EngineError` upstream derives `Clone`/`PartialEq`, which
+//! `std::io::Error` does not).
+
+use std::fmt;
+use std::path::Path;
+
+use tm_relational::CodecError;
+
+/// Result alias for durability operations.
+pub type Result<T> = std::result::Result<T, DurableError>;
+
+/// A durability failure: I/O, torn/corrupt log data, or an unusable
+/// checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableError {
+    /// An operating-system I/O failure.
+    Io {
+        /// The operation that failed (`"write"`, `"fsync"`, `"rename"`, …).
+        op: String,
+        /// The file or directory involved.
+        path: String,
+        /// The rendered `io::Error`.
+        detail: String,
+    },
+    /// A WAL frame failed validation — torn tail, checksum mismatch,
+    /// undecodable payload, or a non-monotonic LSN.
+    CorruptFrame {
+        /// Byte offset of the frame within the log file.
+        offset: u64,
+        /// The frame's LSN, when the header decoded far enough to read it.
+        lsn: Option<u64>,
+        /// What the validator rejected.
+        detail: String,
+    },
+    /// A checkpoint file failed validation (bad magic, checksum mismatch,
+    /// undecodable contents).
+    CorruptCheckpoint {
+        /// The checkpoint file.
+        path: String,
+        /// What the validator rejected.
+        detail: String,
+    },
+    /// Recovery found no loadable checkpoint in the directory.
+    NoCheckpoint {
+        /// The durability directory searched.
+        dir: String,
+    },
+}
+
+impl DurableError {
+    /// Wrap an `io::Error` with its operation and path.
+    pub fn io(op: &str, path: &Path, e: std::io::Error) -> DurableError {
+        DurableError::Io {
+            op: op.to_owned(),
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        }
+    }
+
+    /// A corrupt frame built from a codec failure at `offset`.
+    pub fn frame_codec(offset: u64, lsn: Option<u64>, e: CodecError) -> DurableError {
+        DurableError::CorruptFrame {
+            offset,
+            lsn,
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io { op, path, detail } => {
+                write!(f, "I/O error during {op} on `{path}`: {detail}")
+            }
+            DurableError::CorruptFrame {
+                offset,
+                lsn,
+                detail,
+            } => {
+                write!(f, "corrupt WAL frame at offset {offset}")?;
+                if let Some(lsn) = lsn {
+                    write!(f, " (lsn {lsn})")?;
+                }
+                write!(f, ": {detail}")
+            }
+            DurableError::CorruptCheckpoint { path, detail } => {
+                write!(f, "corrupt checkpoint `{path}`: {detail}")
+            }
+            DurableError::NoCheckpoint { dir } => {
+                write!(f, "no loadable checkpoint found in `{dir}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}

@@ -58,6 +58,14 @@ impl Database {
         self.logical_time += 1;
     }
 
+    /// Restore the logical time to a recorded value. This exists for
+    /// crash recovery (`tm-durable` checkpoints record the time alongside
+    /// the state); live execution only ever moves the clock via
+    /// [`Database::tick`].
+    pub fn set_logical_time(&mut self, t: u64) {
+        self.logical_time = t;
+    }
+
     /// Borrow a relation state by name.
     pub fn relation(&self, name: &str) -> Result<&Relation> {
         self.relations

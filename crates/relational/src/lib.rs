@@ -28,7 +28,9 @@
 //! the transaction executor in `tm-algebra`.
 
 pub mod auxiliary;
+pub mod codec;
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod multiset;
 pub mod relation;
@@ -38,7 +40,9 @@ pub mod util;
 pub mod value;
 
 pub use auxiliary::{del_name, ins_name, pre_name, AuxKind};
+pub use codec::{CodecError, CodecResult};
 pub use database::{Database, Transition};
+pub use delta::RelationDelta;
 pub use error::{RelationalError, Result};
 pub use multiset::Multiset;
 pub use relation::Relation;

@@ -72,6 +72,13 @@ fn find_keyword(src: &str, kw: &str, from: usize) -> Option<(usize, usize)> {
 }
 
 fn parse_trigger_list(src: &str) -> Result<TriggerSet, RuleParseError> {
+    // `WHEN NONE` declares an explicitly empty trigger set — a rule that
+    // never fires. It is distinct from omitting WHEN (which generates
+    // triggers from the condition); the canonical persistence format uses
+    // it so a round trip preserves emptiness.
+    if src.eq_ignore_ascii_case("none") {
+        return Ok(TriggerSet::empty());
+    }
     let mut out = TriggerSet::empty();
     for part in src.split(',') {
         let part = part.trim();

@@ -1,0 +1,340 @@
+//! The recovery invariant suite: an engine recovered from its durability
+//! directory is `state_eq`-identical to the never-crashed engine — same
+//! relation contents, same catalog, same views — across checkpoints, log
+//! replay, DDL, bulk loads, and all four enforcement modes.
+
+use std::path::PathBuf;
+
+use tm_algebra::builder::TransactionBuilder;
+use tm_relational::{Tuple, Value};
+use txmod::{Durability, DurabilityConfig, EnforcementMode, Engine, RecoveryError, ViewDef};
+
+const MODES: [EnforcementMode; 4] = [
+    EnforcementMode::Off,
+    EnforcementMode::Dynamic,
+    EnforcementMode::Static,
+    EnforcementMode::Differential,
+];
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(format!("recovery-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn constrained(mode: EnforcementMode, level: Durability) -> Engine {
+    // The beer schema plus a `strong` relation to hold the workload's
+    // materialized view.
+    let mut schema = tm_relational::schema::beer_schema();
+    let strong = schema.relation("beer").unwrap().renamed("strong");
+    schema.add_relation(strong).unwrap();
+    let mut e = Engine::with_config(
+        schema,
+        txmod::EngineConfig {
+            mode,
+            ..txmod::EngineConfig::default()
+        },
+    );
+    e.config_mut().durability = DurabilityConfig {
+        level,
+        ..DurabilityConfig::default()
+    };
+    e.define_constraint("dom", "forall x (x in beer implies x.alcohol >= 0)")
+        .unwrap();
+    e.define_constraint(
+        "ref",
+        "forall x (x in beer implies exists y (y in brewery and x.brewery = y.name))",
+    )
+    .unwrap();
+    e
+}
+
+fn insert(name: &str, brewery: &str, alcohol: f64) -> tm_algebra::Transaction {
+    TransactionBuilder::new()
+        .insert_tuple("beer", Tuple::of((name, "ale", brewery, alcohol)))
+        .build()
+}
+
+/// Assert the recovered engine matches the live one: database state,
+/// catalog rules (names, in order), views, and enforcement config.
+fn assert_twin(live: &Engine, recovered: &Engine) {
+    assert!(
+        recovered.database().state_eq(live.database()),
+        "recovered database diverges from the live engine"
+    );
+    let names = |e: &Engine| -> Vec<String> {
+        e.catalog().rules().iter().map(|r| r.name.clone()).collect()
+    };
+    assert_eq!(names(recovered), names(live), "catalog rules diverge");
+    let views = |e: &Engine| -> Vec<(String, String)> {
+        e.views()
+            .iter()
+            .map(|v| (v.name.clone(), v.definition.to_string()))
+            .collect()
+    };
+    assert_eq!(views(recovered), views(live), "views diverge");
+    assert_eq!(recovered.config(), live.config(), "config diverges");
+}
+
+/// The standard workload: DDL before and after commits, a bulk load, an
+/// aborted transaction (which must leave no trace), and a view.
+fn run_workload(e: &mut Engine) {
+    e.load(
+        "brewery",
+        vec![
+            Tuple::of(("heineken", "amsterdam", "nl")),
+            Tuple::of(("guinness", "dublin", "ie")),
+        ],
+    )
+    .unwrap();
+    assert!(e
+        .execute(&insert("pils", "heineken", 5.0))
+        .unwrap()
+        .committed());
+    // Violates `dom` in enforcing modes: aborted, nothing logged. (In Off
+    // mode it commits — the recovered twin must reproduce that too.)
+    let _ = e.execute(&insert("bad", "heineken", -1.0)).unwrap();
+    assert!(e
+        .execute(&insert("stout", "guinness", 7.5))
+        .unwrap()
+        .committed());
+    e.define_view(ViewDef::new(
+        "strong",
+        tm_algebra::parser::parse_relexpr("select[(#3 > 6.0)](beer)").unwrap(),
+    ))
+    .unwrap();
+    assert!(e.remove_rule("ref").unwrap());
+    assert!(e
+        .execute(&insert("ipa", "nowhere", 6.5))
+        .unwrap()
+        .committed());
+}
+
+#[test]
+fn recovery_reproduces_the_live_engine_in_all_modes() {
+    for mode in MODES {
+        let dir = tmpdir(&format!("modes-{mode:?}"));
+        let mut e = constrained(mode, Durability::Fsync);
+        e.make_durable(&dir).unwrap();
+        run_workload(&mut e);
+
+        let recovered = Engine::recover(&dir).unwrap();
+        assert_twin(&e, &recovered.engine);
+        assert_eq!(recovered.report.checkpoint_lsn, 0, "{mode:?}");
+        assert!(recovered.report.frames_replayed > 0, "{mode:?}");
+        assert_eq!(
+            Some(recovered.report.recovered_lsn),
+            e.durable_lsn(),
+            "{mode:?}: recovery must surface the recovered-through LSN"
+        );
+        assert!(recovered.report.truncated_tail.is_none(), "{mode:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn buffered_level_survives_a_clean_process_exit() {
+    // Buffered frames sit in a userspace buffer; dropping the engine (a
+    // clean shutdown) flushes them, so recovery reproduces every commit.
+    let dir = tmpdir("buffered");
+    let mut e = constrained(EnforcementMode::Static, Durability::Buffered);
+    e.make_durable(&dir).unwrap();
+    run_workload(&mut e);
+    let twin = e.clone(); // memory-only twin survives the drop
+    drop(e);
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_twin(&twin, &recovered.engine);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_truncates_the_log_and_recovery_resumes_after_it() {
+    let dir = tmpdir("ckpt");
+    let mut e = constrained(EnforcementMode::Static, Durability::Fsync);
+    e.make_durable(&dir).unwrap();
+    e.load("brewery", vec![Tuple::of(("heineken", "amsterdam", "nl"))])
+        .unwrap();
+    assert!(e
+        .execute(&insert("pils", "heineken", 5.0))
+        .unwrap()
+        .committed());
+
+    let ckpt_lsn = e.checkpoint().unwrap();
+    assert!(ckpt_lsn > 0);
+    // Post-checkpoint commits replay on top of the snapshot.
+    assert!(e
+        .execute(&insert("more", "heineken", 5.5))
+        .unwrap()
+        .committed());
+
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_twin(&e, &recovered.engine);
+    assert_eq!(recovered.report.checkpoint_lsn, ckpt_lsn);
+    assert_eq!(recovered.report.frames_replayed, 1);
+    assert!(recovered.report.recovered_lsn > ckpt_lsn);
+
+    // And recovery from a checkpoint with an empty log is exact too.
+    let mut e2 = recovered.engine;
+    let ckpt2 = e2.checkpoint().unwrap();
+    let again = Engine::recover(&dir).unwrap();
+    assert_twin(&e2, &again.engine);
+    assert_eq!(again.report.checkpoint_lsn, ckpt2);
+    assert_eq!(again.report.frames_replayed, 0);
+    assert_eq!(again.report.recovered_lsn, ckpt2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn automatic_checkpoints_fire_by_frame_count() {
+    let dir = tmpdir("auto");
+    let mut e = constrained(EnforcementMode::Static, Durability::Fsync);
+    e.config_mut().durability.checkpoint_every = 3;
+    e.make_durable(&dir).unwrap();
+    e.load("brewery", vec![Tuple::of(("heineken", "amsterdam", "nl"))])
+        .unwrap();
+    for i in 0..7 {
+        let name = format!("beer{i}");
+        assert!(e
+            .execute(&insert(&name, "heineken", 5.0))
+            .unwrap()
+            .committed());
+    }
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_twin(&e, &recovered.engine);
+    // 8 frames at checkpoint_every=3: at least two checkpoints happened,
+    // so recovery starts well past LSN 0 and replays at most 2 frames.
+    assert!(recovered.report.checkpoint_lsn >= 6);
+    assert!(recovered.report.frames_replayed <= 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn durability_none_is_checkpoint_only() {
+    let dir = tmpdir("none");
+    let mut e = constrained(EnforcementMode::Static, Durability::None);
+    e.make_durable(&dir).unwrap();
+    e.load("brewery", vec![Tuple::of(("heineken", "amsterdam", "nl"))])
+        .unwrap();
+    assert!(e
+        .execute(&insert("pils", "heineken", 5.0))
+        .unwrap()
+        .committed());
+    // Nothing was logged: recovery sees only the (empty) initial snapshot.
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_eq!(recovered.report.frames_replayed, 0);
+    assert_eq!(recovered.engine.relation("beer").unwrap().len(), 0);
+
+    // An explicit checkpoint persists the current state.
+    e.checkpoint().unwrap();
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_twin(&e, &recovered.engine);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn prepared_sessions_log_their_commits() {
+    let dir = tmpdir("prepared");
+    let mut e = constrained(EnforcementMode::Static, Durability::Fsync);
+    e.make_durable(&dir).unwrap();
+    e.load("brewery", vec![Tuple::of(("heineken", "amsterdam", "nl"))])
+        .unwrap();
+    let template = TransactionBuilder::new().insert_params("beer", 4).build();
+    let prepared = e.prepare(&template).unwrap();
+    for i in 0..5 {
+        let name = format!("b{i}");
+        let bound = prepared
+            .bind(&[
+                Value::str(&name),
+                Value::str("ale"),
+                Value::str("heineken"),
+                Value::double(4.0 + i as f64),
+            ])
+            .unwrap();
+        assert!(e.execute_bound(&bound).unwrap().committed());
+    }
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_twin(&e, &recovered.engine);
+    assert_eq!(recovered.engine.relation("beer").unwrap().len(), 5);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovered_engine_continues_durably() {
+    // Recover, keep committing, recover again: the log reopens at the
+    // right LSN and the second recovery sees both generations.
+    let dir = tmpdir("continue");
+    let mut e = constrained(EnforcementMode::Static, Durability::Fsync);
+    e.make_durable(&dir).unwrap();
+    e.load("brewery", vec![Tuple::of(("heineken", "amsterdam", "nl"))])
+        .unwrap();
+    assert!(e
+        .execute(&insert("one", "heineken", 5.0))
+        .unwrap()
+        .committed());
+    let first_lsn = e.durable_lsn().unwrap();
+    drop(e);
+
+    let mut e = Engine::recover(&dir).unwrap().engine;
+    assert!(e
+        .execute(&insert("two", "heineken", 5.5))
+        .unwrap()
+        .committed());
+    assert!(e.durable_lsn().unwrap() > first_lsn);
+
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_twin(&e, &recovered.engine);
+    assert_eq!(recovered.engine.relation("beer").unwrap().len(), 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn empty_directory_reports_no_checkpoint() {
+    let dir = tmpdir("empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = Engine::recover(&dir).unwrap_err();
+    assert!(
+        matches!(err, RecoveryError::NoCheckpoint { ref rejected, .. } if rejected.is_empty()),
+        "got {err:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn damaged_newest_checkpoint_falls_back_to_the_previous_one() {
+    let dir = tmpdir("fallback");
+    let mut e = constrained(EnforcementMode::Static, Durability::Fsync);
+    e.make_durable(&dir).unwrap();
+    e.load("brewery", vec![Tuple::of(("heineken", "amsterdam", "nl"))])
+        .unwrap();
+    assert!(e
+        .execute(&insert("pils", "heineken", 5.0))
+        .unwrap()
+        .committed());
+    // Fabricate a newer-but-corrupt checkpoint next to the valid LSN-0 one.
+    std::fs::write(
+        dir.join("checkpoint-00000000000000000099.ckpt"),
+        b"not a checkpoint",
+    )
+    .unwrap();
+    let recovered = Engine::recover(&dir).unwrap();
+    // Fallback lands on checkpoint 0 and replays the full log: the state
+    // matches the live engine exactly.
+    assert_eq!(recovered.report.checkpoint_lsn, 0);
+    assert_twin(&e, &recovered.engine);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn clones_are_memory_only_twins() {
+    let dir = tmpdir("clone");
+    let mut e = constrained(EnforcementMode::Static, Durability::Fsync);
+    e.make_durable(&dir).unwrap();
+    let twin = e.clone();
+    assert!(
+        twin.durable_lsn().is_none(),
+        "clones must not share the WAL"
+    );
+    assert!(twin.database().state_eq(e.database()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
