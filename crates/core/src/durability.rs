@@ -28,7 +28,7 @@
 
 use std::path::{Path, PathBuf};
 
-use tm_durable::checkpoint::{list_checkpoints, prune_checkpoints};
+use tm_durable::checkpoint::{fsync_dir, list_checkpoints, prune_checkpoints};
 use tm_durable::wal::scan_wal;
 use tm_durable::{
     Checkpoint, Durability, DurabilityConfig, DurableError, Failpoints, Wal, WalRecord,
@@ -58,6 +58,11 @@ pub(crate) struct DurableState {
     /// Frames appended since that checkpoint (drives
     /// [`DurabilityConfig::checkpoint_every`]).
     pub frames_since_checkpoint: u64,
+    /// A deferred automatic-checkpoint failure (see
+    /// [`Engine::take_checkpoint_error`]): the commit that triggered the
+    /// checkpoint was already durable, so its success could not be
+    /// retracted — the error is held here instead.
+    pub checkpoint_error: Option<EngineError>,
 }
 
 /// Why recovery failed.
@@ -236,22 +241,38 @@ impl Engine {
     ) -> crate::error::Result<()> {
         std::fs::create_dir_all(dir)
             .map_err(|e| EngineError::Durability(DurableError::io("mkdir", dir, e)))?;
-        // Replace any previous incarnation wholesale.
+        // Replace any previous incarnation wholesale — and remove its WAL
+        // *before* the fresh checkpoint-0 exists. The other order has a
+        // crash window that leaves checkpoint-0 next to the stale log,
+        // whose frames (all lsn > 0) recovery would silently replay on
+        // top of the new snapshot; this order's windows leave either the
+        // old state or an explicit `NoCheckpoint`.
         if let Ok(old) = list_checkpoints(dir) {
             for (_, path) in old {
                 let _ = std::fs::remove_file(path);
             }
         }
+        let wal_path = dir.join(WAL_FILE);
+        match std::fs::remove_file(&wal_path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(EngineError::Durability(DurableError::io(
+                    "unlink", &wal_path, e,
+                )))
+            }
+        }
+        fsync_dir(dir).map_err(EngineError::Durability)?;
         let ckpt = self.snapshot(0);
         ckpt.write_atomic(dir).map_err(EngineError::Durability)?;
-        let wal =
-            Wal::create(&dir.join(WAL_FILE), 1, points.clone()).map_err(EngineError::Durability)?;
+        let wal = Wal::create(&wal_path, 1, points.clone()).map_err(EngineError::Durability)?;
         self.set_durable(Some(Box::new(DurableState {
             dir: dir.to_owned(),
             wal,
             points,
             checkpoint_lsn: 0,
             frames_since_checkpoint: 0,
+            checkpoint_error: None,
         })));
         Ok(())
     }
@@ -318,9 +339,35 @@ impl Engine {
                     .is_some_and(|d| d.frames_since_checkpoint >= every)
         };
         if due {
-            self.checkpoint()?;
+            // The frame is already durably appended: the commit riding on
+            // it has succeeded and its success must not be retracted by a
+            // failing *checkpoint* — recovery would replay the frame, and
+            // reporting failure here would resurrect a "failed" commit on
+            // a client retry. Defer the error instead; the frame counter
+            // stays up, so the next append retries the checkpoint, and
+            // [`Engine::take_checkpoint_error`] surfaces what happened.
+            if let Err(e) = self.checkpoint() {
+                self.durable_mut()
+                    .as_mut()
+                    .expect("durability checked above")
+                    .checkpoint_error = Some(e);
+            }
         }
         Ok(lsn)
+    }
+
+    /// Take (and clear) the most recent *automatic* checkpoint failure.
+    ///
+    /// An auto-checkpoint rides on a commit whose WAL frame is already
+    /// durable, so its failure cannot fail the commit — the commit is
+    /// reported successful and the checkpoint error is parked here. The
+    /// log simply keeps growing until a later automatic (retried on every
+    /// subsequent append) or explicit [`Engine::checkpoint`] succeeds;
+    /// durability is not weakened, only log truncation is delayed.
+    pub fn take_checkpoint_error(&mut self) -> Option<EngineError> {
+        self.durable_mut()
+            .as_mut()
+            .and_then(|d| d.checkpoint_error.take())
     }
 
     /// Log a committed transaction's differentials; on failure, undo the
@@ -497,6 +544,7 @@ impl Engine {
             points,
             checkpoint_lsn: ckpt.lsn,
             frames_since_checkpoint: frames_replayed,
+            checkpoint_error: None,
         })));
         Ok(Recovered {
             engine,

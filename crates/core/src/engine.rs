@@ -273,18 +273,22 @@ impl Engine {
         if !self.wal_active() {
             return Ok(self.db.extend(relation, tuples)?);
         }
-        let tuples: Vec<Tuple> = tuples.into_iter().collect();
-        let n = self.db.extend(relation, tuples.iter().cloned())?;
+        // Track what was *actually* inserted, not the input batch:
+        // relations are sets, so tuples already present were not inserted
+        // by this load — unapplying the whole batch on failure would
+        // silently delete pre-existing committed rows.
+        let inserted = self.db.extend_returning(relation, tuples)?;
+        let n = inserted.len();
         if n == 0 {
             return Ok(0); // nothing to make durable
         }
         if let Err(e) = self.wal_append(&WalRecord::Load {
             relation: relation.to_owned(),
-            tuples: tuples.clone(),
+            tuples: inserted.clone(),
         }) {
             let undo = tm_relational::RelationDelta {
                 relation: relation.to_owned(),
-                inserted: tuples,
+                inserted,
                 deleted: Vec::new(),
             };
             let _ = undo.unapply(&mut self.db);

@@ -214,10 +214,9 @@ impl Checkpoint {
         }
         std::fs::rename(&tmp_path, &final_path)
             .map_err(|e| DurableError::io("rename", &tmp_path, e))?;
-        // Make the rename itself durable.
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_data();
-        }
+        // Make the rename itself durable — a failure here means the
+        // checkpoint may not survive a power loss, so it must surface.
+        fsync_dir(dir)?;
         Ok(final_path)
     }
 
@@ -248,6 +247,13 @@ impl Checkpoint {
         }
         Ok(ck)
     }
+}
+
+/// Fsync a directory, making renames and unlinks inside it durable.
+pub fn fsync_dir(dir: &Path) -> Result<()> {
+    let d = std::fs::File::open(dir).map_err(|e| DurableError::io("opendir", dir, e))?;
+    d.sync_data()
+        .map_err(|e| DurableError::io("fsync-dir", dir, e))
 }
 
 /// List checkpoint files in `dir`, newest (highest LSN) first. Ignores

@@ -27,6 +27,12 @@ pub struct FailPlan {
     /// truncated (the first over-budget write) then dropped entirely —
     /// simulating a crash mid-`write`. `None` = unlimited.
     pub write_budget: Option<u64>,
+    /// The next this-many `write` calls fail after physically writing
+    /// only the first half of the buffer — a *reported* partial-write
+    /// failure (ENOSPC, EIO): unlike the budget, the caller sees the
+    /// error, but garbage bytes are already on disk past the tracked
+    /// length and the OS cursor sits after them.
+    pub fail_writes: u32,
     /// The next this-many `fsync` calls fail with an injected error.
     pub fail_fsyncs: u32,
     /// XOR this mask into the byte at this absolute file offset as it is
@@ -141,6 +147,26 @@ impl FailpointFile {
                 }
             }
         }
+        let fail_write = {
+            let mut plan = self.points.plan.lock().unwrap();
+            if plan.fail_writes > 0 {
+                plan.fail_writes -= 1;
+                true
+            } else {
+                false
+            }
+        };
+        if fail_write {
+            // Half the buffer lands on disk before the error: `pos` does
+            // not advance, so the caller's tracked length now disagrees
+            // with the physical file until it truncates back to it.
+            let _ = self.file.write_all(&data[..data.len() / 2]);
+            return Err(DurableError::Io {
+                op: "write".to_owned(),
+                path: self.path.display().to_string(),
+                detail: "injected write failure (partial)".to_owned(),
+            });
+        }
         let allowed = {
             let mut plan = self.points.plan.lock().unwrap();
             match &mut plan.write_budget {
@@ -183,10 +209,16 @@ impl FailpointFile {
             .map_err(|e| DurableError::io("fsync", &self.path, e))
     }
 
-    /// Truncate the file to `len` bytes (tail truncation after detecting
-    /// a torn frame). Not subject to fault injection: truncation runs
-    /// during recovery, when the injected crash is already in the past.
+    /// Truncate the file to `len` bytes and realign the write cursor —
+    /// tail truncation after a torn or failed write. Not subject to the
+    /// error-injection faults, but a post-"crash" (budget-exhausted)
+    /// handle leaves the disk untouched like every other call on a dead
+    /// machine.
     pub fn truncate(&mut self, len: u64) -> Result<()> {
+        if self.points.crashed() {
+            self.pos = len;
+            return Ok(());
+        }
         self.file
             .set_len(len)
             .map_err(|e| DurableError::io("truncate", &self.path, e))?;
@@ -222,6 +254,33 @@ mod tests {
         f.append(b"after the crash").unwrap(); // silently dropped
         drop(f);
         assert_eq!(std::fs::read(&path).unwrap(), b"01234");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_write_leaves_partial_garbage_until_truncated() {
+        let path = tmp("failwrite");
+        let points = Failpoints::none();
+        let mut f = FailpointFile::create(&path, points.clone()).unwrap();
+        f.append(b"good").unwrap();
+        points.arm(FailPlan {
+            fail_writes: 1,
+            ..FailPlan::default()
+        });
+        assert!(matches!(
+            f.append(b"0123456789"),
+            Err(DurableError::Io { .. })
+        ));
+        // The tracked length did not advance, but half the buffer is on
+        // disk past it — exactly the state a real partial write leaves.
+        assert_eq!(f.len(), 4);
+        assert_eq!(std::fs::read(&path).unwrap(), b"good01234");
+        // Truncating back to the tracked length discards the garbage and
+        // realigns the cursor, so the next append lands contiguously.
+        f.truncate(4).unwrap();
+        f.append(b"next").unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"goodnext");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -30,7 +30,7 @@ pub mod failpoint;
 pub mod record;
 pub mod wal;
 
-pub use checkpoint::{list_checkpoints, prune_checkpoints, Checkpoint};
+pub use checkpoint::{fsync_dir, list_checkpoints, prune_checkpoints, Checkpoint};
 pub use crc::crc32;
 pub use error::{DurableError, Result};
 pub use failpoint::{FailPlan, FailpointFile, Failpoints};

@@ -229,10 +229,20 @@ impl Wal {
         let on_disk = self.file.len();
         if len >= on_disk {
             self.pending.truncate((len - on_disk) as usize);
+            // Even when every removed frame was still buffered, a failed
+            // physical write may have left partial garbage on disk beyond
+            // the tracked length, with the OS cursor displaced past it —
+            // later appends would land after the garbage and scanning
+            // would stop there, losing successfully-fsynced commits.
+            // Truncate unconditionally to discard it and realign.
+            self.file.truncate(on_disk)?;
         } else {
             self.pending.clear();
             self.file.truncate(len)?;
         }
+        // Best effort: push the poison-frame removal itself toward stable
+        // storage so a power loss does not resurrect the truncated bytes.
+        let _ = self.file.sync();
         self.next_lsn = next_lsn;
         self.unsynced = 0;
         Ok(())
@@ -486,6 +496,34 @@ mod tests {
         assert!(scan.corruption.is_none());
         assert_eq!(scan.frames.len(), 2);
         assert_eq!(scan.last_lsn(), Some(2));
+        assert_eq!(scan.frames[1].record, commit(2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rollback_discards_partial_write_garbage_from_the_file() {
+        use crate::failpoint::FailPlan;
+        let path = tmp("partial");
+        let points = Failpoints::none();
+        let mut wal = Wal::create(&path, 1, points.clone()).unwrap();
+        wal.append(&commit(0)).unwrap();
+        let (keep_len, keep_lsn) = (wal.len(), wal.next_lsn());
+        // A reported partial write: half the frame lands on disk, the
+        // caller sees the error and rolls back.
+        points.arm(FailPlan {
+            fail_writes: 1,
+            ..FailPlan::default()
+        });
+        assert!(wal.append(&commit(1)).is_err());
+        wal.rollback_to(keep_len, keep_lsn).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep_len);
+        // Later appends must land contiguously after the valid prefix —
+        // no garbage bytes in between to stop the scan.
+        wal.append(&commit(2)).unwrap();
+        wal.sync().unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert!(scan.corruption.is_none(), "garbage survived the rollback");
+        assert_eq!(scan.frames.len(), 2);
         assert_eq!(scan.frames[1].record, commit(2));
         std::fs::remove_file(&path).unwrap();
     }

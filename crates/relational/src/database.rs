@@ -107,6 +107,16 @@ impl Database {
         self.relation_mut(name)?.extend(tuples)
     }
 
+    /// [`Database::extend`], returning the actually-inserted tuples (see
+    /// [`Relation::extend_returning`]) — the undo-precise bulk-load path.
+    pub fn extend_returning(
+        &mut self,
+        name: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Vec<Tuple>> {
+        self.relation_mut(name)?.extend_returning(tuples)
+    }
+
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
         self.relations.values().map(Relation::len).sum()

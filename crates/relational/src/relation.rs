@@ -162,6 +162,38 @@ impl Relation {
         Ok(added)
     }
 
+    /// [`Relation::extend`], returning the tuples that were actually new.
+    /// Relations are sets: a batch may overlap existing contents, and a
+    /// caller that must undo the bulk insert (e.g. a failed durability
+    /// append) has to roll back exactly what was inserted — removing the
+    /// whole input batch would delete pre-existing tuples. Pays one clone
+    /// per *inserted* tuple; the plain [`Relation::extend`] stays
+    /// clone-free for hot paths that never undo.
+    pub fn extend_returning(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Vec<Tuple>> {
+        let batch: Vec<Tuple> = tuples.into_iter().collect();
+        for t in &batch {
+            self.schema.validate_tuple(t)?;
+        }
+        if batch.is_empty()
+            || (Arc::get_mut(&mut self.tuples).is_none()
+                && batch.iter().all(|t| self.tuples.contains(t)))
+        {
+            return Ok(Vec::new());
+        }
+        let set = Arc::make_mut(&mut self.tuples);
+        set.reserve(batch.len());
+        let mut added = Vec::new();
+        for t in batch {
+            if set.insert(t.clone()) {
+                added.push(t);
+            }
+        }
+        Ok(added)
+    }
+
     /// Remove a tuple; returns `true` when it was present. Removing an
     /// absent tuple from a shared state does not unshare it.
     pub fn remove(&mut self, tuple: &Tuple) -> bool {
@@ -491,6 +523,21 @@ mod tests {
         let err = a.extend(vec![Tuple::of((3, "z")), Tuple::of(("bad",))]);
         assert!(err.is_err());
         assert_eq!(a.len(), 2, "failed batch must change nothing");
+    }
+
+    #[test]
+    fn extend_returning_reports_only_new_tuples() {
+        let mut a = Relation::from_tuples(schema(), vec![Tuple::of((1, "x"))]).unwrap();
+        let added = a
+            .extend_returning(vec![Tuple::of((1, "x")), Tuple::of((2, "y"))])
+            .unwrap();
+        assert_eq!(added, vec![Tuple::of((2, "y"))]);
+        assert_eq!(a.len(), 2);
+        // An all-duplicate batch inserts (and returns) nothing.
+        assert!(a
+            .extend_returning(vec![Tuple::of((2, "y"))])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

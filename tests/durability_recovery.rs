@@ -210,6 +210,126 @@ fn automatic_checkpoints_fire_by_frame_count() {
 }
 
 #[test]
+fn failed_auto_checkpoint_does_not_retract_a_durable_commit() {
+    let dir = tmpdir("ckpt-fail");
+    let mut e = constrained(EnforcementMode::Static, Durability::Fsync);
+    e.config_mut().durability.checkpoint_every = 2;
+    e.make_durable(&dir).unwrap();
+    // Block the auto-checkpoint that the second frame will trigger: a
+    // directory squatting on its temp path makes write_atomic fail.
+    let block = dir.join("checkpoint-00000000000000000002.ckpt.tmp");
+    std::fs::create_dir(&block).unwrap();
+
+    e.load("brewery", vec![Tuple::of(("heineken", "amsterdam", "nl"))])
+        .unwrap(); // frame 1
+                   // Frame 2 triggers the (blocked) checkpoint. The commit's frame is
+                   // already durable, so the commit must succeed — the checkpoint error
+                   // is deferred, not turned into a phantom commit failure that replay
+                   // would resurrect.
+    assert!(e
+        .execute(&insert("pils", "heineken", 5.0))
+        .unwrap()
+        .committed());
+    let err = e
+        .take_checkpoint_error()
+        .expect("checkpoint failure deferred");
+    assert!(matches!(err, txmod::EngineError::Durability(_)), "{err:?}");
+    assert!(e.take_checkpoint_error().is_none(), "error taken once");
+    // Disk agrees with the reported success: recovery replays the commit.
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_twin(&e, &recovered.engine);
+
+    // The next append retries the checkpoint (different LSN, unblocked
+    // temp path) and succeeds: truncation was delayed, never lost.
+    std::fs::remove_dir(&block).unwrap();
+    assert!(e
+        .execute(&insert("stout", "heineken", 7.5))
+        .unwrap()
+        .committed());
+    assert!(e.take_checkpoint_error().is_none());
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_twin(&e, &recovered.engine);
+    assert_eq!(recovered.report.checkpoint_lsn, 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn failed_load_rolls_back_only_what_it_inserted() {
+    let dir = tmpdir("load-undo");
+    let points = txmod::Failpoints::none();
+    let mut e = constrained(EnforcementMode::Static, Durability::Fsync);
+    e.make_durable_with_failpoints(&dir, points.clone())
+        .unwrap();
+    let heineken = Tuple::of(("heineken", "amsterdam", "nl"));
+    let guinness = Tuple::of(("guinness", "dublin", "ie"));
+    e.load("brewery", vec![heineken.clone()]).unwrap();
+
+    // A failed load whose batch overlaps committed rows must undo only
+    // the tuples it inserted — not delete the pre-existing ones.
+    points.arm(txmod::FailPlan {
+        fail_fsyncs: 1,
+        ..txmod::FailPlan::default()
+    });
+    let err = e
+        .load("brewery", vec![heineken.clone(), guinness.clone()])
+        .unwrap_err();
+    assert!(matches!(err, txmod::EngineError::Durability(_)), "{err:?}");
+    let brewery = e.relation("brewery").unwrap();
+    assert!(
+        brewery.contains(&heineken),
+        "failed load deleted a pre-existing committed row"
+    );
+    assert!(!brewery.contains(&guinness));
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_twin(&e, &recovered.engine);
+
+    // The fault cleared; the same load goes through.
+    assert_eq!(e.load("brewery", vec![heineken, guinness]).unwrap(), 1);
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_twin(&e, &recovered.engine);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn aborted_make_durable_leaves_no_stale_log() {
+    // make_durable removes the previous incarnation's WAL *before* the
+    // fresh checkpoint-0 exists: failing in between must yield an
+    // explicit NoCheckpoint, never checkpoint-0 plus a stale log whose
+    // frames would silently replay on top of the new snapshot.
+    let dir = tmpdir("attach-abort");
+    let mut e = constrained(EnforcementMode::Static, Durability::Fsync);
+    e.make_durable(&dir).unwrap();
+    e.load("brewery", vec![Tuple::of(("heineken", "amsterdam", "nl"))])
+        .unwrap();
+    assert!(e
+        .execute(&insert("pils", "heineken", 5.0))
+        .unwrap()
+        .committed());
+    drop(e);
+
+    // Second attach dies between WAL removal and the checkpoint write
+    // (a directory squatting on the checkpoint's temp path).
+    let block = dir.join("checkpoint-00000000000000000000.ckpt.tmp");
+    std::fs::create_dir(&block).unwrap();
+    let mut e2 = constrained(EnforcementMode::Static, Durability::Fsync);
+    assert!(e2.make_durable(&dir).is_err());
+    assert!(
+        !dir.join("wal.log").exists(),
+        "the stale WAL must be gone before the checkpoint is attempted"
+    );
+    let err = Engine::recover(&dir).unwrap_err();
+    assert!(matches!(err, RecoveryError::NoCheckpoint { .. }), "{err:?}");
+
+    // Unblocked, the attach completes and recovery sees the new world.
+    std::fs::remove_dir(&block).unwrap();
+    e2.make_durable(&dir).unwrap();
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_twin(&e2, &recovered.engine);
+    assert_eq!(recovered.engine.relation("beer").unwrap().len(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn durability_none_is_checkpoint_only() {
     let dir = tmpdir("none");
     let mut e = constrained(EnforcementMode::Static, Durability::None);
