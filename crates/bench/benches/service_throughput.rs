@@ -1,0 +1,378 @@
+//! `service_throughput` — the scenario corpus served over loopback.
+//!
+//! Starts the `tm-server` front-end in-process on an ephemeral port with
+//! one tenant per scenario (all Static mode), then drives each scenario
+//! with several concurrent client connections streaming `ExecuteMany`
+//! batches of prepared bindings. The schema-churn scenario interleaves
+//! `DefineConstraint`/`RemoveRule` catalog steps with traffic, so live
+//! prepared statements go stale and the plan-epoch re-modification path
+//! is exercised under load.
+//!
+//! A separate **overload** run serves the bank scenario twice — once
+//! uncontended (default admission) and once behind a deliberately tight
+//! in-flight cap with twice the connections. Overload must show up as
+//! typed `Busy` rejections (clients retry), never as timeouts or a
+//! stalled accept loop, and the engine-side throughput of admitted work
+//! must stay close to the uncontended run.
+//!
+//! Per-transaction latency quantiles come from the server's own metrics
+//! sink (the `Stats` request), not client-side clocks — they measure the
+//! engine execution, excluding wire time.
+//!
+//! Results are printed as a table and written to
+//! `BENCH_service_throughput.json` (override with `BENCH_OUT`). Set
+//! `BENCH_SMOKE=1` for the CI configuration: short streams, small
+//! batches.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tm_bench::report::Table;
+use tm_bench::scenarios::{self, ChurnStep, Scenario};
+use tm_relational::Value;
+use tm_server::{
+    serve, Client, PreparedStmt, ProtocolError, ServerConfig, TenantRegistry, TenantSpec,
+};
+use txmod::EnforcementMode;
+
+struct Shape {
+    connections: usize,
+    per_connection: usize,
+    batch: usize,
+    overload_connections: usize,
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    transactions: u64,
+    committed: u64,
+    aborted: u64,
+    elapsed_secs: f64,
+    tx_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    plan_remodified: u64,
+}
+
+/// Pull one `key value` line out of the plaintext metrics dump.
+fn stat_u64(stats: &str, key: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|line| {
+            let (k, v) = line.split_once(' ')?;
+            if k == key {
+                v.parse().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or(0)
+}
+
+/// Group a binding stream by template and chunk into batches, preserving
+/// stream order within each template.
+fn batches(
+    scenario: &Scenario,
+    seed: u64,
+    n: usize,
+    batch: usize,
+) -> Vec<(usize, Vec<Vec<Value>>)> {
+    let mut per_template: Vec<Vec<Vec<Value>>> = vec![Vec::new(); scenario.templates.len()];
+    for (idx, params) in scenario.bindings(seed, n) {
+        per_template[idx].push(params);
+    }
+    let mut out = Vec::new();
+    for (idx, bindings) in per_template.into_iter().enumerate() {
+        let mut it = bindings.into_iter().peekable();
+        while it.peek().is_some() {
+            out.push((idx, it.by_ref().take(batch).collect()));
+        }
+    }
+    out
+}
+
+/// Drive one scenario tenant with `connections` concurrent clients.
+/// Connection 0 interleaves the scenario's churn steps (if any) with its
+/// batches. Returns committed/aborted totals and server-side latency
+/// quantiles.
+fn run_scenario(addr: std::net::SocketAddr, scenario: &Scenario, shape: &Shape) -> ScenarioResult {
+    // Prepare the templates once; statement ids are tenant-scoped, so
+    // every connection shares them.
+    let mut setup = Client::connect(addr, scenario.name).expect("connect");
+    let stmts: Vec<PreparedStmt> = scenario
+        .templates
+        .iter()
+        .map(|t| setup.prepare(t).expect("prepare"))
+        .collect();
+
+    let committed = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for conn in 0..shape.connections {
+            let stmts = &stmts;
+            let committed = &committed;
+            let aborted = &aborted;
+            s.spawn(move || {
+                let mut c = Client::connect(addr, scenario.name).expect("connect");
+                let work = batches(scenario, conn as u64 + 1, shape.per_connection, shape.batch);
+                let mut churn = scenario.churn.iter().cycle();
+                for (i, (idx, bindings)) in work.into_iter().enumerate() {
+                    // Connection 0 churns the catalog every few batches;
+                    // everyone's prepared plans go stale and re-modify.
+                    if conn == 0 && !scenario.churn.is_empty() && i.is_multiple_of(8) {
+                        match churn.next().expect("cycle is infinite") {
+                            ChurnStep::Define { name, cl } => {
+                                c.define_constraint(name, cl).expect("churn define");
+                            }
+                            ChurnStep::Remove { name } => {
+                                c.remove_rule(name).expect("churn remove");
+                            }
+                        }
+                    }
+                    let (ok, bad) = c.execute_many(stmts[idx], bindings).expect("batch");
+                    committed.fetch_add(ok, Ordering::Relaxed);
+                    aborted.fetch_add(bad, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    let stats = setup.stats().expect("stats");
+    let key = |f: &str| format!("tenant.{}.{f}", scenario.name);
+    let committed = committed.into_inner();
+    let aborted = aborted.into_inner();
+    let transactions = committed + aborted;
+    assert_eq!(
+        transactions,
+        (shape.connections * shape.per_connection) as u64,
+        "{}: every binding must be answered",
+        scenario.name
+    );
+    let commit_ratio = committed as f64 / transactions.max(1) as f64;
+    assert!(
+        (commit_ratio - scenario.expect_commit_ratio).abs() < 0.1,
+        "{}: commit ratio {commit_ratio} (expected ~{})",
+        scenario.name,
+        scenario.expect_commit_ratio
+    );
+    ScenarioResult {
+        name: scenario.name,
+        transactions,
+        committed,
+        aborted,
+        elapsed_secs: elapsed.as_secs_f64(),
+        tx_per_sec: transactions as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: stat_u64(&stats, &key("latency_p50_us")),
+        p99_us: stat_u64(&stats, &key("latency_p99_us")),
+        plan_remodified: stat_u64(&stats, &key("plan_remodified")),
+    }
+}
+
+/// Drive one tenant with retry-on-`Busy` workers; returns
+/// `(tx_per_sec, busy_rejections)`.
+fn run_overload(
+    addr: std::net::SocketAddr,
+    tenant: &str,
+    connections: usize,
+    shape: &Shape,
+) -> (f64, u64) {
+    let scenario = scenarios::bank();
+    let mut setup = Client::connect(addr, tenant).expect("connect");
+    let stmt = setup.prepare(scenario.templates[0]).expect("prepare");
+    let done = AtomicU64::new(0);
+    let busy = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for conn in 0..connections {
+            let scenario = &scenario;
+            let done = &done;
+            let busy = &busy;
+            s.spawn(move || {
+                let mut c = Client::connect(addr, tenant).expect("connect");
+                // Scale per-connection work so total transactions match
+                // the uncontended run regardless of connection count.
+                let n = shape.per_connection * shape.connections / connections;
+                for (_, bindings) in batches(scenario, conn as u64 + 1, n, shape.batch) {
+                    loop {
+                        match c.execute_many(stmt, bindings.clone()) {
+                            Ok((ok, bad)) => {
+                                done.fetch_add(ok + bad, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(ProtocolError::Busy { .. }) => {
+                                busy.fetch_add(1, Ordering::Relaxed);
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("overload worker: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    (done.into_inner() as f64 / elapsed, busy.into_inner())
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let shape = if smoke {
+        Shape {
+            connections: 4,
+            per_connection: 2_000,
+            batch: 64,
+            overload_connections: 8,
+        }
+    } else {
+        Shape {
+            connections: 4,
+            per_connection: 50_000,
+            batch: 256,
+            overload_connections: 8,
+        }
+    };
+    println!(
+        "service_throughput: {} connections x {} tx, batch {}{}",
+        shape.connections,
+        shape.per_connection,
+        shape.batch,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    // One server, one tenant per scenario, all Static mode. The bank
+    // scenarios carry the compensating audit rule, so every committed
+    // deposit also exercises a triggered action.
+    let corpus = scenarios::all();
+    let registry = Arc::new(TenantRegistry::new());
+    for scenario in &corpus {
+        let mut engine = scenario.engine(EnforcementMode::Static);
+        if scenario.name == "bank" || scenario.name == "violation_storm" {
+            engine
+                .add_rule_text(scenarios::BANK_AUDIT_RULE, "bank_audit")
+                .expect("audit rule");
+        }
+        registry.add(scenario.name, engine, TenantSpec::default());
+    }
+    let handle = serve(registry, "127.0.0.1:0", ServerConfig::default()).expect("serve");
+    let addr = handle.addr();
+
+    let mut results = Vec::new();
+    for scenario in &corpus {
+        let r = run_scenario(addr, scenario, &shape);
+        println!(
+            "  {:>16}: {:>9.0} tx/s  (p50 {} us, p99 {} us)",
+            r.name, r.tx_per_sec, r.p50_us, r.p99_us
+        );
+        results.push(r);
+    }
+    assert!(
+        results
+            .iter()
+            .find(|r| r.name == "schema_churn")
+            .expect("corpus has schema_churn")
+            .plan_remodified
+            > 0,
+        "catalog churn must force plan re-modification"
+    );
+    let total_tx: u64 = results.iter().map(|r| r.transactions).sum();
+    let total_secs: f64 = results.iter().map(|r| r.elapsed_secs).sum();
+    let aggregate = total_tx as f64 / total_secs.max(1e-9);
+    handle.shutdown();
+
+    // Overload: same catalog, one tenant wide open, one behind a tight
+    // in-flight cap with twice the connections hammering it.
+    let registry = Arc::new(TenantRegistry::new());
+    let bank = scenarios::bank();
+    registry.add(
+        "uncontended",
+        bank.engine(EnforcementMode::Static),
+        TenantSpec::default(),
+    );
+    registry.add(
+        "capped",
+        bank.engine(EnforcementMode::Static),
+        TenantSpec {
+            max_inflight: 2,
+            rate_per_sec: 0.0,
+            burst: 0.0,
+        },
+    );
+    let handle = serve(registry, "127.0.0.1:0", ServerConfig::default()).expect("serve");
+    let addr = handle.addr();
+    let (uncontended_tps, base_busy) = run_overload(addr, "uncontended", shape.connections, &shape);
+    assert_eq!(base_busy, 0, "uncontended run must not be rejected");
+    let (overload_tps, busy_rejections) =
+        run_overload(addr, "capped", shape.overload_connections, &shape);
+    assert!(
+        busy_rejections > 0,
+        "the capped tenant must reject with typed Busy"
+    );
+    let ratio = overload_tps / uncontended_tps.max(1e-9);
+    handle.shutdown();
+
+    let mut table = Table::new(
+        "service_throughput (loopback, Static mode)",
+        &["scenario", "tx", "committed", "tx/s", "p50 us", "p99 us"],
+    );
+    for r in &results {
+        table.row(&[
+            r.name.to_string(),
+            r.transactions.to_string(),
+            r.committed.to_string(),
+            format!("{:.0}", r.tx_per_sec),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "aggregate: {aggregate:.0} tx/s; overload: {busy_rejections} busy rejections, \
+         {overload_tps:.0} vs {uncontended_tps:.0} tx/s uncontended (ratio {ratio:.2})"
+    );
+
+    let mut json_rows = String::new();
+    for r in &results {
+        if !json_rows.is_empty() {
+            json_rows.push_str(",\n");
+        }
+        let _ = write!(
+            json_rows,
+            "    {{\"name\": \"{}\", \"transactions\": {}, \"committed\": {}, \
+             \"aborted\": {}, \"tx_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"plan_remodified\": {}}}",
+            r.name,
+            r.transactions,
+            r.committed,
+            r.aborted,
+            r.tx_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.plan_remodified
+        );
+    }
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_service_throughput.json"
+        )
+        .to_owned()
+    });
+    let json = format!(
+        "{{\n  \"bench\": \"service_throughput\",\n  \"smoke\": {smoke},\n  \
+         \"mode\": \"Static\",\n  \"connections\": {},\n  \"batch\": {},\n  \
+         \"scenarios\": [\n{json_rows}\n  ],\n  \"aggregate_tx_per_sec\": {aggregate:.1},\n  \
+         \"overload\": {{\"connections\": {}, \"max_inflight\": 2, \
+         \"busy_rejections\": {busy_rejections}, \
+         \"uncontended_tx_per_sec\": {uncontended_tps:.1}, \
+         \"overload_tx_per_sec\": {overload_tps:.1}, \"ratio\": {ratio:.3}}}\n}}\n",
+        shape.connections, shape.batch, shape.overload_connections,
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

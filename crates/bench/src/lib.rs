@@ -16,7 +16,9 @@
 //!   translation (§6.2) and differential vs. full checks (§5.2.1).
 
 pub mod report;
+pub mod scenarios;
 pub mod workload;
 
 pub use report::Table;
+pub use scenarios::{ChurnStep, Scenario};
 pub use workload::{paper, Workload};

@@ -354,6 +354,17 @@ impl<'e> Session<'e> {
     pub fn snapshot(&self) -> Database {
         self.engine.database().clone()
     }
+
+    /// Take (and clear) the deferred error of the most recent failed
+    /// automatic checkpoint, if any — see
+    /// [`crate::Engine::take_checkpoint_error`]. Auto-checkpoints run
+    /// inside commits, which cannot fail for a checkpoint problem (the
+    /// commit itself is already durable), so the engine parks the error;
+    /// session holders — and the service front-end's health reporting —
+    /// poll it here without needing `&mut Engine` access of their own.
+    pub fn take_checkpoint_error(&mut self) -> Option<EngineError> {
+        self.engine.take_checkpoint_error()
+    }
 }
 
 /// Derive the expected attribute domain per parameter slot from the

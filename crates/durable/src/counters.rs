@@ -1,0 +1,47 @@
+//! Process-wide WAL I/O counters — observability hooks for the service
+//! metrics sink.
+//!
+//! The durability cost of a workload is dominated by two numbers: how many
+//! bytes of WAL frames actually reach the OS, and how many fsyncs the
+//! durability policy pays. Both are invisible from transaction outcomes,
+//! so the [`crate::Wal`] write paths bump global relaxed atomic counters:
+//! one `write` of `n` frame bytes adds `n` to [`wal_bytes_written`], one
+//! file sync adds `1` to [`wal_fsyncs`].
+//!
+//! The counters are monotonic and process-wide (they aggregate over every
+//! live WAL — all tenants of a server share them); consumers such as the
+//! `tm-server` metrics sink sample them and report deltas per interval.
+//! Bytes parked in the userspace buffer of [`crate::Durability::Buffered`]
+//! do not count until they are flushed — the counter measures I/O, not
+//! intent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static BYTES_WRITTEN: AtomicU64 = AtomicU64::new(0);
+static FSYNCS: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` WAL frame bytes handed to the OS (internal hook; called by
+/// the WAL flush path after a successful write).
+#[inline]
+pub(crate) fn note_bytes_written(n: u64) {
+    BYTES_WRITTEN.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record one WAL fsync (internal hook; called after a successful file
+/// sync).
+#[inline]
+pub(crate) fn note_fsync() {
+    FSYNCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total WAL frame bytes written through to the OS since process start,
+/// across all logs. Monotonic; sample twice and subtract for a rate.
+pub fn wal_bytes_written() -> u64 {
+    BYTES_WRITTEN.load(Ordering::Relaxed)
+}
+
+/// Total WAL fsyncs since process start, across all logs. Monotonic;
+/// sample twice and subtract for a rate.
+pub fn wal_fsyncs() -> u64 {
+    FSYNCS.load(Ordering::Relaxed)
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod counters;
 pub mod crc;
 pub mod error;
 pub mod failpoint;
@@ -31,6 +32,7 @@ pub mod record;
 pub mod wal;
 
 pub use checkpoint::{fsync_dir, list_checkpoints, prune_checkpoints, Checkpoint};
+pub use counters::{wal_bytes_written, wal_fsyncs};
 pub use crc::crc32;
 pub use error::{DurableError, Result};
 pub use failpoint::{FailPlan, FailpointFile, Failpoints};

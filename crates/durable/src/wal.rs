@@ -189,6 +189,7 @@ impl Wal {
             return Ok(());
         }
         self.file.append(&self.pending)?;
+        crate::counters::note_bytes_written(self.pending.len() as u64);
         self.pending.clear();
         Ok(())
     }
@@ -197,6 +198,7 @@ impl Wal {
     pub fn sync(&mut self) -> Result<()> {
         self.flush()?;
         self.file.sync()?;
+        crate::counters::note_fsync();
         self.unsynced = 0;
         Ok(())
     }

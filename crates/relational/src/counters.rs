@@ -1,0 +1,32 @@
+//! Process-wide storage counters — observability hooks for the service
+//! metrics sink.
+//!
+//! The copy-on-write tuple storage ([`crate::Relation`]) makes snapshots
+//! and clones free until a write actually unshares a relation's tuple set.
+//! How often that one full set copy happens under a real workload is
+//! exactly the kind of behaviour that is invisible from outcomes alone, so
+//! every genuine unshare (an [`std::sync::Arc::make_mut`] that found the
+//! storage shared and had to copy) bumps a global relaxed atomic counter.
+//!
+//! The counter is monotonic and process-wide; consumers (the `tm-server`
+//! metrics sink) sample it and report deltas per interval. No-op mutations
+//! that the COW layer elides (duplicate inserts, absent removes, all-true
+//! retains) never count — they never copy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static UNSHARES: AtomicU64 = AtomicU64::new(0);
+
+/// Record one genuine unshare (internal hook; called by the relation
+/// storage just before a shared tuple set is copied).
+#[inline]
+pub(crate) fn note_unshare() {
+    UNSHARES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total number of copy-on-write unshares (full tuple-set copies forced by
+/// writing to shared storage) since process start. Monotonic; sample twice
+/// and subtract for a per-interval rate.
+pub fn unshare_count() -> u64 {
+    UNSHARES.load(Ordering::Relaxed)
+}

@@ -29,6 +29,7 @@
 
 pub mod auxiliary;
 pub mod codec;
+pub mod counters;
 pub mod database;
 pub mod delta;
 pub mod error;
@@ -41,6 +42,7 @@ pub mod value;
 
 pub use auxiliary::{del_name, ins_name, pre_name, AuxKind};
 pub use codec::{CodecError, CodecResult};
+pub use counters::unshare_count;
 pub use database::{Database, Transition};
 pub use delta::RelationDelta;
 pub use error::{RelationalError, Result};

@@ -17,6 +17,17 @@ fn shared_empty() -> Arc<FxHashSet<Tuple>> {
     EMPTY.get_or_init(|| Arc::new(FxHashSet::default())).clone()
 }
 
+/// [`Arc::make_mut`] with the observability hook of [`crate::counters`]:
+/// when the storage is still shared, `make_mut` is about to pay the one
+/// full set copy of the copy-on-write contract — record it. Private
+/// storage passes straight through (a relaxed load is the only cost).
+fn cow_mut(tuples: &mut Arc<FxHashSet<Tuple>>) -> &mut FxHashSet<Tuple> {
+    if Arc::strong_count(tuples) > 1 {
+        crate::counters::note_unshare();
+    }
+    Arc::make_mut(tuples)
+}
+
 /// A relation state `R`: the name of its schema plus a *set* of tuples in
 /// `dom(R)` (Definition 2.1). Set semantics follow the paper; the bag
 /// extension lives in [`crate::multiset`].
@@ -125,7 +136,7 @@ impl Relation {
                 if self.tuples.contains(&tuple) {
                     false
                 } else {
-                    Arc::make_mut(&mut self.tuples).insert(tuple)
+                    cow_mut(&mut self.tuples).insert(tuple)
                 }
             }
         }
@@ -151,7 +162,7 @@ impl Relation {
             return Ok(0);
         }
         // One unshare for the whole batch (no-op when already private).
-        let set = Arc::make_mut(&mut self.tuples);
+        let set = cow_mut(&mut self.tuples);
         set.reserve(batch.len());
         let mut added = 0;
         for t in batch {
@@ -183,7 +194,7 @@ impl Relation {
         {
             return Ok(Vec::new());
         }
-        let set = Arc::make_mut(&mut self.tuples);
+        let set = cow_mut(&mut self.tuples);
         set.reserve(batch.len());
         let mut added = Vec::new();
         for t in batch {
@@ -201,7 +212,7 @@ impl Relation {
             Some(set) => set.remove(tuple),
             None => {
                 if self.tuples.contains(tuple) {
-                    Arc::make_mut(&mut self.tuples).remove(tuple)
+                    cow_mut(&mut self.tuples).remove(tuple)
                 } else {
                     false
                 }
@@ -256,7 +267,7 @@ impl Relation {
         if doomed.is_empty() {
             return;
         }
-        let set = Arc::make_mut(&mut self.tuples);
+        let set = cow_mut(&mut self.tuples);
         for t in &doomed {
             set.remove(t);
         }

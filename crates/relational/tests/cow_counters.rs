@@ -1,0 +1,28 @@
+//! The COW unshare counter observes exactly the genuine unshares.
+//!
+//! This lives in its own integration binary (own process) because the
+//! counter is process-wide: unit tests exercising COW in parallel threads
+//! would perturb the samples.
+
+use std::sync::Arc;
+use tm_relational::{unshare_count, Relation, RelationSchema, Tuple, ValueType};
+
+#[test]
+fn unshares_are_counted_and_noops_are_not() {
+    let schema = Arc::new(RelationSchema::of("c", &[("a", ValueType::Int)]));
+    let mut r = Relation::from_tuples(schema, vec![Tuple::of((1,))]).unwrap();
+    let snapshot = r.clone();
+    let before = unshare_count();
+    // No-op mutations on shared storage never copy, never count.
+    assert!(!r.insert(Tuple::of((1,))).unwrap());
+    assert!(!r.remove(&Tuple::of((9,))));
+    r.retain(|_| true);
+    assert_eq!(unshare_count(), before, "no-op mutations must not count");
+    // A genuine write to shared storage copies exactly once.
+    r.insert(Tuple::of((2,))).unwrap();
+    assert_eq!(unshare_count(), before + 1);
+    assert_eq!(snapshot.len(), 1);
+    // Now private: further writes are in-place, not unshares.
+    r.insert(Tuple::of((3,))).unwrap();
+    assert_eq!(unshare_count(), before + 1);
+}

@@ -1,0 +1,427 @@
+//! The TCP server: std-only accept loop, thread-per-connection, and the
+//! request dispatcher.
+//!
+//! No async runtime — connections are cheap threads blocking on reads
+//! with a short timeout, so a stop flag shuts every thread down within
+//! one tick without poisoning in-flight frames (partial reads resume
+//! across timeouts; see [`crate::proto::read_frame_interruptible`]).
+//!
+//! A connection binds to one tenant with `Hello` and then serves
+//! requests in order. Work requests pass the tenant's admission
+//! controller first; rejection is a typed [`Response::Busy`] — the
+//! connection stays healthy and the accept loop never stalls behind an
+//! overloaded tenant. Malformed frames earn a typed error response
+//! (when the stream is still framable) and close the connection; they
+//! never panic and never hang.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tm_algebra::parser::parse_program;
+use tm_algebra::Transaction;
+use txmod::{EngineError, Prepared};
+
+use crate::error::ProtocolError;
+use crate::proto::{
+    read_frame_interruptible, write_response, ErrorCode, Request, Response, TxReport,
+};
+use crate::tenant::{Tenant, TenantRegistry, TenantState};
+
+/// Knobs of [`serve`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Socket read timeout: the tick at which idle connection threads
+    /// poll the stop flag.
+    pub read_timeout: Duration,
+    /// Accept-loop poll interval while no connection is pending.
+    pub accept_pause: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Duration::from_millis(50),
+            accept_pause: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Handle to a running server. Dropping it shuts the server down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wait for every connection thread to notice the
+    /// stop flag and drain, and join them all.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self.conns.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+/// the registry's tenants until the handle is shut down.
+pub fn serve(
+    registry: Arc<TenantRegistry>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept = {
+        let stop = stop.clone();
+        let conns = conns.clone();
+        std::thread::spawn(move || loop {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let registry = registry.clone();
+                    let stop = stop.clone();
+                    let handle = std::thread::spawn(move || {
+                        handle_connection(stream, registry, stop, config);
+                    });
+                    conns.lock().unwrap().push(handle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(config.accept_pause);
+                }
+                Err(_) => std::thread::sleep(config.accept_pause),
+            }
+        })
+    };
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        accept: Some(accept),
+        conns,
+    })
+}
+
+/// Serve one connection until it closes, errors, or the server stops.
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: Arc<TenantRegistry>,
+    stop: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let mut tenant: Option<Arc<Tenant>> = None;
+    loop {
+        let payload = {
+            let mut tick = || stop.load(Ordering::SeqCst);
+            match read_frame_interruptible(&mut stream, &mut tick) {
+                Ok(Some(p)) => p,
+                // Clean close, or quiet shutdown at a frame boundary.
+                Ok(None) => return,
+                // Framing is broken (garbage length, checksum mismatch,
+                // mid-frame close): a typed error is sent best-effort —
+                // the stream position is untrustworthy, so close.
+                Err(e) => {
+                    let _ = write_response(
+                        &mut stream,
+                        &Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: e.to_string(),
+                        },
+                    );
+                    let _ = stream.flush();
+                    return;
+                }
+            }
+        };
+        let response = match Request::decode(&payload) {
+            // The frame was intact but the payload is not a request:
+            // report it; framing is still synchronized, keep serving.
+            Err(e) => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: ProtocolError::Codec(e).to_string(),
+            },
+            Ok(Request::Hello { tenant: name }) => match registry.get(&name) {
+                Some(t) => {
+                    tenant = Some(t);
+                    Response::HelloOk { tenant: name }
+                }
+                None => Response::Error {
+                    code: ErrorCode::UnknownTenant,
+                    message: format!("no tenant {name:?} is registered"),
+                },
+            },
+            Ok(req) => match &tenant {
+                None => Response::Error {
+                    code: ErrorCode::NeedHello,
+                    message: "first request must be Hello".to_owned(),
+                },
+                Some(t) => dispatch(t, &registry, req),
+            },
+        };
+        if let Response::Error { .. } = response {
+            if let Some(t) = &tenant {
+                t.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if write_response(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Whether a request mutates or queries the tenant's engine (and must
+/// therefore pass admission control). `Hello` never reaches here;
+/// `Stats` is served from the sink without touching any engine.
+fn needs_admission(req: &Request) -> bool {
+    !matches!(req, Request::Stats)
+}
+
+/// Serve one request against its tenant.
+fn dispatch(tenant: &Arc<Tenant>, registry: &Arc<TenantRegistry>, req: Request) -> Response {
+    if needs_admission(&req) {
+        let Some(_guard) = tenant.admission.try_admit() else {
+            tenant.metrics.busy_rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::Busy {
+                limit: tenant.admission.max_inflight() as u64,
+            };
+        };
+        return dispatch_admitted(tenant, registry, req);
+    }
+    dispatch_admitted(tenant, registry, req)
+}
+
+fn engine_error(e: EngineError) -> Response {
+    Response::Error {
+        code: ErrorCode::Engine,
+        message: e.to_string(),
+    }
+}
+
+/// Parse a wire-borne RA program into a transaction.
+fn parse_tx(text: &str) -> Result<Transaction, Response> {
+    match parse_program(text) {
+        Ok(program) => Ok(program.bracket()),
+        Err(e) => Err(Response::Error {
+            code: ErrorCode::Engine,
+            message: format!("program parse error: {e}"),
+        }),
+    }
+}
+
+fn dispatch_admitted(
+    tenant: &Arc<Tenant>,
+    registry: &Arc<TenantRegistry>,
+    req: Request,
+) -> Response {
+    let metrics = &tenant.metrics;
+    match req {
+        Request::Hello { .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "connection is already bound to a tenant".to_owned(),
+        },
+        Request::Prepare { template } => {
+            let tx = match parse_tx(&template) {
+                Ok(tx) => tx,
+                Err(resp) => return resp,
+            };
+            let mut st = tenant.state.lock().unwrap();
+            match st.engine.prepare(&tx) {
+                Ok(prepared) => {
+                    let param_count = prepared.param_count() as u32;
+                    st.statements.push(prepared);
+                    metrics.prepared.fetch_add(1, Ordering::Relaxed);
+                    Response::Prepared {
+                        stmt_id: (st.statements.len() - 1) as u32,
+                        param_count,
+                    }
+                }
+                Err(e) => engine_error(e),
+            }
+        }
+        Request::Execute { stmt_id, params } => {
+            let mut st = tenant.state.lock().unwrap();
+            match run_one(&mut st, metrics, stmt_id, &params) {
+                Ok(report) => {
+                    poll_checkpoint(&mut st, metrics);
+                    Response::Tx(report)
+                }
+                Err(resp) => resp,
+            }
+        }
+        Request::ExecuteMany { stmt_id, bindings } => {
+            let mut st = tenant.state.lock().unwrap();
+            let (mut committed, mut aborted) = (0u64, 0u64);
+            for params in &bindings {
+                match run_one(&mut st, metrics, stmt_id, params) {
+                    Ok(report) if report.committed => committed += 1,
+                    Ok(_) => aborted += 1,
+                    Err(resp) => return resp,
+                }
+            }
+            poll_checkpoint(&mut st, metrics);
+            Response::Batch { committed, aborted }
+        }
+        Request::AdHoc { tx } => {
+            let tx = match parse_tx(&tx) {
+                Ok(tx) => tx,
+                Err(resp) => return resp,
+            };
+            let mut st = tenant.state.lock().unwrap();
+            let t0 = Instant::now();
+            match st.engine.execute(&tx) {
+                Ok(out) => {
+                    metrics.adhoc.fetch_add(1, Ordering::Relaxed);
+                    metrics.record_execution(&out, None, t0.elapsed().as_micros() as u64);
+                    poll_checkpoint(&mut st, metrics);
+                    Response::Tx(report_of(&out))
+                }
+                Err(e) => engine_error(e),
+            }
+        }
+        Request::DefineRule { name, text } => {
+            let mut st = tenant.state.lock().unwrap();
+            match st.engine.add_rule_text(&text, &name) {
+                Ok(()) => Response::Ack {
+                    detail: format!("rule {name} defined"),
+                },
+                Err(e) => engine_error(e),
+            }
+        }
+        Request::DefineConstraint { name, cl } => {
+            let mut st = tenant.state.lock().unwrap();
+            match st.engine.define_constraint(&name, &cl) {
+                Ok(()) => Response::Ack {
+                    detail: format!("constraint {name} defined"),
+                },
+                Err(e) => engine_error(e),
+            }
+        }
+        Request::RemoveRule { name } => {
+            let mut st = tenant.state.lock().unwrap();
+            match st.engine.remove_rule(&name) {
+                Ok(true) => Response::Ack {
+                    detail: format!("rule {name} removed"),
+                },
+                Ok(false) => Response::Ack {
+                    detail: format!("rule {name} was not present"),
+                },
+                Err(e) => engine_error(e),
+            }
+        }
+        Request::Snapshot { relation } => {
+            let st = tenant.state.lock().unwrap();
+            match st.engine.relation(&relation) {
+                Ok(rel) => {
+                    let mut tuples: Vec<_> = rel.iter().cloned().collect();
+                    tuples.sort();
+                    Response::SnapshotData { relation, tuples }
+                }
+                Err(e) => engine_error(e),
+            }
+        }
+        Request::Analyze => {
+            let st = tenant.state.lock().unwrap();
+            Response::Analysis {
+                text: st.engine.validate_full().to_string(),
+            }
+        }
+        Request::Stats => {
+            registry.poll_checkpoint_errors();
+            Response::StatsDump {
+                text: registry.metrics().dump(),
+            }
+        }
+    }
+}
+
+fn report_of(out: &txmod::EngineOutcome) -> TxReport {
+    let abort = match &out.outcome {
+        tm_algebra::TxOutcome::Committed(_) => None,
+        tm_algebra::TxOutcome::Aborted { reason, .. } => Some(reason.to_string()),
+    };
+    TxReport {
+        committed: out.committed(),
+        reused_plan: out.reused_plan,
+        checks_skipped: out.checks.skipped as u32,
+        checks_probed: out.checks.probed as u32,
+        checks_evaluated: out.checks.evaluated as u32,
+        abort,
+    }
+}
+
+/// Execute one binding of a prepared statement, with the session-style
+/// stale-plan refresh and metrics recording.
+fn run_one(
+    st: &mut TenantState,
+    metrics: &crate::metrics::TenantMetrics,
+    stmt_id: u32,
+    params: &[tm_relational::Value],
+) -> Result<TxReport, Response> {
+    let TenantState { engine, statements } = st;
+    let slot: &mut Prepared =
+        statements
+            .get_mut(stmt_id as usize)
+            .ok_or_else(|| Response::Error {
+                code: ErrorCode::UnknownStatement,
+                message: format!("no prepared statement {stmt_id}"),
+            })?;
+    let refreshed = if slot.is_stale(engine) {
+        *slot = engine.prepare(slot.source()).map_err(engine_error)?;
+        metrics.plan_remodified.fetch_add(1, Ordering::Relaxed);
+        true
+    } else {
+        false
+    };
+    let t0 = Instant::now();
+    let bound = slot.bind(params).map_err(engine_error)?;
+    let mut out = engine.execute_bound(&bound).map_err(engine_error)?;
+    if refreshed {
+        out.reused_plan = false;
+    }
+    metrics.record_execution(
+        &out,
+        Some(slot.specialization()),
+        t0.elapsed().as_micros() as u64,
+    );
+    Ok(report_of(&out))
+}
+
+/// After a batch or ad-hoc execution, surface any deferred
+/// auto-checkpoint error into the tenant's health metrics.
+fn poll_checkpoint(st: &mut TenantState, metrics: &crate::metrics::TenantMetrics) {
+    if let Some(err) = st.engine.take_checkpoint_error() {
+        metrics.record_checkpoint_error(err.to_string());
+    }
+}

@@ -1,0 +1,241 @@
+//! Server smoke: start on an ephemeral port, exercise one round-trip per
+//! request kind, check the typed overload and error paths, shut down
+//! cleanly.
+
+use std::sync::Arc;
+
+use tm_relational::{DatabaseSchema, RelationSchema, Tuple, Value, ValueType};
+use tm_server::proto::{read_frame, write_frame, write_request, ErrorCode, Request, Response};
+use tm_server::{serve, Client, ProtocolError, ServerConfig, TenantRegistry, TenantSpec};
+use txmod::{EnforcementMode, Engine, EngineConfig};
+
+fn account_engine(mode: EnforcementMode) -> Engine {
+    let schema = DatabaseSchema::from_relations(vec![RelationSchema::of(
+        "account",
+        &[("id", ValueType::Int), ("balance", ValueType::Int)],
+    )])
+    .unwrap();
+    let mut engine = Engine::with_config(
+        schema,
+        EngineConfig {
+            mode,
+            ..EngineConfig::default()
+        },
+    );
+    engine
+        .define_constraint(
+            "balance_non_negative",
+            "forall x (x in account implies x.balance >= 0)",
+        )
+        .unwrap();
+    engine
+}
+
+fn start() -> (tm_server::ServerHandle, std::net::SocketAddr) {
+    let registry = Arc::new(TenantRegistry::new());
+    registry.add(
+        "acme",
+        account_engine(EnforcementMode::Static),
+        TenantSpec::default(),
+    );
+    let handle = serve(registry, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+#[test]
+fn every_request_kind_round_trips() {
+    let (handle, addr) = start();
+    let mut c = Client::connect(addr, "acme").unwrap();
+    assert_eq!(c.tenant(), "acme");
+
+    // Prepare / Execute / ExecuteMany.
+    let stmt = c.prepare("insert(account, row(?0, ?1))").unwrap();
+    assert_eq!(stmt.param_count, 2);
+    let report = c
+        .execute(stmt, vec![Value::Int(1), Value::Int(100)])
+        .unwrap();
+    assert!(report.committed && report.reused_plan);
+    let violating = c
+        .execute(stmt, vec![Value::Int(2), Value::Int(-5)])
+        .unwrap();
+    assert!(!violating.committed);
+    assert!(violating.abort.is_some());
+    let bindings: Vec<Vec<Value>> = (10..20)
+        .map(|i| vec![Value::Int(i), Value::Int(i * 10)])
+        .collect();
+    assert_eq!(c.execute_many(stmt, bindings).unwrap(), (10, 0));
+
+    // AdHoc.
+    let adhoc = c.ad_hoc("insert(account, {(99, 990)})").unwrap();
+    assert!(adhoc.committed && !adhoc.reused_plan);
+
+    // DefineConstraint goes stale-plan: the next execute re-modifies.
+    c.define_constraint(
+        "balance_capped",
+        "forall x (x in account implies x.balance <= 100000)",
+    )
+    .unwrap();
+    let refreshed = c
+        .execute(stmt, vec![Value::Int(3), Value::Int(30)])
+        .unwrap();
+    assert!(refreshed.committed && !refreshed.reused_plan);
+
+    // DefineRule / RemoveRule. Tenant-authored RL text that does not
+    // parse is a typed engine error, not a dropped connection.
+    c.define_rule(
+        "huge_deposit_guard",
+        "WHEN INS(account) IF NOT 1 = 1 THEN abort",
+    )
+    .unwrap();
+    assert!(matches!(
+        c.define_rule("broken", "this is not RL"),
+        Err(ProtocolError::Remote {
+            code: ErrorCode::Engine,
+            ..
+        })
+    ));
+    let removed = c.remove_rule("huge_deposit_guard").unwrap();
+    assert!(removed.contains("removed"));
+    let absent = c.remove_rule("huge_deposit_guard").unwrap();
+    assert!(absent.contains("not present"));
+
+    // Snapshot sees the committed rows.
+    let tuples = c.snapshot("account").unwrap();
+    assert!(tuples.contains(&Tuple::of((1i64, 100i64))));
+    assert!(tuples.contains(&Tuple::of((99i64, 990i64))));
+    assert_eq!(tuples.len(), 13);
+
+    // Analyze renders the catalog analysis.
+    let analysis = c.analyze().unwrap();
+    assert!(!analysis.is_empty());
+
+    // Stats carries the metrics dump with this tenant's counters.
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("tenant.acme.tx_committed 13"));
+    assert!(stats.contains("tenant.acme.tx_aborted 1"));
+    assert!(stats.contains("tenant.acme.plan_remodified 1"));
+    assert!(stats.contains("process.cow_unshares"));
+    assert!(stats.contains("tenant.acme.rule.balance_non_negative"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_tenant_and_missing_hello_are_typed_errors() {
+    let (handle, addr) = start();
+    assert!(matches!(
+        Client::connect(addr, "nobody"),
+        Err(ProtocolError::Remote {
+            code: ErrorCode::UnknownTenant,
+            ..
+        })
+    ));
+
+    // A work request before Hello earns NeedHello on the same connection.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write_request(&mut stream, &Request::Stats).unwrap();
+    let payload = read_frame(&mut stream).unwrap().unwrap();
+    assert!(matches!(
+        Response::decode(&payload).unwrap(),
+        Response::Error {
+            code: ErrorCode::NeedHello,
+            ..
+        }
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_not_hangs() {
+    let (handle, addr) = start();
+
+    // An intact frame whose payload is garbage: typed BadRequest, and
+    // the connection keeps serving.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write_frame(&mut stream, &[0xff, 0x00, 0x99]).unwrap();
+    let payload = read_frame(&mut stream).unwrap().unwrap();
+    assert!(matches!(
+        Response::decode(&payload).unwrap(),
+        Response::Error {
+            code: ErrorCode::BadRequest,
+            ..
+        }
+    ));
+    write_request(
+        &mut stream,
+        &Request::Hello {
+            tenant: "acme".into(),
+        },
+    )
+    .unwrap();
+    let payload = read_frame(&mut stream).unwrap().unwrap();
+    assert!(matches!(
+        Response::decode(&payload).unwrap(),
+        Response::HelloOk { .. }
+    ));
+
+    // A corrupt frame (bad checksum): typed error back, then close.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut req = Vec::new();
+    Request::Stats.encode(&mut req);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(req.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&0xdead_beefu32.to_le_bytes()); // wrong crc
+    frame.extend_from_slice(&req);
+    use std::io::Write as _;
+    stream.write_all(&frame).unwrap();
+    let payload = read_frame(&mut stream).unwrap().unwrap();
+    assert!(matches!(
+        Response::decode(&payload).unwrap(),
+        Response::Error {
+            code: ErrorCode::BadRequest,
+            ..
+        }
+    ));
+    // The server closed its end; the next read is a clean EOF.
+    assert!(read_frame(&mut stream).unwrap().is_none());
+    handle.shutdown();
+}
+
+#[test]
+fn overload_returns_typed_busy() {
+    let registry = Arc::new(TenantRegistry::new());
+    registry.add(
+        "tight",
+        account_engine(EnforcementMode::Static),
+        TenantSpec {
+            max_inflight: 1,
+            rate_per_sec: 1.0, // one request per second, burst 1
+            burst: 1.0,
+        },
+    );
+    let handle = serve(registry, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(handle.addr(), "tight").unwrap();
+    // The burst token pays for the first request; the second is rejected
+    // by the bucket with a typed Busy — not a timeout, not a stall.
+    let first = c.request(&Request::Snapshot {
+        relation: "account".into(),
+    });
+    assert!(matches!(first, Ok(Response::SnapshotData { .. })));
+    let second = c.request(&Request::Snapshot {
+        relation: "account".into(),
+    });
+    assert!(matches!(second, Ok(Response::Busy { .. })));
+    let stats = c.stats().unwrap(); // Stats bypasses admission
+    assert!(stats.contains("tenant.tight.busy_rejected 1"));
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_prompt_with_idle_connections() {
+    let (handle, addr) = start();
+    let _idle1 = Client::connect(addr, "acme").unwrap();
+    let _idle2 = Client::connect(addr, "acme").unwrap();
+    let t0 = std::time::Instant::now();
+    handle.shutdown();
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(2),
+        "shutdown must not wait on idle connections"
+    );
+}

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Schema-driven validator for the committed bench reports.
+
+Each committed ``BENCH_*.json`` is evidence for a specific performance
+claim (O(Delta) transactions, prepared-plan amortization, affordable
+durability, served throughput). CI runs this validator against the
+checkout *before* the bench smokes, so a rerun can never paper over a
+bad committed report.
+
+Usage::
+
+    tools/validate_bench.py                 # validate every known report
+    tools/validate_bench.py BENCH_foo.json  # validate specific files
+
+A report fails on: missing file, malformed JSON, wrong bench name,
+smoke-run data committed as a full run, malformed rows, or a violated
+acceptance criterion. Exit status 1 names the first failure.
+"""
+
+import json
+import sys
+
+
+class Fail(Exception):
+    pass
+
+
+def load(path, bench_name, regenerate):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        raise Fail(f"{path} is missing — run `{regenerate}` and commit it")
+    except json.JSONDecodeError as e:
+        raise Fail(f"{path} is malformed: {e}")
+    if data.get("bench") != bench_name:
+        raise Fail(f"unexpected bench name in {path}: {data.get('bench')!r}")
+    return data
+
+
+def require_full_run(data, path, regenerate):
+    if data.get("smoke", True):
+        raise Fail(f"committed {path} is a smoke run — regenerate with a full `{regenerate}`")
+
+
+def require_fields(row, fields):
+    for field, kind in fields.items():
+        if not isinstance(row.get(field), kind):
+            raise Fail(f"malformed result row ({field}): {row}")
+
+
+def check_txn_throughput(path):
+    regen = "cargo bench -p tm-bench --bench txn_throughput"
+    data = load(path, "txn_throughput", regen)
+    rows = data.get("results", [])
+    modes = {r.get("mode") for r in rows}
+    if not {"cow", "clone_snapshot"} <= modes:
+        raise Fail(f"report must cover both modes, found {sorted(modes)}")
+    for r in rows:
+        require_fields(r, {"size": int, "median_ns": int})
+    return f"{len(rows)} rows, modes {sorted(modes)}"
+
+
+def check_prepare_throughput(path):
+    regen = "cargo bench -p tm-bench --bench prepare_throughput"
+    data = load(path, "prepare_throughput", regen)
+    rows = data.get("results", [])
+    modes = {r.get("mode") for r in rows}
+    paths = {r.get("path") for r in rows}
+    specs = {r.get("spec") for r in rows}
+    if modes != {"off", "dynamic", "static", "differential"}:
+        raise Fail(f"report must cover all four modes, found {sorted(modes)}")
+    if paths != {"adhoc", "prepared"}:
+        raise Fail(f"report must cover both paths, found {sorted(paths)}")
+    if specs != {True, False}:
+        raise Fail(f"report must cover spec on and off, found {sorted(map(str, specs))}")
+    for r in rows:
+        require_fields(r, {"size": int, "median_ns": int})
+    require_full_run(data, path, regen)
+    static = [r for r in rows if r["mode"] == "static" and r["path"] == "prepared" and r["spec"]]
+    if not static or static[0].get("speedup", 0) < 10:
+        raise Fail("committed full run must show >= 10x prepared speedup in Static mode")
+    if static[0]["size"] < 10_000:
+        raise Fail("committed full run must measure at >= 10k tuples")
+    # PR 4 (pre-specializer) measured 415,455 tx/s on this shape;
+    # specialization must hold at least a 5x improvement.
+    if static[0].get("tx_per_sec", 0) < 5 * 415_455:
+        raise Fail(
+            f"Static spec=on prepared throughput regressed: "
+            f"{static[0].get('tx_per_sec')} tx/s < {5 * 415_455}"
+        )
+    return (
+        f"{len(rows)} rows, modes {sorted(modes)}, "
+        f"static spec=on prepared {static[0]['tx_per_sec']:.0f} tx/s"
+    )
+
+
+def check_durability(path):
+    regen = "cargo bench -p tm-bench --bench durability_overhead"
+    data = load(path, "durability_overhead", regen)
+    require_full_run(data, path, regen)
+    rows = data.get("results", [])
+    tput = {r.get("level"): r for r in rows if r.get("section") == "throughput"}
+    recovery = [r for r in rows if r.get("section") == "recovery"]
+    if set(tput) != {"memory", "none", "buffered", "fsync"}:
+        raise Fail(f"report must cover all four levels, found {sorted(tput)}")
+    if not recovery:
+        raise Fail("report must include recovery-time rows")
+    for r in rows:
+        if not isinstance(r.get("median_ns", r.get("total_ns")), int):
+            raise Fail(f"malformed result row: {r}")
+    memory, none = tput["memory"]["median_ns"], tput["none"]["median_ns"]
+    buffered, fsync = tput["buffered"]["median_ns"], tput["fsync"]["median_ns"]
+    # Durability::None is checkpoint-only — no logging on the commit
+    # path, so it must be free (noise margin only).
+    if none > 1.5 * memory:
+        raise Fail(f"Durability::None is not free: {none}ns vs {memory}ns in-memory")
+    # The headline criterion: buffered logging within 2x of None.
+    if buffered > 2 * none:
+        raise Fail(f"Buffered exceeds 2x None: {buffered}ns vs {none}ns")
+    if not fsync > buffered:
+        raise Fail("fsync should be the most expensive level — report looks implausible")
+    for r in recovery:
+        if r["frames"] >= 100 and r["total_ns"] / r["frames"] > 100_000:
+            raise Fail(f"recovery slower than 100µs/frame: {r}")
+    return (
+        f"none {none}ns ({none / memory:.2f}x memory), "
+        f"buffered {buffered}ns ({buffered / none:.2f}x none), "
+        f"fsync {fsync}ns; {len(recovery)} recovery rows"
+    )
+
+
+def check_service_throughput(path):
+    regen = "cargo bench -p tm-bench --bench service_throughput"
+    data = load(path, "service_throughput", regen)
+    require_full_run(data, path, regen)
+    if data.get("mode") != "Static":
+        raise Fail(f"served traffic must run in Static mode, found {data.get('mode')!r}")
+    if not isinstance(data.get("connections"), int) or data["connections"] < 4:
+        raise Fail(f"served traffic needs >= 4 concurrent connections, found {data.get('connections')}")
+    scenarios = {s.get("name"): s for s in data.get("scenarios", [])}
+    expected = {"order_entry", "bank", "hot_key", "violation_storm", "schema_churn"}
+    if not expected <= set(scenarios):
+        raise Fail(f"report must cover the scenario corpus, found {sorted(scenarios)}")
+    for s in scenarios.values():
+        require_fields(
+            s,
+            {
+                "transactions": int,
+                "committed": int,
+                "aborted": int,
+                "tx_per_sec": (int, float),
+                "p50_us": int,
+                "p99_us": int,
+            },
+        )
+    if scenarios["schema_churn"].get("plan_remodified", 0) <= 0:
+        raise Fail("schema_churn must force plan re-modification (plan_remodified == 0)")
+    aggregate = data.get("aggregate_tx_per_sec", 0)
+    if aggregate < 100_000:
+        raise Fail(f"served prepared traffic must sustain >= 100k tx/s aggregate, got {aggregate:.0f}")
+    overload = data.get("overload", {})
+    if overload.get("busy_rejections", 0) <= 0:
+        raise Fail("overload run must show typed Busy rejections")
+    ratio = overload.get("ratio", 0)
+    if ratio < 0.8:
+        raise Fail(f"overloaded engine-side throughput must stay within 20% of uncontended, ratio {ratio}")
+    return (
+        f"{len(scenarios)} scenarios, {data['connections']} connections, "
+        f"aggregate {aggregate:.0f} tx/s, overload ratio {ratio:.2f} "
+        f"({overload['busy_rejections']} Busy rejections)"
+    )
+
+
+REPORTS = {
+    "BENCH_txn_throughput.json": check_txn_throughput,
+    "BENCH_prepare_throughput.json": check_prepare_throughput,
+    "BENCH_durability.json": check_durability,
+    "BENCH_service_throughput.json": check_service_throughput,
+}
+
+
+def main(argv):
+    paths = argv[1:] or sorted(REPORTS)
+    for path in paths:
+        check = REPORTS.get(path)
+        if check is None:
+            sys.exit(f"no validator registered for {path} (known: {', '.join(sorted(REPORTS))})")
+        try:
+            summary = check(path)
+        except Fail as e:
+            sys.exit(f"{path}: {e}")
+        print(f"ok: {path}: {summary}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
