@@ -50,6 +50,7 @@
 
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use tm_relational::{
     auxiliary::{self, AuxKind},
@@ -78,6 +79,24 @@ pub struct ExecStats {
     pub tuples_inserted: usize,
     /// Tuples actually deleted from base relations.
     pub tuples_deleted: usize,
+}
+
+/// Wall-clock capture of the integrity checks one execution evaluated —
+/// the instrumentation behind per-rule check latencies in the service
+/// metrics. Timing is **opt-in** (see
+/// [`Executor::execute_plan_instrumented`]): two clock reads per check are
+/// measurable against the few-hundred-nanosecond fast path, so the default
+/// entry points never pay them.
+#[derive(Debug, Default)]
+pub struct CheckTimings {
+    /// Index of the first statement to time — the boundary between the
+    /// submitted transaction's own statements and the checks `ModT`
+    /// appended to it (alarms before the boundary belong to the user
+    /// program, not to a rule).
+    pub first: usize,
+    /// Nanoseconds per timed `alarm` evaluation, in execution order. An
+    /// aborting check records its time before the abort unwinds.
+    pub ns: Vec<u64>,
 }
 
 /// The outcome of executing a transaction.
@@ -595,6 +614,109 @@ impl ExecPlan {
     /// allocations. See `recognize_fast` for the recognized shapes.
     pub fn is_fast(&self) -> bool {
         self.fast.is_some()
+    }
+
+    /// The base relations whose **live state** this plan's execution
+    /// reads — the relation-level half of its conflict footprint for
+    /// snapshot concurrency. Sorted and deduplicated.
+    ///
+    /// Fast plans read nothing but their probe relations: point checks
+    /// evaluate over parameters alone, and a singleton write's
+    /// present/absent dependence on its own tuple is covered tuple-wise
+    /// by [`ExecPlan::declared_writes`]. Generic plans are accounted
+    /// conservatively: every referenced base relation **including write
+    /// targets** (a multi-row delete's net effect depends on the target's
+    /// contents), with transaction-local names excluded — temporaries,
+    /// and the `R@ins`/`R@del` differentials, which describe this
+    /// transaction's own changes, not the snapshot. `R@pre` reads map to
+    /// the base relation: the pre-state is reconstructed from the live
+    /// snapshot.
+    pub fn read_relations(&self) -> Vec<String> {
+        use std::collections::BTreeSet;
+        if let Some(ops) = &self.fast {
+            let set: BTreeSet<&String> = ops
+                .iter()
+                .filter_map(|op| match op {
+                    FastOp::Probe { relation, .. } => Some(relation),
+                    _ => None,
+                })
+                .collect();
+            return set.into_iter().cloned().collect();
+        }
+        let mut temps: BTreeSet<&str> = BTreeSet::new();
+        let mut reads: BTreeSet<String> = BTreeSet::new();
+        for stmt in self.tx.debracket().statements() {
+            let mut names = match stmt {
+                Statement::Assign { target, expr } => {
+                    temps.insert(target);
+                    expr.referenced_relations()
+                }
+                Statement::Insert { relation, source } | Statement::Delete { relation, source } => {
+                    let mut v = source.referenced_relations();
+                    v.push(relation.clone());
+                    v
+                }
+                Statement::Update {
+                    relation,
+                    pred,
+                    set,
+                } => {
+                    let mut v = pred.referenced_relations();
+                    for a in set {
+                        v.extend(a.value.referenced_relations());
+                    }
+                    v.push(relation.clone());
+                    v
+                }
+                Statement::Alarm(expr) => expr.referenced_relations(),
+                Statement::Abort => Vec::new(),
+            };
+            for name in names.drain(..) {
+                if let Some((base, kind)) = auxiliary::parse_auxiliary(&name) {
+                    if matches!(kind, AuxKind::Pre) {
+                        reads.insert(base.to_owned());
+                    }
+                    continue;
+                }
+                if temps.contains(name.as_str()) {
+                    continue;
+                }
+                reads.insert(name);
+            }
+        }
+        reads.into_iter().collect()
+    }
+
+    /// The singleton rows a **fast** plan declares it will insert or
+    /// delete, evaluated against `params` — the tuple-level half of its
+    /// conflict footprint. Rows are reported whether or not the write
+    /// will net to a change (a no-op insert of an already-present tuple
+    /// is an undeclared read of that tuple's presence, so it must
+    /// participate in conflict detection). A row whose evaluation fails
+    /// is skipped: that failure aborts the execution before any
+    /// state-dependent decision, so it carries no footprint.
+    ///
+    /// `None` for generic plans — their write targets are already covered
+    /// relation-wise by [`ExecPlan::read_relations`].
+    pub fn declared_writes(&self, params: &[Value]) -> Option<Vec<(String, Tuple)>> {
+        let ops = self.fast.as_ref()?;
+        let ctx = ParamsCtx { params };
+        let empty = Tuple::empty();
+        let mut out = Vec::new();
+        for op in ops {
+            let (relation, row) = match op {
+                FastOp::Insert { relation, row } | FastOp::Delete { relation, row } => {
+                    (relation, row)
+                }
+                _ => continue,
+            };
+            let values: std::result::Result<Vec<Value>, _> =
+                row.iter().map(|e| eval_scalar(e, &empty, &ctx)).collect();
+            if let Ok(values) = values {
+                out.push((relation.clone(), Tuple::from_values(values)));
+            }
+        }
+        Some(out)
     }
 }
 
@@ -1254,7 +1376,7 @@ impl Executor {
         params: &[Value],
     ) -> (TxOutcome, Vec<RelationDelta>) {
         let mut deltas = Vec::new();
-        let outcome = self.run(db, tx, params, None, Some(&mut deltas));
+        let outcome = self.run(db, tx, params, None, Some(&mut deltas), None);
         (outcome, deltas)
     }
 
@@ -1268,16 +1390,31 @@ impl Executor {
         params: &[Value],
     ) -> (TxOutcome, Vec<RelationDelta>) {
         let mut deltas = Vec::new();
-        let outcome = if let Some(ops) = &plan.fast {
-            if fast_probes_valid(db, ops) {
-                self.run_fast(db, ops, params, Some(&mut deltas))
-            } else {
-                self.run(db, &plan.tx, params, Some(&plan.aux), Some(&mut deltas))
-            }
-        } else {
-            self.run(db, &plan.tx, params, Some(&plan.aux), Some(&mut deltas))
-        };
+        let outcome = self.execute_plan_instrumented(db, plan, params, Some(&mut deltas), None);
         (outcome, deltas)
+    }
+
+    /// The fully optioned plan execution: differential capture and
+    /// per-check wall-clock instrumentation, both opt-in. When `timings`
+    /// is supplied, every check (`alarm` statement, or fast-path
+    /// check/probe op) evaluated at or past `timings.first` appends its
+    /// elapsed nanoseconds to `timings.ns` in execution order — including
+    /// the check that aborts the transaction. The un-instrumented entry
+    /// points never read the clock.
+    pub fn execute_plan_instrumented(
+        &self,
+        db: &mut Database,
+        plan: &ExecPlan,
+        params: &[Value],
+        capture: Option<&mut Vec<RelationDelta>>,
+        timings: Option<&mut CheckTimings>,
+    ) -> TxOutcome {
+        if let Some(ops) = &plan.fast {
+            if fast_probes_valid(db, ops) {
+                return self.run_fast(db, ops, params, capture, timings);
+            }
+        }
+        self.run(db, &plan.tx, params, Some(&plan.aux), capture, timings)
     }
 
     /// Execute a transaction template against a parameter binding:
@@ -1290,7 +1427,7 @@ impl Executor {
         tx: &Transaction,
         params: &[Value],
     ) -> TxOutcome {
-        self.run(db, tx, params, None, None)
+        self.run(db, tx, params, None, None, None)
     }
 
     /// Execute a compiled [`ExecPlan`] against a parameter binding. Same
@@ -1302,14 +1439,14 @@ impl Executor {
     pub fn execute_plan(&self, db: &mut Database, plan: &ExecPlan, params: &[Value]) -> TxOutcome {
         if let Some(ops) = &plan.fast {
             if fast_probes_valid(db, ops) {
-                return self.run_fast(db, ops, params, None);
+                return self.run_fast(db, ops, params, None, None);
             }
             // A probe's key columns fall outside its relation (or the
             // relation is missing): the generic path owns those error
             // renderings. Nothing has executed yet, so falling back is
             // observably free.
         }
-        self.run(db, &plan.tx, params, Some(&plan.aux), None)
+        self.run(db, &plan.tx, params, Some(&plan.aux), None, None)
     }
 
     /// Run a recognized fast plan. Equivalent to the generic path on the
@@ -1324,6 +1461,7 @@ impl Executor {
         ops: &[FastOp],
         params: &[Value],
         capture: Option<&mut Vec<RelationDelta>>,
+        mut timings: Option<&mut CheckTimings>,
     ) -> TxOutcome {
         let ctx = ParamsCtx { params };
         let empty = Tuple::empty();
@@ -1346,6 +1484,12 @@ impl Executor {
 
         for (i, op) in ops.iter().enumerate() {
             stats.statements += 1;
+            let clock = match (&timings, op) {
+                (Some(t), FastOp::Check { .. } | FastOp::Probe { .. }) if i >= t.first => {
+                    Some(Instant::now())
+                }
+                _ => None,
+            };
             let step: std::result::Result<(), AbortReason> = match op {
                 FastOp::Insert { relation, row } => {
                     eval_row(row).and_then(|values| {
@@ -1483,6 +1627,9 @@ impl Executor {
                     }
                 }
             };
+            if let (Some(t0), Some(t)) = (clock, timings.as_deref_mut()) {
+                t.ns.push(t0.elapsed().as_nanos() as u64);
+            }
             if let Err(reason) = step {
                 for (idx, t, was_insert) in undo.iter().rev() {
                     let rel = db
@@ -1512,12 +1659,21 @@ impl Executor {
         params: &[Value],
         aux: Option<&[Vec<(String, AuxKind)>]>,
         capture: Option<&mut Vec<RelationDelta>>,
+        mut timings: Option<&mut CheckTimings>,
     ) -> TxOutcome {
         let program = tx.debracket();
         let mut ctx = TxContext::begin_bound(db, params);
         for (i, stmt) in program.statements().iter().enumerate() {
             let stmt_aux = aux.map(|a| a[i].as_slice());
-            if let Err(reason) = ctx.execute_statement(stmt, stmt_aux) {
+            let clock = match (&timings, stmt) {
+                (Some(t), Statement::Alarm(_)) if i >= t.first => Some(Instant::now()),
+                _ => None,
+            };
+            let step = ctx.execute_statement(stmt, stmt_aux);
+            if let (Some(t0), Some(t)) = (clock, timings.as_deref_mut()) {
+                t.ns.push(t0.elapsed().as_nanos() as u64);
+            }
+            if let Err(reason) = step {
                 ctx.rollback(); // undo the delta: re-install D^t as D^{t+1}
                 let stats = ctx.stats.clone();
                 db.tick();
@@ -1945,7 +2101,7 @@ mod tests {
         let mut via_plan = mk();
         let out_plan = Executor.execute_plan(&mut via_plan, &plan, params);
         let mut generic = mk();
-        let out_generic = Executor.run(&mut generic, tx, params, None, None);
+        let out_generic = Executor.run(&mut generic, tx, params, None, None, None);
         assert_eq!(out_plan, out_generic, "outcome diverged for {tx}");
         assert!(via_plan.state_eq(&generic), "state diverged for {tx}");
         assert_eq!(via_plan.logical_time(), generic.logical_time());

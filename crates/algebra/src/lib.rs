@@ -50,7 +50,8 @@ pub use eval::{
     JoinStrategy, SchemaView,
 };
 pub use exec::{
-    statement_aux_refs, AbortReason, ExecPlan, ExecStats, Executor, TxContext, TxOutcome,
+    statement_aux_refs, AbortReason, CheckTimings, ExecPlan, ExecStats, Executor, TxContext,
+    TxOutcome,
 };
 pub use expr::{AggFunc, ArithOp, CmpOp, ScalarExpr};
 pub use keys::{extract_equi_keys, JoinKeys};

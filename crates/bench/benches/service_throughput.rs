@@ -361,9 +361,15 @@ fn main() {
         )
         .to_owned()
     });
+    // The validator's throughput and overload gates are scaled to the
+    // machine: the concurrent server's loopback numbers depend on how
+    // many cores served the connections.
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"service_throughput\",\n  \"smoke\": {smoke},\n  \
-         \"mode\": \"Static\",\n  \"connections\": {},\n  \"batch\": {},\n  \
+         \"mode\": \"Static\",\n  \"cores\": {cores},\n  \"connections\": {},\n  \"batch\": {},\n  \
          \"scenarios\": [\n{json_rows}\n  ],\n  \"aggregate_tx_per_sec\": {aggregate:.1},\n  \
          \"overload\": {{\"connections\": {}, \"max_inflight\": 2, \
          \"busy_rejections\": {busy_rejections}, \

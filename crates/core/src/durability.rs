@@ -288,6 +288,15 @@ impl Engine {
         self.durable().as_ref().and_then(|d| d.wal.last_lsn())
     }
 
+    /// The LSN the next WAL append will receive, when durability is
+    /// attached. After [`crate::Engine::recover`] this is strictly past
+    /// every replayed record, so the concurrent engine seeds its commit
+    /// epoch from it — post-recovery sessions can never observe an epoch
+    /// that an earlier incarnation already used.
+    pub fn wal_next_lsn(&self) -> Option<u64> {
+        self.durable().as_ref().map(|d| d.wal.next_lsn())
+    }
+
     /// The failpoints handle of the attached durability, when any — the
     /// crash tests arm faults through this while the engine runs.
     pub fn durable_failpoints(&self) -> Option<Failpoints> {

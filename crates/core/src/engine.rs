@@ -9,7 +9,7 @@
 use std::borrow::Cow;
 use std::fmt;
 
-use tm_algebra::{ExecStats, Executor, Transaction, TxOutcome};
+use tm_algebra::{CheckTimings, ExecStats, Executor, Transaction, TxOutcome};
 use tm_analyze::AnalysisReport;
 use tm_calculus::{eval_constraint, parse_formula, StateSource, TransitionSource};
 use tm_durable::{DurabilityConfig, WalRecord};
@@ -120,6 +120,14 @@ pub struct EngineOutcome {
     /// reused prepared plan these are the prepare-time counts; for `Off`
     /// mode, all zeros.
     pub checks: CheckSummary,
+    /// Wall-clock nanoseconds of each rule check this execution ran, in
+    /// plan order — one entry per appended check statement reached (fast
+    /// path: per check/probe op; generic path: per alarm). Empty unless
+    /// per-check timing is enabled ([`Engine::set_check_timing`]) and the
+    /// execution went through a prepared plan; attribute entries to rules
+    /// by zipping against [`crate::Prepared::check_attribution`]. An
+    /// aborting check records its time before the abort unwinds.
+    pub check_times_ns: Vec<u64>,
 }
 
 impl EngineOutcome {
@@ -170,6 +178,13 @@ pub struct Engine {
     epoch: u64,
     /// Attached durability (WAL + checkpoint directory), when any.
     durable: Option<Box<DurableState>>,
+    /// Record per-check wall-clock time into
+    /// [`EngineOutcome::check_times_ns`]. Deliberately **not** part of
+    /// [`EngineConfig`] — the config is encoded into checkpoints, and
+    /// timing is an observability toggle of the running process, not a
+    /// semantic property of the database. Off by default: the hot prepared
+    /// path stays free of `Instant` calls unless asked.
+    time_checks: bool,
 }
 
 impl Clone for Engine {
@@ -186,6 +201,7 @@ impl Clone for Engine {
             views: self.views.clone(),
             epoch: self.epoch,
             durable: None,
+            time_checks: self.time_checks,
         }
     }
 }
@@ -207,7 +223,23 @@ impl Engine {
             views: Vec::new(),
             epoch: 0,
             durable: None,
+            time_checks: false,
         }
+    }
+
+    /// Enable or disable per-check wall-clock timing: when on, prepared
+    /// executions fill [`EngineOutcome::check_times_ns`] with one sample
+    /// per rule check reached. Off by default — each sample costs two
+    /// monotonic-clock reads, which a microbenchmark-grade hot path
+    /// notices. The flag is process-local observability state and is not
+    /// persisted in checkpoints.
+    pub fn set_check_timing(&mut self, on: bool) {
+        self.time_checks = on;
+    }
+
+    /// Whether per-check timing is enabled ([`Engine::set_check_timing`]).
+    pub fn check_timing(&self) -> bool {
+        self.time_checks
     }
 
     /// The current database state.
@@ -271,7 +303,14 @@ impl Engine {
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize> {
         if !self.wal_active() {
-            return Ok(self.db.extend(relation, tuples)?);
+            let n = self.db.extend(relation, tuples)?;
+            if n > 0 {
+                // Loads advance the logical clock like any other state
+                // transition — the concurrent layer uses the clock to
+                // notice administrative writes that bypass its epoch log.
+                self.db.tick();
+            }
+            return Ok(n);
         }
         // Track what was *actually* inserted, not the input batch:
         // relations are sets, so tuples already present were not inserted
@@ -294,6 +333,7 @@ impl Engine {
             let _ = undo.unapply(&mut self.db);
             return Err(e);
         }
+        self.db.tick();
         Ok(n)
     }
 
@@ -560,6 +600,9 @@ impl Engine {
             modification,
             reused_plan: false,
             checks: report.summary(),
+            // Ad-hoc executions are untimed: attribution needs a prepared
+            // plan's decision list; the observability path is prepared.
+            check_times_ns: Vec::new(),
         })
     }
 
@@ -626,7 +669,8 @@ impl Engine {
         if prepared.is_stale(self) {
             let fresh = self.prepare(prepared.source())?;
             fresh.check_binding(values)?;
-            let outcome = self.run_plan(fresh.plan(), values)?;
+            let (outcome, check_times_ns) =
+                self.run_plan(fresh.plan(), values, fresh.checks_from())?;
             let modification = fresh.modification().clone();
             let checks = fresh.check_summary();
             return Ok(EngineOutcome {
@@ -643,30 +687,64 @@ impl Engine {
                 modification,
                 reused_plan: false,
                 checks,
+                check_times_ns,
             });
         }
-        let outcome = self.run_plan(prepared.plan(), values)?;
+        let (outcome, check_times_ns) =
+            self.run_plan(prepared.plan(), values, prepared.checks_from())?;
         Ok(EngineOutcome {
             outcome,
             modified: None,
             modification: ModStats::default(),
             reused_plan: true,
             checks: prepared.check_summary(),
+            check_times_ns,
         })
     }
 
     /// Run a compiled plan, logging the committed differentials when
-    /// durability is attached.
-    fn run_plan(&mut self, plan: &tm_algebra::ExecPlan, values: &[Value]) -> Result<TxOutcome> {
-        if self.wal_active() {
-            let (outcome, deltas) = self
-                .executor
-                .execute_plan_capture(&mut self.db, plan, values);
-            self.log_commit(deltas)?;
-            Ok(outcome)
+    /// durability is attached. `first` is the index of the first appended
+    /// check statement ([`Prepared::checks_from`]); when per-check timing
+    /// is on, the returned vector holds one nanosecond sample per check
+    /// reached from there on (empty otherwise — and on the untimed path
+    /// the executor runs with zero instrumentation overhead).
+    fn run_plan(
+        &mut self,
+        plan: &tm_algebra::ExecPlan,
+        values: &[Value],
+        first: usize,
+    ) -> Result<(TxOutcome, Vec<u64>)> {
+        let mut timings = if self.time_checks {
+            Some(CheckTimings {
+                first,
+                ns: Vec::new(),
+            })
         } else {
-            Ok(self.executor.execute_plan(&mut self.db, plan, values))
-        }
+            None
+        };
+        let outcome = if self.wal_active() {
+            let mut deltas = Vec::new();
+            let outcome = self.executor.execute_plan_instrumented(
+                &mut self.db,
+                plan,
+                values,
+                Some(&mut deltas),
+                timings.as_mut(),
+            );
+            self.log_commit(deltas)?;
+            outcome
+        } else if timings.is_some() {
+            self.executor.execute_plan_instrumented(
+                &mut self.db,
+                plan,
+                values,
+                None,
+                timings.as_mut(),
+            )
+        } else {
+            self.executor.execute_plan(&mut self.db, plan, values)
+        };
+        Ok((outcome, timings.map(|t| t.ns).unwrap_or_default()))
     }
 
     /// Open a [`Session`] over this engine: a client handle that owns

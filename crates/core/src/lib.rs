@@ -70,9 +70,16 @@
 //!   differentials and catalog DDL logged through the `tm-durable` WAL,
 //!   checkpointing ([`Engine::checkpoint`]) and crash recovery
 //!   ([`Engine::recover`]) that rebuild a `state_eq`-identical engine
-//!   from the committed prefix.
+//!   from the committed prefix,
+//! * [`concurrent`] — multi-version concurrency over the copy-on-write
+//!   snapshots: [`ConcurrentEngine`] runs many sessions' prepared
+//!   executions in parallel, serializes commits through a flat-combining
+//!   applier, and validates first-committer-wins directly on the
+//!   `R@ins`/`R@del` differentials (conflicts are typed, retryable
+//!   aborts).
 
 pub mod catalog;
+pub mod concurrent;
 pub mod durability;
 pub mod engine;
 pub mod error;
@@ -82,6 +89,7 @@ pub mod programs;
 pub mod views;
 
 pub use catalog::Catalog;
+pub use concurrent::{ConcurrentEngine, ConcurrentSession, EngineGuard, PendingCommit};
 pub use durability::{Recovered, RecoveryError, RecoveryReport, WAL_FILE};
 pub use engine::{EnforcementMode, Engine, EngineConfig, EngineOutcome, ModStats};
 pub use error::{EngineError, Result};

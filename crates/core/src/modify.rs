@@ -88,6 +88,11 @@ pub struct RuleSpecialization {
     pub rule: String,
     /// What the specializer decided.
     pub outcome: SpecOutcome,
+    /// Statements this selection appended to the template (0 for dropped
+    /// checks). Decisions are recorded in append order, so these counts
+    /// partition the appended region of the modified transaction — the
+    /// metrics sink uses them to attribute per-check timings to rules.
+    pub appended: usize,
 }
 
 /// The specialization record of one `ModT` run: which catalog rules were
@@ -394,6 +399,7 @@ pub fn mod_t_with(
                                     from the previous round is proven false"
                                 .to_string(),
                         },
+                        appended: 0,
                     });
                 }
                 !skip
@@ -447,6 +453,7 @@ pub fn mod_t_with(
                     decisions.push(RuleSpecialization {
                         rule: s.name,
                         outcome: SpecOutcome::Dropped { proof },
+                        appended: 0,
                     });
                     // Nothing appended: the check cannot fire.
                 }
@@ -458,6 +465,7 @@ pub fn mod_t_with(
                         outcome: SpecOutcome::Probe {
                             statements: statements.len(),
                         },
+                        appended: statements.len(),
                     });
                     if let Some(d) = deltas.as_mut() {
                         for st in &statements {
@@ -472,6 +480,7 @@ pub fn mod_t_with(
                     decisions.push(RuleSpecialization {
                         rule: s.name,
                         outcome: SpecOutcome::Generic,
+                        appended: s.program.len(),
                     });
                     if let Some(d) = deltas.as_mut() {
                         for st in s.program.statements() {

@@ -79,6 +79,15 @@ pub struct Prepared {
     /// `Off` mode, an untriggered template, or a template whose every
     /// selected check was dropped by a specialization proof.
     verbatim: bool,
+    /// Index of the first statement `ModT` appended — the boundary the
+    /// per-check instrumentation times from (alarms before it belong to
+    /// the user program, not to a rule).
+    checks_from: usize,
+    /// Per selection decision, in append order: the rule name and how
+    /// many of its appended statements are `alarm`s. Zipping these counts
+    /// against [`tm_algebra::CheckTimings::ns`] attributes each timed
+    /// check to the rule whose selection appended it.
+    timed_checks: Vec<(String, usize)>,
 }
 
 impl Prepared {
@@ -93,6 +102,19 @@ impl Prepared {
     ) -> Prepared {
         let n = template.param_count();
         let expected = expected_param_types(&template, schema, n);
+        let checks_from = source.debracket().len();
+        let stmts = template.debracket().statements();
+        let mut timed_checks = Vec::with_capacity(specialization.decisions.len());
+        let mut pos = checks_from;
+        for d in &specialization.decisions {
+            let end = (pos + d.appended).min(stmts.len());
+            let alarms = stmts[pos..end]
+                .iter()
+                .filter(|s| matches!(s, Statement::Alarm(_)))
+                .count();
+            timed_checks.push((d.rule.clone(), alarms));
+            pos = end;
+        }
         Prepared {
             source,
             plan: ExecPlan::compile(template),
@@ -102,7 +124,24 @@ impl Prepared {
             specialization,
             epoch,
             verbatim,
+            checks_from,
+            timed_checks,
         }
+    }
+
+    /// Index of the first statement `ModT` appended to the source
+    /// transaction — alarms/probes from here on belong to rule checks.
+    pub fn checks_from(&self) -> usize {
+        self.checks_from
+    }
+
+    /// Per selection decision, in append order: the rule name and the
+    /// number of timed checks (alarm statements, or fast-path check/probe
+    /// ops — the counts coincide) its selection appended. Zipping these
+    /// counts against [`EngineOutcome::check_times_ns`] attributes each
+    /// per-check latency sample to its rule.
+    pub fn check_attribution(&self) -> &[(String, usize)] {
+        &self.timed_checks
     }
 
     /// [`SpecializationReport::summary`] of this plan, precomputed.

@@ -88,6 +88,27 @@ impl Client {
         }
     }
 
+    /// [`Client::execute`] with automatic retry on serialization
+    /// conflicts ([`crate::proto::ErrorCode::Conflict`]): the server runs
+    /// each attempt on a fresh snapshot, so under contention a retry
+    /// normally lands. Returns the report together with the number of
+    /// retries spent; the last conflict propagates when the budget is
+    /// exhausted.
+    pub fn execute_retrying(
+        &mut self,
+        stmt: PreparedStmt,
+        params: Vec<Value>,
+        max_retries: usize,
+    ) -> Result<(TxReport, usize)> {
+        let mut retries = 0;
+        loop {
+            match self.execute(stmt, params.clone()) {
+                Err(e) if e.is_conflict() && retries < max_retries => retries += 1,
+                other => return other.map(|r| (r, retries)),
+            }
+        }
+    }
+
     /// Bind and execute a prepared statement once per binding; returns
     /// `(committed, aborted)` counts.
     pub fn execute_many(

@@ -87,6 +87,21 @@ impl fmt::Display for ProtocolError {
     }
 }
 
+impl ProtocolError {
+    /// Whether this error is a retryable serialization conflict
+    /// ([`ErrorCode::Conflict`]): the execution lost first-committer-wins
+    /// validation; re-issuing the request runs it on a fresh snapshot.
+    pub fn is_conflict(&self) -> bool {
+        matches!(
+            self,
+            ProtocolError::Remote {
+                code: ErrorCode::Conflict,
+                ..
+            }
+        )
+    }
+}
+
 impl std::error::Error for ProtocolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {

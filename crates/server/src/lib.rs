@@ -16,11 +16,17 @@
 //!   `RemoveRule`, `Snapshot`, `Analyze`, `Stats`;
 //! * [`tenant`] — multi-tenancy: a [`TenantRegistry`] mapping tenant
 //!   ids to independent engines (own catalog, enforcement mode,
-//!   durability), with per-tenant [`Admission`] control (queue-depth cap
-//!   plus optional token bucket; overload earns a typed `Busy`, never a
-//!   stalled accept loop);
+//!   durability), each wrapped in a `txmod::ConcurrentEngine`, with
+//!   per-tenant [`Admission`] control (queue-depth cap plus optional
+//!   token bucket; overload earns a typed `Busy`, never a stalled accept
+//!   loop);
 //! * [`server`] — the std-only TCP server: thread-per-connection with
-//!   timeout-ticked reads, so shutdown is prompt and hang-free;
+//!   timeout-ticked reads, so shutdown is prompt and hang-free. Each
+//!   connection runs a snapshot session of its tenant's engine:
+//!   executions proceed concurrently and serialize only at the commit
+//!   applier (first-committer-wins; losses surface as the typed,
+//!   retryable [`ErrorCode::Conflict`], and batch bindings retry
+//!   transparently) — see `docs/concurrency.md`;
 //! * [`client`] — a blocking client speaking the same protocol;
 //! * [`metrics`] — the metrics sink: atomic counters and log₂
 //!   histograms for per-tenant throughput, plan reuse and
@@ -45,4 +51,4 @@ pub use error::ProtocolError;
 pub use metrics::{Histogram, RuleMetrics, ServerMetrics, TenantMetrics};
 pub use proto::{ErrorCode, Request, Response, TxReport, MAX_FRAME};
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use tenant::{Admission, Tenant, TenantRegistry, TenantSpec, TenantState};
+pub use tenant::{Admission, Tenant, TenantRegistry, TenantSpec};

@@ -12,10 +12,13 @@
 //! * **per-rule** ([`RuleMetrics`]): how each catalog rule's checks were
 //!   dispatched across executions — dropped by a specialization proof,
 //!   reduced to a point probe, or evaluated generically — with the
-//!   cumulative engine latency of the executions it participated in.
-//!   Attribution is **plan-level**: an execution charges every rule its
-//!   plan made a decision about, because the executor does not time
-//!   individual checks;
+//!   **measured** check latency. The engine times each appended check
+//!   statement (`EngineOutcome::check_times_ns`, enabled per tenant at
+//!   registration) and the prepared plan knows which rule each check
+//!   belongs to (`Prepared::check_attribution`), so `rule.<r>.latency_us`
+//!   is the summed wall time of rule `r`'s own checks — not a plan-level
+//!   upper bound. Nanoseconds accumulate internally; the dump renders
+//!   microseconds, so sub-µs point probes don't round away;
 //! * **process-wide**: the COW unshare counter (`tm-relational`) and the
 //!   WAL bytes/fsync counters (`tm-durable`), sampled as deltas since
 //!   server start so co-resident tenants see server-attributable totals.
@@ -100,8 +103,7 @@ impl Histogram {
     }
 }
 
-/// Per-rule check dispatch and latency attribution (see the module doc
-/// for the plan-level attribution caveat).
+/// Per-rule check dispatch and measured check latency.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RuleMetrics {
     /// Executions whose plan dropped this rule's check with a
@@ -111,10 +113,17 @@ pub struct RuleMetrics {
     pub probed: u64,
     /// Executions whose plan evaluated this rule's check generically.
     pub evaluated: u64,
-    /// Cumulative engine latency (µs) of the executions this rule's
-    /// check participated in (probed or evaluated; dropped checks cost
-    /// nothing and are not charged).
-    pub latency_us: u64,
+    /// Cumulative measured wall time of this rule's own checks,
+    /// nanoseconds (dropped checks execute nothing and are not charged;
+    /// executions without check timing contribute verdict counts only).
+    pub latency_ns: u64,
+}
+
+impl RuleMetrics {
+    /// The accumulated check latency in microseconds (the dump unit).
+    pub fn latency_us(&self) -> u64 {
+        self.latency_ns / 1_000
+    }
 }
 
 /// The per-tenant slice of the metrics sink. All fields are monotonic
@@ -127,6 +136,13 @@ pub struct TenantMetrics {
     pub aborted: AtomicU64,
     /// Requests rejected by admission control with a typed `Busy`.
     pub busy_rejected: AtomicU64,
+    /// Executions that lost first-committer-wins validation and were
+    /// surfaced to the client as a typed, retryable `Conflict`.
+    pub conflicts: AtomicU64,
+    /// Transparent conflict re-executions spent inside batch requests
+    /// (`ExecuteMany` retries a conflicted binding on a fresh snapshot
+    /// rather than failing the batch).
+    pub conflict_retries: AtomicU64,
     /// Requests that failed with an error response.
     pub errors: AtomicU64,
     /// Statements prepared (ModT runs paid at prepare time).
@@ -156,10 +172,19 @@ impl TenantMetrics {
     /// Record one engine execution: outcome counters, check verdicts,
     /// latency, and — when the plan's specialization report is provided —
     /// per-rule attribution.
+    ///
+    /// `attribution` is the prepared plan's rule → check-count map
+    /// (`Prepared::check_attribution`), positionally parallel to
+    /// `spec.decisions`; together with `outcome.check_times_ns` it
+    /// charges each rule the measured wall time of its own checks. An
+    /// execution without timing data (ad-hoc, or a transaction that
+    /// aborted before reaching a rule's checks) contributes verdict
+    /// counts but no latency sample for the unreached checks.
     pub fn record_execution(
         &self,
         outcome: &EngineOutcome,
         spec: Option<&SpecializationReport>,
+        attribution: Option<&[(String, usize)]>,
         elapsed_us: u64,
     ) {
         if outcome.committed() {
@@ -179,18 +204,25 @@ impl TenantMetrics {
             .fetch_add(checks.evaluated as u64, Ordering::Relaxed);
         self.latency.record_us(elapsed_us);
         if let Some(report) = spec {
+            let attr = attribution.unwrap_or(&[]);
+            let times = &outcome.check_times_ns;
+            let mut cursor = 0usize;
             let mut rules = self.rules.lock().unwrap();
-            for decision in &report.decisions {
+            for (i, decision) in report.decisions.iter().enumerate() {
+                let n = attr.get(i).map(|(_, n)| *n).unwrap_or(0);
+                let end = (cursor + n).min(times.len());
+                let ns: u64 = times[cursor.min(times.len())..end].iter().sum();
+                cursor += n;
                 let m = rules.entry(decision.rule.clone()).or_default();
                 match decision.outcome {
                     SpecOutcome::Dropped { .. } => m.skipped += 1,
                     SpecOutcome::Probe { .. } => {
                         m.probed += 1;
-                        m.latency_us += elapsed_us;
+                        m.latency_ns += ns;
                     }
                     SpecOutcome::Generic => {
                         m.evaluated += 1;
-                        m.latency_us += elapsed_us;
+                        m.latency_ns += ns;
                     }
                 }
             }
@@ -300,6 +332,18 @@ impl ServerMetrics {
                 k("busy_rejected"),
                 m.busy_rejected.load(Ordering::Relaxed)
             );
+            let _ = writeln!(
+                out,
+                "{} {}",
+                k("tx_conflicts"),
+                m.conflicts.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "{} {}",
+                k("conflict_retries"),
+                m.conflict_retries.load(Ordering::Relaxed)
+            );
             let _ = writeln!(out, "{} {}", k("errors"), m.errors.load(Ordering::Relaxed));
             let _ = writeln!(
                 out,
@@ -369,7 +413,7 @@ impl ServerMetrics {
                 let _ = writeln!(out, "{} {}", rk("skipped"), rm.skipped);
                 let _ = writeln!(out, "{} {}", rk("probed"), rm.probed);
                 let _ = writeln!(out, "{} {}", rk("evaluated"), rm.evaluated);
-                let _ = writeln!(out, "{} {}", rk("latency_us"), rm.latency_us);
+                let _ = writeln!(out, "{} {}", rk("latency_us"), rm.latency_us());
             }
         }
         out

@@ -205,6 +205,11 @@ pub enum ErrorCode {
     /// The engine rejected the request (parse error, bind error,
     /// catalog conflict, …).
     Engine,
+    /// The execution lost first-committer-wins validation to a
+    /// transaction that committed after its snapshot (or to a concurrent
+    /// catalog change). Retryable: re-issue the request and it runs on a
+    /// fresh snapshot.
+    Conflict,
 }
 
 impl std::fmt::Display for ErrorCode {
@@ -215,6 +220,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::NeedHello => "need-hello",
             ErrorCode::UnknownStatement => "unknown-statement",
             ErrorCode::Engine => "engine",
+            ErrorCode::Conflict => "conflict",
         };
         f.write_str(s)
     }
@@ -228,6 +234,7 @@ impl ErrorCode {
             ErrorCode::NeedHello => 3,
             ErrorCode::UnknownStatement => 4,
             ErrorCode::Engine => 5,
+            ErrorCode::Conflict => 6,
         }
     }
 
@@ -238,6 +245,7 @@ impl ErrorCode {
             3 => ErrorCode::NeedHello,
             4 => ErrorCode::UnknownStatement,
             5 => ErrorCode::Engine,
+            6 => ErrorCode::Conflict,
             tag => return Err(CodecError::InvalidTag { offset, tag }),
         })
     }

@@ -6,13 +6,22 @@
 //! one tick without poisoning in-flight frames (partial reads resume
 //! across timeouts; see [`crate::proto::read_frame_interruptible`]).
 //!
-//! A connection binds to one tenant with `Hello` and then serves
-//! requests in order. Work requests pass the tenant's admission
-//! controller first; rejection is a typed [`Response::Busy`] — the
-//! connection stays healthy and the accept loop never stalls behind an
-//! overloaded tenant. Malformed frames earn a typed error response
-//! (when the stream is still framable) and close the connection; they
-//! never panic and never hang.
+//! A connection binds to one tenant with `Hello` and opens its own
+//! [`ConcurrentSession`] over that tenant's engine: executions —
+//! including the integrity checks, the expensive part — run on the
+//! connection's thread against a private snapshot and serialize only at
+//! the commit applier, so N connections to one tenant use N cores. A
+//! prepared execution that loses first-committer-wins validation earns a
+//! typed, retryable [`ErrorCode::Conflict`]; batch (`ExecuteMany`)
+//! bindings retry transparently on a fresh snapshot instead (each
+//! conflict implies some other transaction committed, so the batch as a
+//! whole always makes progress).
+//!
+//! Work requests pass the tenant's admission controller first; rejection
+//! is a typed [`Response::Busy`] — the connection stays healthy and the
+//! accept loop never stalls behind an overloaded tenant. Malformed
+//! frames earn a typed error response (when the stream is still
+//! framable) and close the connection; they never panic and never hang.
 
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -23,13 +32,22 @@ use std::time::{Duration, Instant};
 
 use tm_algebra::parser::parse_program;
 use tm_algebra::Transaction;
-use txmod::{EngineError, Prepared};
+use tm_relational::Value;
+use txmod::{ConcurrentSession, EngineError, StatementId};
 
 use crate::error::ProtocolError;
+use crate::metrics::TenantMetrics;
 use crate::proto::{
     read_frame_interruptible, write_response, ErrorCode, Request, Response, TxReport,
 };
-use crate::tenant::{Tenant, TenantRegistry, TenantState};
+use crate::tenant::{Tenant, TenantRegistry};
+
+/// Transparent retry budget per `ExecuteMany` binding (and per ad-hoc
+/// transaction). Generous because retries are livelock-free — a binding
+/// only conflicts when some other transaction committed, so total
+/// progress is guaranteed; the cap merely bounds the worst-case latency
+/// of one pathologically unlucky binding.
+const BATCH_RETRIES: usize = 1000;
 
 /// Knobs of [`serve`].
 #[derive(Debug, Clone, Copy)]
@@ -132,6 +150,15 @@ pub fn serve(
     })
 }
 
+/// A connection's tenant binding: the tenant plus this connection's own
+/// snapshot session and its lazily adopted statement handles (index
+/// `i` holds the session-local id of the tenant's statement `i`).
+struct Conn {
+    tenant: Arc<Tenant>,
+    session: ConcurrentSession,
+    stmts: Vec<StatementId>,
+}
+
 /// Serve one connection until it closes, errors, or the server stops.
 fn handle_connection(
     mut stream: TcpStream,
@@ -141,7 +168,7 @@ fn handle_connection(
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let mut tenant: Option<Arc<Tenant>> = None;
+    let mut conn: Option<Conn> = None;
     loop {
         let payload = {
             let mut tick = || stop.load(Ordering::SeqCst);
@@ -174,7 +201,11 @@ fn handle_connection(
             },
             Ok(Request::Hello { tenant: name }) => match registry.get(&name) {
                 Some(t) => {
-                    tenant = Some(t);
+                    conn = Some(Conn {
+                        session: t.engine.session(),
+                        tenant: t,
+                        stmts: Vec::new(),
+                    });
                     Response::HelloOk { tenant: name }
                 }
                 None => Response::Error {
@@ -182,17 +213,17 @@ fn handle_connection(
                     message: format!("no tenant {name:?} is registered"),
                 },
             },
-            Ok(req) => match &tenant {
+            Ok(req) => match &mut conn {
                 None => Response::Error {
                     code: ErrorCode::NeedHello,
                     message: "first request must be Hello".to_owned(),
                 },
-                Some(t) => dispatch(t, &registry, req),
+                Some(c) => dispatch(c, &registry, req),
             },
         };
         if let Response::Error { .. } = response {
-            if let Some(t) = &tenant {
-                t.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = &conn {
+                c.tenant.metrics.errors.fetch_add(1, Ordering::Relaxed);
             }
         }
         if write_response(&mut stream, &response).is_err() {
@@ -209,17 +240,18 @@ fn needs_admission(req: &Request) -> bool {
 }
 
 /// Serve one request against its tenant.
-fn dispatch(tenant: &Arc<Tenant>, registry: &Arc<TenantRegistry>, req: Request) -> Response {
+fn dispatch(conn: &mut Conn, registry: &Arc<TenantRegistry>, req: Request) -> Response {
     if needs_admission(&req) {
+        let tenant = conn.tenant.clone();
         let Some(_guard) = tenant.admission.try_admit() else {
             tenant.metrics.busy_rejected.fetch_add(1, Ordering::Relaxed);
             return Response::Busy {
                 limit: tenant.admission.max_inflight() as u64,
             };
         };
-        return dispatch_admitted(tenant, registry, req);
+        return dispatch_admitted(conn, registry, req);
     }
-    dispatch_admitted(tenant, registry, req)
+    dispatch_admitted(conn, registry, req)
 }
 
 fn engine_error(e: EngineError) -> Response {
@@ -240,11 +272,8 @@ fn parse_tx(text: &str) -> Result<Transaction, Response> {
     }
 }
 
-fn dispatch_admitted(
-    tenant: &Arc<Tenant>,
-    registry: &Arc<TenantRegistry>,
-    req: Request,
-) -> Response {
+fn dispatch_admitted(conn: &mut Conn, registry: &Arc<TenantRegistry>, req: Request) -> Response {
+    let tenant = conn.tenant.clone();
     let metrics = &tenant.metrics;
     match req {
         Request::Hello { .. } => Response::Error {
@@ -256,41 +285,43 @@ fn dispatch_admitted(
                 Ok(tx) => tx,
                 Err(resp) => return resp,
             };
-            let mut st = tenant.state.lock().unwrap();
-            match st.engine.prepare(&tx) {
-                Ok(prepared) => {
-                    let param_count = prepared.param_count() as u32;
-                    st.statements.push(prepared);
-                    metrics.prepared.fetch_add(1, Ordering::Relaxed);
-                    Response::Prepared {
-                        stmt_id: (st.statements.len() - 1) as u32,
-                        param_count,
-                    }
-                }
-                Err(e) => engine_error(e),
+            // Prepare under the engine lock (ModT paid once), then
+            // publish into the tenant-wide list; wire statement ids are
+            // tenant-scoped, so every connection can execute it.
+            let prepared = match tenant.engine.lock().prepare(&tx) {
+                Ok(p) => p,
+                Err(e) => return engine_error(e),
+            };
+            let param_count = prepared.param_count() as u32;
+            let mut statements = tenant.statements.write().unwrap();
+            statements.push(prepared);
+            metrics.prepared.fetch_add(1, Ordering::Relaxed);
+            Response::Prepared {
+                stmt_id: (statements.len() - 1) as u32,
+                param_count,
             }
         }
         Request::Execute { stmt_id, params } => {
-            let mut st = tenant.state.lock().unwrap();
-            match run_one(&mut st, metrics, stmt_id, &params) {
+            // No transparent retry on the single-shot path: the client
+            // owns the retry decision (a typed, retryable Conflict).
+            match run_one(conn, stmt_id, &params, 0) {
                 Ok(report) => {
-                    poll_checkpoint(&mut st, metrics);
+                    poll_checkpoint(&tenant, metrics);
                     Response::Tx(report)
                 }
                 Err(resp) => resp,
             }
         }
         Request::ExecuteMany { stmt_id, bindings } => {
-            let mut st = tenant.state.lock().unwrap();
             let (mut committed, mut aborted) = (0u64, 0u64);
             for params in &bindings {
-                match run_one(&mut st, metrics, stmt_id, params) {
+                match run_one(conn, stmt_id, params, BATCH_RETRIES) {
                     Ok(report) if report.committed => committed += 1,
                     Ok(_) => aborted += 1,
                     Err(resp) => return resp,
                 }
             }
-            poll_checkpoint(&mut st, metrics);
+            poll_checkpoint(&tenant, metrics);
             Response::Batch { committed, aborted }
         }
         Request::AdHoc { tx } => {
@@ -298,21 +329,39 @@ fn dispatch_admitted(
                 Ok(tx) => tx,
                 Err(resp) => return resp,
             };
-            let mut st = tenant.state.lock().unwrap();
+            // One-shot statements still run as snapshot transactions —
+            // through a throwaway session, so they validate and commit
+            // exactly like prepared work (no serializability side door).
+            let mut session = tenant.engine.session();
             let t0 = Instant::now();
-            match st.engine.execute(&tx) {
-                Ok(out) => {
+            let result = session
+                .prepare(&tx)
+                .and_then(|id| session.execute_with_retry(id, &[], BATCH_RETRIES));
+            match result {
+                Ok((mut out, retries)) => {
+                    metrics
+                        .conflict_retries
+                        .fetch_add(retries as u64, Ordering::Relaxed);
+                    // A one-shot plan is never reused: report the
+                    // modification as paid here.
+                    out.reused_plan = false;
                     metrics.adhoc.fetch_add(1, Ordering::Relaxed);
-                    metrics.record_execution(&out, None, t0.elapsed().as_micros() as u64);
-                    poll_checkpoint(&mut st, metrics);
+                    metrics.record_execution(&out, None, None, t0.elapsed().as_micros() as u64);
+                    poll_checkpoint(&tenant, metrics);
                     Response::Tx(report_of(&out))
+                }
+                Err(e) if e.is_retryable() => {
+                    metrics.conflicts.fetch_add(1, Ordering::Relaxed);
+                    Response::Error {
+                        code: ErrorCode::Conflict,
+                        message: e.to_string(),
+                    }
                 }
                 Err(e) => engine_error(e),
             }
         }
         Request::DefineRule { name, text } => {
-            let mut st = tenant.state.lock().unwrap();
-            match st.engine.add_rule_text(&text, &name) {
+            match tenant.engine.lock().add_rule_text(&text, &name) {
                 Ok(()) => Response::Ack {
                     detail: format!("rule {name} defined"),
                 },
@@ -320,29 +369,25 @@ fn dispatch_admitted(
             }
         }
         Request::DefineConstraint { name, cl } => {
-            let mut st = tenant.state.lock().unwrap();
-            match st.engine.define_constraint(&name, &cl) {
+            match tenant.engine.lock().define_constraint(&name, &cl) {
                 Ok(()) => Response::Ack {
                     detail: format!("constraint {name} defined"),
                 },
                 Err(e) => engine_error(e),
             }
         }
-        Request::RemoveRule { name } => {
-            let mut st = tenant.state.lock().unwrap();
-            match st.engine.remove_rule(&name) {
-                Ok(true) => Response::Ack {
-                    detail: format!("rule {name} removed"),
-                },
-                Ok(false) => Response::Ack {
-                    detail: format!("rule {name} was not present"),
-                },
-                Err(e) => engine_error(e),
-            }
-        }
+        Request::RemoveRule { name } => match tenant.engine.lock().remove_rule(&name) {
+            Ok(true) => Response::Ack {
+                detail: format!("rule {name} removed"),
+            },
+            Ok(false) => Response::Ack {
+                detail: format!("rule {name} was not present"),
+            },
+            Err(e) => engine_error(e),
+        },
         Request::Snapshot { relation } => {
-            let st = tenant.state.lock().unwrap();
-            match st.engine.relation(&relation) {
+            let engine = tenant.engine.lock();
+            match engine.relation(&relation) {
                 Ok(rel) => {
                     let mut tuples: Vec<_> = rel.iter().cloned().collect();
                     tuples.sort();
@@ -351,12 +396,9 @@ fn dispatch_admitted(
                 Err(e) => engine_error(e),
             }
         }
-        Request::Analyze => {
-            let st = tenant.state.lock().unwrap();
-            Response::Analysis {
-                text: st.engine.validate_full().to_string(),
-            }
-        }
+        Request::Analyze => Response::Analysis {
+            text: tenant.engine.lock().validate_full().to_string(),
+        },
         Request::Stats => {
             registry.poll_checkpoint_errors();
             Response::StatsDump {
@@ -381,47 +423,78 @@ fn report_of(out: &txmod::EngineOutcome) -> TxReport {
     }
 }
 
-/// Execute one binding of a prepared statement, with the session-style
-/// stale-plan refresh and metrics recording.
-fn run_one(
-    st: &mut TenantState,
-    metrics: &crate::metrics::TenantMetrics,
-    stmt_id: u32,
-    params: &[tm_relational::Value],
-) -> Result<TxReport, Response> {
-    let TenantState { engine, statements } = st;
-    let slot: &mut Prepared =
-        statements
-            .get_mut(stmt_id as usize)
-            .ok_or_else(|| Response::Error {
-                code: ErrorCode::UnknownStatement,
-                message: format!("no prepared statement {stmt_id}"),
-            })?;
-    let refreshed = if slot.is_stale(engine) {
-        *slot = engine.prepare(slot.source()).map_err(engine_error)?;
-        metrics.plan_remodified.fetch_add(1, Ordering::Relaxed);
-        true
-    } else {
-        false
-    };
-    let t0 = Instant::now();
-    let bound = slot.bind(params).map_err(engine_error)?;
-    let mut out = engine.execute_bound(&bound).map_err(engine_error)?;
-    if refreshed {
-        out.reused_plan = false;
+/// Make the tenant's statement `stmt_id` executable in this connection's
+/// session, adopting any not-yet-seen statements in order (so the
+/// session-local index always equals the tenant-wide wire id).
+fn ensure_statement(conn: &mut Conn, stmt_id: u32) -> Result<StatementId, Response> {
+    let idx = stmt_id as usize;
+    if idx >= conn.stmts.len() {
+        let canonical = conn.tenant.statements.read().unwrap();
+        for p in canonical.iter().skip(conn.stmts.len()) {
+            let id = conn.session.adopt(p.clone());
+            conn.stmts.push(id);
+        }
     }
-    metrics.record_execution(
-        &out,
-        Some(slot.specialization()),
-        t0.elapsed().as_micros() as u64,
-    );
-    Ok(report_of(&out))
+    conn.stmts.get(idx).copied().ok_or_else(|| Response::Error {
+        code: ErrorCode::UnknownStatement,
+        message: format!("no prepared statement {stmt_id}"),
+    })
 }
 
-/// After a batch or ad-hoc execution, surface any deferred
-/// auto-checkpoint error into the tenant's health metrics.
-fn poll_checkpoint(st: &mut TenantState, metrics: &crate::metrics::TenantMetrics) {
-    if let Some(err) = st.engine.take_checkpoint_error() {
-        metrics.record_checkpoint_error(err.to_string());
+/// Execute one binding of a prepared statement as a snapshot transaction
+/// in this connection's session, with up to `max_retries` transparent
+/// re-executions on serialization conflicts. A conflict surviving the
+/// budget maps to the typed, retryable [`ErrorCode::Conflict`].
+fn run_one(
+    conn: &mut Conn,
+    stmt_id: u32,
+    params: &[Value],
+    max_retries: usize,
+) -> Result<TxReport, Response> {
+    let id = ensure_statement(conn, stmt_id)?;
+    let metrics = conn.tenant.metrics.clone();
+    let t0 = Instant::now();
+    match conn.session.execute_with_retry(id, params, max_retries) {
+        Ok((out, retries)) => {
+            metrics
+                .conflict_retries
+                .fetch_add(retries as u64, Ordering::Relaxed);
+            if !out.reused_plan {
+                // The session found its copy stale (catalog moved) and
+                // re-modified before executing.
+                metrics.plan_remodified.fetch_add(1, Ordering::Relaxed);
+            }
+            let slot = conn
+                .session
+                .prepared(id)
+                .expect("statement adopted just above");
+            metrics.record_execution(
+                &out,
+                Some(slot.specialization()),
+                Some(slot.check_attribution()),
+                t0.elapsed().as_micros() as u64,
+            );
+            Ok(report_of(&out))
+        }
+        Err(e) if e.is_retryable() => {
+            metrics.conflicts.fetch_add(1, Ordering::Relaxed);
+            Err(Response::Error {
+                code: ErrorCode::Conflict,
+                message: e.to_string(),
+            })
+        }
+        Err(e) => Err(engine_error(e)),
+    }
+}
+
+/// After an execution, surface any deferred auto-checkpoint error into
+/// the tenant's health metrics. Opportunistic: a busy engine (another
+/// connection mid-snapshot or mid-drain) is skipped and polled on the
+/// next execution or `Stats` pass rather than waited for.
+fn poll_checkpoint(tenant: &Tenant, metrics: &TenantMetrics) {
+    if let Some(mut engine) = tenant.engine.try_lock() {
+        if let Some(err) = engine.take_checkpoint_error() {
+            metrics.record_checkpoint_error(err.to_string());
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Multi-tenancy: the tenant registry and per-tenant admission control.
 //!
-//! A tenant is an independent [`Engine`] — its own catalog, enforcement
+//! A tenant is an independent engine — its own catalog, enforcement
 //! mode, durability level, and (when durable) WAL directory — plus the
 //! prepared statements its connections have accumulated and an
 //! [`Admission`] controller bounding its in-flight work. Tenants share
@@ -9,21 +9,21 @@
 //! the process-wide COW/WAL counters aggregate across tenants, which is
 //! why the dump labels them `process.*`).
 //!
-//! The engine API is `&mut` (transaction modification rewrites and runs
-//! one transaction at a time per catalog), so a tenant serializes its
-//! writers behind a mutex; concurrency across tenants is unrestricted.
-//! Statements live *beside* the engine rather than in a
-//! [`txmod::Session`] because a session borrows the engine for its whole
-//! lifetime — a server that parks tenant state between requests needs
-//! the two halves split. The execute path replicates the session's
-//! stale-plan refresh (see [`crate::server`]).
+//! The engine is wrapped in a [`ConcurrentEngine`]: every connection
+//! gets its own snapshot session, so N connections to one tenant run
+//! their executions — including the integrity checks, the expensive part
+//! — on N cores, serializing only at the flat-combining commit applier
+//! (see `txmod::concurrent`). The canonical prepared-statement list
+//! lives here, tenant-wide, because statement ids on the wire are
+//! tenant-scoped; each connection's session lazily adopts copies (see
+//! [`crate::server`]).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use txmod::{Engine, Prepared};
+use txmod::{ConcurrentEngine, Engine, Prepared};
 
 use crate::metrics::{ServerMetrics, TenantMetrics};
 
@@ -150,21 +150,17 @@ impl Drop for AdmitGuard<'_> {
     }
 }
 
-/// A tenant's mutable half: the engine and the statements prepared
-/// against it (statement ids on the wire index this vector).
-#[derive(Debug)]
-pub struct TenantState {
-    /// The tenant's engine.
-    pub engine: Engine,
-    /// Prepared statements, indexed by wire statement id.
-    pub statements: Vec<Prepared>,
-}
-
 /// One registered tenant.
 #[derive(Debug)]
 pub struct Tenant {
-    /// Engine + prepared statements, serialized behind a mutex.
-    pub state: Mutex<TenantState>,
+    /// The tenant's engine, wrapped for concurrent snapshot execution.
+    /// Administration (DDL, snapshots, analysis) goes through
+    /// [`ConcurrentEngine::lock`]; the execute path goes through
+    /// per-connection sessions and never serializes on it.
+    pub engine: ConcurrentEngine,
+    /// The canonical prepared statements; wire statement ids index this
+    /// vector. Connections adopt copies into their own sessions.
+    pub statements: RwLock<Vec<Prepared>>,
     /// The admission controller.
     pub admission: Admission,
     /// This tenant's metrics slice.
@@ -195,14 +191,16 @@ impl TenantRegistry {
 
     /// Register a tenant. The engine arrives fully configured — schema,
     /// catalog, enforcement mode, and (via [`Engine::make_durable`])
-    /// durability level and WAL directory are the caller's choices.
-    /// Replaces any previous tenant of the same name.
-    pub fn add(&self, name: &str, engine: Engine, spec: TenantSpec) -> Arc<Tenant> {
+    /// durability level and WAL directory are the caller's choices; the
+    /// registry turns on per-check timing (so `rule.<r>.latency_us` in
+    /// the metrics dump reports measured check time) and wraps it for
+    /// concurrent sessions. Replaces any previous tenant of the same
+    /// name.
+    pub fn add(&self, name: &str, mut engine: Engine, spec: TenantSpec) -> Arc<Tenant> {
+        engine.set_check_timing(true);
         let tenant = Arc::new(Tenant {
-            state: Mutex::new(TenantState {
-                engine,
-                statements: Vec::new(),
-            }),
+            engine: ConcurrentEngine::new(engine),
+            statements: RwLock::new(Vec::new()),
             admission: Admission::new(&spec),
             metrics: self.metrics.tenant(name),
         });
@@ -230,13 +228,13 @@ impl TenantRegistry {
 
     /// Poll every tenant's engine for a deferred auto-checkpoint error
     /// and record it in that tenant's metrics (tenant health). Called on
-    /// each `Stats` request; tenants busy under their mutex are polled
-    /// on the next pass rather than waited for.
+    /// each `Stats` request; tenants busy under their engine mutex are
+    /// polled on the next pass rather than waited for.
     pub fn poll_checkpoint_errors(&self) {
         let tenants: Vec<Arc<Tenant>> = self.tenants.read().unwrap().values().cloned().collect();
         for t in tenants {
-            if let Ok(mut st) = t.state.try_lock() {
-                if let Some(err) = st.engine.take_checkpoint_error() {
+            if let Some(mut engine) = t.engine.try_lock() {
+                if let Some(err) = engine.take_checkpoint_error() {
                     t.metrics.record_checkpoint_error(err.to_string());
                 }
             }

@@ -1,0 +1,697 @@
+//! The concurrency suite: serializability of the MVCC engine.
+//!
+//! [`txmod::ConcurrentEngine`] runs prepared executions on per-session
+//! copy-on-write snapshots and serializes commits through a
+//! flat-combining applier with first-committer-wins validation on the
+//! `R@ins`/`R@del` differentials. These tests pin the contract:
+//!
+//! * **deterministic conflicts** — two executions racing from the same
+//!   snapshot epoch (forced via `execute_deferred`) resolve
+//!   first-committer-wins: overlapping inserts/deletes lose on the write
+//!   half of the footprint, write skew through a referential constraint
+//!   loses on the read half, in *either* commit order;
+//! * **no effect on loss** — a conflicted execution leaves the
+//!   authoritative state bit-identical (`state_eq`), and so does a
+//!   constraint abort;
+//! * **aborts revalidate** — an abort verdict invalidated by a concurrent
+//!   commit is itself a conflict (retry then commits);
+//! * **serializability** — random multi-threaded histories of prepared
+//!   executions, in all four enforcement modes, land `state_eq` to the
+//!   serial execution of the committed transactions in commit-epoch
+//!   order;
+//! * **epoch hygiene** — the conflict log retains a bounded roll-forward
+//!   window and is pruned past it once no active snapshot can consult it;
+//! * **O(Δ) snapshot maintenance** — session copies roll forward by
+//!   replaying committed differentials (steady-state commits force no
+//!   relation copies), track other sessions' commits, and rebuild when
+//!   administration mutates state out-of-band.
+
+use std::thread;
+
+use tm_algebra::builder::TransactionBuilder;
+use tm_relational::{unshare_count, DatabaseSchema, RelationSchema, Tuple, Value, ValueType};
+use txmod::{ConcurrentEngine, EnforcementMode, Engine, EngineConfig, EngineError, StatementId};
+
+const MODES: [EnforcementMode; 4] = [
+    EnforcementMode::Off,
+    EnforcementMode::Dynamic,
+    EnforcementMode::Static,
+    EnforcementMode::Differential,
+];
+
+/// Beer-schema engine with a referential constraint (beer.brewery must
+/// exist in brewery) and one brewery loaded.
+fn ref_engine(mode: EnforcementMode) -> Engine {
+    let mut e = Engine::with_config(
+        tm_relational::schema::beer_schema(),
+        EngineConfig {
+            mode,
+            ..EngineConfig::default()
+        },
+    );
+    e.define_constraint(
+        "ref",
+        "forall x (x in beer implies exists y (y in brewery and x.brewery = y.name))",
+    )
+    .unwrap();
+    e.load(
+        "brewery",
+        vec![
+            Tuple::of(("guinness", "dublin", "ie")),
+            Tuple::of(("heineken", "amsterdam", "nl")),
+        ],
+    )
+    .unwrap();
+    e
+}
+
+fn beer_row(name: &str, brewery: &str) -> Tuple {
+    Tuple::of((name, "ale", brewery, 5.0_f64))
+}
+
+/// The same row as a grounded singleton source — the statement shape the
+/// prepare-time specializer emits, which the fast-path recognizer (and
+/// therefore the tuple-level half of the conflict footprint) picks up.
+fn beer_exprs(name: &str, brewery: &str) -> Vec<tm_algebra::ScalarExpr> {
+    use tm_algebra::ScalarExpr;
+    vec![
+        ScalarExpr::str(name),
+        ScalarExpr::str("ale"),
+        ScalarExpr::str(brewery),
+        ScalarExpr::double(5.0),
+    ]
+}
+
+#[test]
+fn overlapping_inserts_first_committer_wins() {
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s1 = ce.session();
+    let mut s2 = ce.session();
+    let tx = TransactionBuilder::new()
+        .insert_row("beer", beer_exprs("stout", "guinness"))
+        .build();
+    let id1 = s1.prepare(&tx).unwrap();
+    let id2 = s2.prepare(&tx).unwrap();
+
+    // Both executions run on the same snapshot epoch before either commits.
+    let p1 = s1.execute_deferred(id1, &[]).unwrap();
+    let p2 = s2.execute_deferred(id2, &[]).unwrap();
+    assert!(p1.outcome().is_committed());
+    assert!(p2.outcome().is_committed());
+
+    let (out1, epoch1) = p1.commit().unwrap();
+    assert!(out1.committed());
+    let err = p2.commit().unwrap_err();
+    assert!(err.is_retryable());
+    match err {
+        EngineError::Conflict {
+            relation,
+            committed_epoch,
+            read,
+        } => {
+            assert_eq!(relation, "beer");
+            assert_eq!(committed_epoch, epoch1);
+            assert!(!read, "tuple overlap is a write/write conflict");
+        }
+        other => panic!("expected Conflict, got {other:?}"),
+    }
+    // Exactly one copy of the row made it in.
+    let db = ce.snapshot();
+    assert_eq!(db.relation("beer").unwrap().len(), 1);
+}
+
+#[test]
+fn overlapping_deletes_first_committer_wins() {
+    let mut engine = ref_engine(EnforcementMode::Static);
+    engine
+        .load("beer", vec![beer_row("stout", "guinness")])
+        .unwrap();
+    let ce = ConcurrentEngine::new(engine);
+    let mut s1 = ce.session();
+    let mut s2 = ce.session();
+    let tx = TransactionBuilder::new()
+        .delete_row("beer", beer_exprs("stout", "guinness"))
+        .build();
+    let id1 = s1.prepare(&tx).unwrap();
+    let id2 = s2.prepare(&tx).unwrap();
+
+    let p1 = s1.execute_deferred(id1, &[]).unwrap();
+    let p2 = s2.execute_deferred(id2, &[]).unwrap();
+    assert!(p1.commit().unwrap().0.committed());
+    let err = p2.commit().unwrap_err();
+    assert!(matches!(err, EngineError::Conflict { read: false, .. }));
+    assert_eq!(ce.snapshot().relation("beer").unwrap().len(), 0);
+}
+
+/// Disjoint single-row traffic — the workload the engine exists for —
+/// must not conflict.
+#[test]
+fn disjoint_inserts_commute() {
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s1 = ce.session();
+    let mut s2 = ce.session();
+    let template = TransactionBuilder::new().insert_params("beer", 4).build();
+    let id1 = s1.prepare(&template).unwrap();
+    let id2 = s2.prepare(&template).unwrap();
+
+    let bind = |name: &str| {
+        vec![
+            Value::str(name),
+            Value::str("ale"),
+            Value::str("guinness"),
+            Value::double(5.0),
+        ]
+    };
+    let p1 = s1.execute_deferred(id1, &bind("a")).unwrap();
+    let p2 = s2.execute_deferred(id2, &bind("b")).unwrap();
+    assert!(p1.commit().unwrap().0.committed());
+    assert!(p2.commit().unwrap().0.committed());
+    assert_eq!(ce.snapshot().relation("beer").unwrap().len(), 2);
+}
+
+/// Write skew through the referential constraint: one transaction deletes
+/// a brewery (its check reads `beer` for orphans), the other inserts a
+/// beer referencing it (its check reads `brewery`). Each is consistent
+/// against their shared snapshot; together they orphan the beer. The
+/// loser must conflict on the *read* half of its footprint — in either
+/// commit order.
+#[test]
+fn write_skew_on_referential_constraint_conflicts_either_order() {
+    for delete_first in [true, false] {
+        let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+        let mut s1 = ce.session();
+        let mut s2 = ce.session();
+        let del = TransactionBuilder::new()
+            .delete_tuple("brewery", Tuple::of(("heineken", "amsterdam", "nl")))
+            .build();
+        let ins = TransactionBuilder::new()
+            .insert_tuple("beer", beer_row("pils", "heineken"))
+            .build();
+        let id_del = s1.prepare(&del).unwrap();
+        let id_ins = s2.prepare(&ins).unwrap();
+
+        let p_del = s1.execute_deferred(id_del, &[]).unwrap();
+        let p_ins = s2.execute_deferred(id_ins, &[]).unwrap();
+        // Both verdicts are clean on the shared snapshot.
+        assert!(p_del.outcome().is_committed());
+        assert!(p_ins.outcome().is_committed());
+
+        let err = if delete_first {
+            assert!(p_del.commit().unwrap().0.committed());
+            p_ins.commit().unwrap_err()
+        } else {
+            assert!(p_ins.commit().unwrap().0.committed());
+            p_del.commit().unwrap_err()
+        };
+        assert!(
+            matches!(err, EngineError::Conflict { read: true, .. }),
+            "write skew must surface as a read-footprint conflict, got {err:?}"
+        );
+        // The surviving state satisfies the constraint.
+        drop(s1);
+        drop(s2);
+        let winner = ConcurrentEngine::try_into_engine(ce).unwrap();
+        assert_eq!(winner.check_state().unwrap(), Vec::<String>::new());
+    }
+}
+
+/// A conflicted execution has no effect: the authoritative state is
+/// bit-identical before and after the losing commit attempt.
+#[test]
+fn conflict_leaves_state_untouched() {
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s1 = ce.session();
+    let mut s2 = ce.session();
+    let tx = TransactionBuilder::new()
+        .insert_tuple("beer", beer_row("stout", "guinness"))
+        .build();
+    let id1 = s1.prepare(&tx).unwrap();
+    let id2 = s2.prepare(&tx).unwrap();
+
+    let p1 = s1.execute_deferred(id1, &[]).unwrap();
+    let p2 = s2.execute_deferred(id2, &[]).unwrap();
+    p1.commit().unwrap();
+    let before = ce.snapshot();
+    assert!(p2.commit().is_err());
+    assert!(ce.snapshot().state_eq(&before));
+}
+
+/// A constraint abort on a snapshot has no effect either.
+#[test]
+fn constraint_abort_leaves_snapshot_untouched() {
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s = ce.session();
+    let tx = TransactionBuilder::new()
+        .insert_tuple("beer", beer_row("orphan", "nonexistent"))
+        .build();
+    let id = s.prepare(&tx).unwrap();
+    let before = ce.snapshot();
+    let out = s.execute_prepared(id, &[]).unwrap();
+    assert!(!out.committed());
+    assert!(ce.snapshot().state_eq(&before));
+}
+
+/// An abort verdict is a function of what the checks read, so it is
+/// revalidated at the applier: when a concurrent commit invalidates the
+/// reads, the abort is a conflict, and the retry commits.
+#[test]
+fn invalidated_abort_is_a_conflict_and_retry_commits() {
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s1 = ce.session();
+    let mut s2 = ce.session();
+    // s1 inserts a beer whose brewery does not exist yet — aborts on its
+    // snapshot.
+    let ins = TransactionBuilder::new()
+        .insert_tuple("beer", beer_row("trappist", "westvleteren"))
+        .build();
+    let id1 = s1.prepare(&ins).unwrap();
+    let p1 = s1.execute_deferred(id1, &[]).unwrap();
+    assert!(!p1.outcome().is_committed());
+
+    // Meanwhile s2 creates the brewery.
+    let mkbrew = TransactionBuilder::new()
+        .insert_tuple("brewery", Tuple::of(("westvleteren", "vleteren", "be")))
+        .build();
+    let id2 = s2.prepare(&mkbrew).unwrap();
+    assert!(s2.execute_prepared(id2, &[]).unwrap().committed());
+
+    // The stale abort verdict does not stand.
+    let err = p1.commit().unwrap_err();
+    assert!(matches!(err, EngineError::Conflict { read: true, .. }));
+    // A fresh snapshot sees the brewery and commits.
+    let (out, retries) = s1.execute_with_retry(id1, &[], 5).unwrap();
+    assert!(out.committed());
+    assert_eq!(retries, 0);
+}
+
+/// Dropping a deferred execution discards it: nothing publishes, and its
+/// snapshot epoch is released so the conflict log drains.
+#[test]
+fn dropped_pending_commit_has_no_effect() {
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s = ce.session();
+    let tx = TransactionBuilder::new()
+        .insert_tuple("beer", beer_row("stout", "guinness"))
+        .build();
+    let id = s.prepare(&tx).unwrap();
+    let before = ce.snapshot();
+    let pending = s.execute_deferred(id, &[]).unwrap();
+    assert!(pending.outcome().is_committed());
+    drop(pending);
+    assert!(ce.snapshot().state_eq(&before));
+    assert_eq!(ce.retained_deltas(), 0);
+}
+
+/// The epoch log is bounded: with no snapshots in flight it retains
+/// exactly the roll-forward window (the newest
+/// `ROLLFORWARD_RETENTION` differentials, kept so session copies can
+/// catch up at O(Δ)) and prunes everything older.
+#[test]
+fn conflict_log_retains_a_bounded_rollforward_window() {
+    const COMMITS: usize = ConcurrentEngine::ROLLFORWARD_RETENTION + 64;
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s = ce.session();
+    let template = TransactionBuilder::new().insert_params("beer", 4).build();
+    let id = s.prepare(&template).unwrap();
+    for i in 0..COMMITS {
+        let out = s
+            .execute_prepared(
+                id,
+                &[
+                    Value::str(format!("beer-{i}")),
+                    Value::str("ale"),
+                    Value::str("guinness"),
+                    Value::double(5.0),
+                ],
+            )
+            .unwrap();
+        assert!(out.committed());
+    }
+    assert_eq!(
+        ce.retained_deltas(),
+        ConcurrentEngine::ROLLFORWARD_RETENTION
+    );
+    assert_eq!(ce.snapshot().relation("beer").unwrap().len(), COMMITS);
+}
+
+/// Steady-state commits never copy a relation: session copies are rolled
+/// forward differentially and the authoritative state is mutated in
+/// place, so the process-wide COW-unshare count stays flat while
+/// thousands of transactions commit. (Per-transaction re-cloning would
+/// pay at least one full tuple-set copy per commit.)
+#[test]
+fn steady_state_commits_do_not_copy_relations() {
+    const COMMITS: usize = 2_000;
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s1 = ce.session();
+    let mut s2 = ce.session();
+    let template = TransactionBuilder::new().insert_params("beer", 4).build();
+    let id1 = s1.prepare(&template).unwrap();
+    let id2 = s2.prepare(&template).unwrap();
+    let bind = |i: usize| {
+        vec![
+            Value::str(format!("beer-{i}")),
+            Value::str("ale"),
+            Value::str("guinness"),
+            Value::double(5.0),
+        ]
+    };
+    let before = unshare_count();
+    for i in 0..COMMITS {
+        let (session, id) = if i % 2 == 0 {
+            (&mut s1, id1)
+        } else {
+            (&mut s2, id2)
+        };
+        assert!(session.execute_prepared(id, &bind(i)).unwrap().committed());
+    }
+    let copies = unshare_count() - before;
+    assert!(
+        copies < 500,
+        "{COMMITS} alternating commits across two sessions forced {copies} \
+         relation copies — snapshot maintenance is not O(Δ)"
+    );
+    assert_eq!(ce.snapshot().relation("beer").unwrap().len(), COMMITS);
+}
+
+/// A session's private copy tracks other sessions' commits through the
+/// epoch log: a brewery committed by one session is visible to another
+/// session's referential check on its very next execution.
+#[test]
+fn session_copies_track_concurrent_commits() {
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s1 = ce.session();
+    let mut s2 = ce.session();
+    // Warm s2's private copy with a committed insert.
+    let warm = TransactionBuilder::new()
+        .insert_row("beer", beer_exprs("stout", "guinness"))
+        .build();
+    let warm_id = s2.prepare(&warm).unwrap();
+    assert!(s2.execute_prepared(warm_id, &[]).unwrap().committed());
+
+    // s1 creates a brewery s2's copy has never seen.
+    let mkbrew = TransactionBuilder::new()
+        .insert_tuple("brewery", Tuple::of(("westvleteren", "vleteren", "be")))
+        .build();
+    let id1 = s1.prepare(&mkbrew).unwrap();
+    assert!(s1.execute_prepared(id1, &[]).unwrap().committed());
+
+    // s2 references it: the check passes only if the roll-forward
+    // delivered s1's commit into s2's copy.
+    let ins = TransactionBuilder::new()
+        .insert_tuple("beer", beer_row("trappist", "westvleteren"))
+        .build();
+    let id2 = s2.prepare(&ins).unwrap();
+    assert!(s2.execute_prepared(id2, &[]).unwrap().committed());
+    assert_eq!(ce.snapshot().relation("beer").unwrap().len(), 2);
+}
+
+/// Administration through `lock()` that mutates data bypasses the epoch
+/// log entirely; sessions notice via the database's logical clock and
+/// rebuild their copies instead of executing against stale state.
+#[test]
+fn out_of_band_load_invalidates_session_copies() {
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s = ce.session();
+    // Warm the session's private copy.
+    let warm = TransactionBuilder::new()
+        .insert_row("beer", beer_exprs("stout", "guinness"))
+        .build();
+    let warm_id = s.prepare(&warm).unwrap();
+    assert!(s.execute_prepared(warm_id, &[]).unwrap().committed());
+
+    // An administrator loads a brewery directly into the engine.
+    ce.lock()
+        .load(
+            "brewery",
+            vec![Tuple::of(("westvleteren", "vleteren", "be"))],
+        )
+        .unwrap();
+
+    // The session's next execution must see it — a stale copy would
+    // abort the referential check.
+    let ins = TransactionBuilder::new()
+        .insert_tuple("beer", beer_row("trappist", "westvleteren"))
+        .build();
+    let id = s.prepare(&ins).unwrap();
+    assert!(s.execute_prepared(id, &[]).unwrap().committed());
+    assert_eq!(ce.snapshot().relation("beer").unwrap().len(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Serializability property: random concurrent histories equal a serial one.
+// ---------------------------------------------------------------------------
+
+/// Minimal deterministic RNG (splitmix64) — the suite must not depend on
+/// ambient entropy.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn item_engine(mode: EnforcementMode) -> Engine {
+    let schema = DatabaseSchema::from_relations(vec![RelationSchema::of(
+        "item",
+        &[("k", ValueType::Int), ("v", ValueType::Int)],
+    )])
+    .unwrap();
+    let mut e = Engine::with_config(
+        schema,
+        EngineConfig {
+            mode,
+            ..EngineConfig::default()
+        },
+    );
+    e.define_constraint("nonneg", "forall x (x in item implies x.v >= 0)")
+        .unwrap();
+    e
+}
+
+/// One logged committed transaction: its commit epoch, which template ran
+/// (0 = insert, 1 = delete), and the bound parameters.
+type Logged = (u64, usize, i64, i64);
+
+#[test]
+fn concurrent_histories_are_serializable_in_all_modes() {
+    for mode in MODES {
+        let ce = ConcurrentEngine::new(item_engine(mode));
+        const THREADS: usize = 4;
+        const OPS: usize = 60;
+
+        let logs: Vec<Vec<Logged>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let mut session = ce.session();
+                    scope.spawn(move || {
+                        let insert = TransactionBuilder::new().insert_params("item", 2).build();
+                        let delete = TransactionBuilder::new().delete_params("item", 2).build();
+                        let ids = [
+                            session.prepare(&insert).unwrap(),
+                            session.prepare(&delete).unwrap(),
+                        ];
+                        let mut rng = Rng(0xfeed + t as u64);
+                        let mut log = Vec::new();
+                        for _ in 0..OPS {
+                            let which = rng.below(2) as usize;
+                            // Small key domain forces real contention; the
+                            // occasional negative value exercises the
+                            // constraint-abort path (except in Off mode).
+                            let k = rng.below(6) as i64;
+                            let v = rng.below(7) as i64 - 1;
+                            let params = [Value::Int(k), Value::Int(v)];
+                            match session.execute_with_retry(ids[which], &params, 50) {
+                                Ok((out, _retries)) => {
+                                    if out.committed() {
+                                        let epoch = session.last_commit_epoch().unwrap();
+                                        log.push((epoch, which, k, v));
+                                    }
+                                }
+                                Err(e) => panic!("retry budget exhausted: {e}"),
+                            }
+                        }
+                        log
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Replay the committed transactions serially, in commit-epoch
+        // order, on a twin engine. Every one of them must commit again,
+        // and the final states must agree — the concurrent history is
+        // equivalent to this serial order.
+        let mut merged: Vec<Logged> = logs.into_iter().flatten().collect();
+        merged.sort_by_key(|&(epoch, ..)| epoch);
+        let mut twin = item_engine(mode);
+        let mut ts = twin.session();
+        let insert = TransactionBuilder::new().insert_params("item", 2).build();
+        let delete = TransactionBuilder::new().delete_params("item", 2).build();
+        let tids = [ts.prepare(&insert).unwrap(), ts.prepare(&delete).unwrap()];
+        for (epoch, which, k, v) in &merged {
+            let out = ts
+                .execute_prepared(tids[*which], &[Value::Int(*k), Value::Int(*v)])
+                .unwrap();
+            assert!(
+                out.committed(),
+                "[{mode:?}] tx at epoch {epoch} committed concurrently \
+                 but aborts in the serial replay"
+            );
+        }
+        let concurrent_final = ce.snapshot();
+        assert!(
+            twin.database().state_eq(&concurrent_final),
+            "[{mode:?}] concurrent final state diverges from the serial replay"
+        );
+        // And the surviving state satisfies the constraints.
+        if mode != EnforcementMode::Off {
+            let violations = ConcurrentEngine::try_into_engine(ce)
+                .unwrap()
+                .check_state()
+                .unwrap();
+            assert_eq!(violations, Vec::<String>::new(), "[{mode:?}]");
+        }
+    }
+}
+
+/// Sanity check that `StatementId` handles from one session do not
+/// resolve in another (sessions own their statements).
+#[test]
+fn statement_ids_are_session_local() {
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s1 = ce.session();
+    let mut s2 = ce.session();
+    let tx = TransactionBuilder::new()
+        .insert_tuple("beer", beer_row("stout", "guinness"))
+        .build();
+    let id: StatementId = s1.prepare(&tx).unwrap();
+    let err = s2.execute_prepared(id, &[]).unwrap_err();
+    assert!(matches!(err, EngineError::UnknownStatement(_)));
+}
+
+/// Catalog DDL fences in-flight snapshots: an execution whose checks ran
+/// under the old rule set cannot publish into the new one — it fails
+/// with a retryable conflict and the retry re-prepares and re-checks
+/// under the new catalog.
+#[test]
+fn ddl_between_snapshot_and_commit_is_a_conflict() {
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s = ce.session();
+    let tx = TransactionBuilder::new()
+        .insert_row("beer", beer_exprs("stout", "guinness"))
+        .build();
+    let id = s.prepare(&tx).unwrap();
+
+    let pending = s.execute_deferred(id, &[]).unwrap();
+    assert!(pending.outcome().is_committed());
+
+    // A constraint lands while the execution is in flight.
+    ce.lock()
+        .define_constraint("abv_cap", "forall x (x in beer implies x.alcohol <= 20)")
+        .unwrap();
+
+    let err = pending.commit().unwrap_err();
+    assert!(err.is_retryable());
+    match err {
+        EngineError::Conflict { relation, read, .. } => {
+            assert_eq!(relation, "<catalog>");
+            assert!(read, "a catalog fence is a read-side invalidation");
+        }
+        other => panic!("expected Conflict, got {other:?}"),
+    }
+    // Nothing was published.
+    assert_eq!(ce.snapshot().relation("beer").unwrap().len(), 0);
+
+    // The retry goes through the ordinary staleness path: re-prepare
+    // against the new catalog, re-execute, commit.
+    let (out, retries) = s.execute_with_retry(id, &[], 3).unwrap();
+    assert!(out.committed());
+    assert_eq!(retries, 0, "the deferred loss consumed no retry budget");
+    assert_eq!(ce.snapshot().relation("beer").unwrap().len(), 1);
+}
+
+/// Out-of-band administration fences in-flight commits: a data write
+/// through `lock()` bypasses the epoch log, so an execution snapshotted
+/// before it cannot prove its verdict still stands — the commit fails
+/// with a retryable conflict and the retry re-executes on a fresh clone
+/// that sees the administrative write.
+#[test]
+fn out_of_band_write_between_snapshot_and_commit_is_a_conflict() {
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let mut s = ce.session();
+    let tx = TransactionBuilder::new()
+        .insert_row("beer", beer_exprs("stout", "guinness"))
+        .build();
+    let id = s.prepare(&tx).unwrap();
+
+    let pending = s.execute_deferred(id, &[]).unwrap();
+    assert!(pending.outcome().is_committed());
+
+    // An administrator loads data while the execution is in flight. The
+    // guard's release invalidates every cached copy and fences the
+    // pending commit.
+    ce.lock()
+        .load("brewery", vec![Tuple::of(("rochefort", "rochefort", "be"))])
+        .unwrap();
+
+    let err = pending.commit().unwrap_err();
+    assert!(err.is_retryable());
+    match err {
+        EngineError::Conflict { relation, read, .. } => {
+            assert_eq!(relation, "<out-of-band>");
+            assert!(read, "an out-of-band fence is a read-side invalidation");
+        }
+        other => panic!("expected Conflict, got {other:?}"),
+    }
+    // Nothing was published; the administrative write is there.
+    let snap = ce.snapshot();
+    assert_eq!(snap.relation("beer").unwrap().len(), 0);
+    assert_eq!(snap.relation("brewery").unwrap().len(), 3);
+
+    // The retry re-clones and commits against the post-write state.
+    let (out, retries) = s.execute_with_retry(id, &[], 3).unwrap();
+    assert!(out.committed());
+    assert_eq!(retries, 0, "the deferred loss consumed no retry budget");
+    assert_eq!(ce.snapshot().relation("beer").unwrap().len(), 1);
+}
+
+/// Statements prepared once can be adopted into many sessions (the
+/// server's share path): ids stay session-local, executions stay
+/// concurrent, and an adopted plan re-modifies lazily when the catalog
+/// moves under it.
+#[test]
+fn adopted_statements_execute_and_refresh() {
+    let ce = ConcurrentEngine::new(ref_engine(EnforcementMode::Static));
+    let tx = TransactionBuilder::new()
+        .insert_row("beer", beer_exprs("stout", "guinness"))
+        .build();
+    let canonical = ce.lock().prepare(&tx).unwrap();
+
+    let mut s1 = ce.session();
+    let mut s2 = ce.session();
+    let id1 = s1.adopt(canonical.clone());
+    let id2 = s2.adopt(canonical);
+
+    let out = s1.execute_prepared(id1, &[]).unwrap();
+    assert!(out.committed() && out.reused_plan);
+
+    // DDL moves the catalog; the other session's adopted copy is stale
+    // and refreshes on its next execution (set semantics make the
+    // duplicate insert a no-op commit).
+    ce.lock()
+        .define_constraint("abv_cap", "forall x (x in beer implies x.alcohol <= 20)")
+        .unwrap();
+    let out = s2.execute_prepared(id2, &[]).unwrap();
+    assert!(out.committed() && !out.reused_plan);
+    assert_eq!(ce.snapshot().relation("beer").unwrap().len(), 1);
+}

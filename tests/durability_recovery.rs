@@ -458,3 +458,72 @@ fn clones_are_memory_only_twins() {
     assert!(twin.database().state_eq(e.database()));
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Regression: the concurrent engine's commit-epoch counter must resume
+/// **past** every replayed LSN after recovery. If it restarted at zero, a
+/// post-recovery session's snapshot epoch could collide with an epoch the
+/// previous incarnation already used, and first-committer-wins validation
+/// (which compares epochs numerically) would silently skip differentials.
+#[test]
+fn recovered_engine_resumes_epochs_past_replayed_lsns() {
+    let dir = tmpdir("concurrent-epochs");
+    let mut e = constrained(EnforcementMode::Static, Durability::Fsync);
+    e.make_durable(&dir).unwrap();
+    e.load("brewery", vec![Tuple::of(("guinness", "dublin", "ie"))])
+        .unwrap();
+
+    // Drive a few commits through the concurrent engine pre-"crash".
+    let ce = txmod::ConcurrentEngine::new(e);
+    let mut s = ce.session();
+    let template = tm_algebra::builder::TransactionBuilder::new()
+        .insert_params("beer", 4)
+        .build();
+    let id = s.prepare(&template).unwrap();
+    for i in 0..5 {
+        let out = s
+            .execute_prepared(
+                id,
+                &[
+                    Value::str(format!("b{i}")),
+                    Value::str("ale"),
+                    Value::str("guinness"),
+                    Value::double(5.0),
+                ],
+            )
+            .unwrap();
+        assert!(out.committed());
+    }
+    let pre_crash_epoch = ce.committed_epoch();
+    assert!(pre_crash_epoch >= 5, "five commits must advance the epoch");
+    drop(s);
+    drop(ce); // crash: the engine is gone, the directory survives
+
+    let recovered = Engine::recover(&dir).unwrap();
+    let ce = txmod::ConcurrentEngine::new(recovered.engine);
+    assert!(
+        ce.committed_epoch() >= pre_crash_epoch,
+        "recovered epoch counter ({}) regressed below the pre-crash epoch ({pre_crash_epoch})",
+        ce.committed_epoch()
+    );
+    // New commits land at strictly fresh epochs.
+    let mut s = ce.session();
+    let id = s.prepare(&template).unwrap();
+    let out = s
+        .execute_prepared(
+            id,
+            &[
+                Value::str("post-crash"),
+                Value::str("ale"),
+                Value::str("guinness"),
+                Value::double(5.0),
+            ],
+        )
+        .unwrap();
+    assert!(out.committed());
+    assert!(
+        s.last_commit_epoch().unwrap() > pre_crash_epoch,
+        "post-recovery commit reused a pre-crash epoch"
+    );
+    assert_eq!(ce.snapshot().relation("beer").unwrap().len(), 6);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

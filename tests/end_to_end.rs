@@ -136,8 +136,9 @@ fn multi_transaction_session() {
     assert_eq!(commits, 30);
     assert_eq!(aborts, 20);
     assert_eq!(engine.relation("beer").unwrap().len(), 30);
-    // Logical time advanced once per transaction, commit or abort.
-    assert_eq!(engine.database().logical_time(), 50);
+    // Logical time advanced once per state transition: the initial bulk
+    // load plus one per transaction, commit or abort.
+    assert_eq!(engine.database().logical_time(), 51);
 }
 
 /// Rule set evolution: removing a rule changes enforcement; triggering

@@ -133,21 +133,11 @@ fn interleaved_tenants_match_solo_runs() {
     let ta = registry.get("alpha").unwrap();
     let tb = registry.get("beta").unwrap();
     assert!(
-        ta.state
-            .lock()
-            .unwrap()
-            .engine
-            .database()
-            .state_eq(solo_alpha.database()),
+        ta.engine.lock().database().state_eq(solo_alpha.database()),
         "alpha's served state must equal its solo run"
     );
     assert!(
-        tb.state
-            .lock()
-            .unwrap()
-            .engine
-            .database()
-            .state_eq(solo_beta.database()),
+        tb.engine.lock().database().state_eq(solo_beta.database()),
         "beta's served state must equal its solo run"
     );
 }
@@ -215,10 +205,8 @@ fn violation_storm_does_not_perturb_neighbor() {
     let steady = registry.get("steady").unwrap();
     assert!(
         steady
-            .state
-            .lock()
-            .unwrap()
             .engine
+            .lock()
             .database()
             .state_eq(solo_engine.database()),
         "the steady tenant's state must equal its solo run"
